@@ -1,0 +1,371 @@
+package examl
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation section, plus the ablation benchmarks DESIGN.md calls out and
+// kernel microbenchmarks. Domain metrics (traffic volumes, speedup ratios,
+// projected times) are attached via b.ReportMetric so `go test -bench`
+// output doubles as the reproduction record.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/decentral"
+	"repro/internal/distrib"
+	"repro/internal/experiments"
+	"repro/internal/forkjoin"
+	"repro/internal/likelihood"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+	"repro/internal/parsimony"
+	"repro/internal/search"
+	"repro/internal/seqgen"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+// ---------- Table I ----------
+
+// BenchmarkTable1 regenerates the Table I traffic decomposition (one
+// sub-benchmark per configuration column).
+func BenchmarkTable1(b *testing.B) {
+	sc := experiments.Small()
+	for b.Loop() {
+		res, err := experiments.Table1(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, col := range res.Columns {
+			_ = col
+			b.ReportMetric(res.Columns[i].SharePercent[3], "descriptor_share_cfg"+string(rune('0'+i)))
+		}
+	}
+}
+
+// ---------- Figure 3 ----------
+
+// BenchmarkFig3 regenerates the Figure 3 scaling study and reports the
+// PSR speedups at 8 and 32 nodes (paper: 6.9× and 26.9×).
+func BenchmarkFig3(b *testing.B) {
+	sc := experiments.Small()
+	for b.Loop() {
+		res, err := experiments.Fig3(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.PSR {
+			if p.Nodes == 8 {
+				b.ReportMetric(p.Speedup, "PSR_speedup_8nodes")
+			}
+			if p.Nodes == 32 {
+				b.ReportMetric(p.Speedup, "PSR_speedup_32nodes")
+			}
+		}
+		b.ReportMetric(res.Gamma32Ratio, "gamma32_raxml/examl")
+	}
+}
+
+// ---------- Figure 4 ----------
+
+func benchmarkFig4(b *testing.B, perPartition bool) {
+	sc := experiments.Small()
+	for b.Loop() {
+		res, err := experiments.Fig4(sc, perPartition)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the Γ ratio at the largest partition count — the
+		// paper's headline number for this figure.
+		for _, p := range res.Points {
+			if !p.PSR && p.Partitions == sc.PartCounts[len(sc.PartCounts)-1] {
+				b.ReportMetric(p.SpeedupRatio, "gamma_maxparts_ratio")
+				b.ReportMetric(float64(p.RAxMLLightBytes)/float64(p.ExaMLBytes), "gamma_maxparts_byteratio")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4a regenerates Figure 4(a) (joint branch lengths).
+func BenchmarkFig4a(b *testing.B) { benchmarkFig4(b, false) }
+
+// BenchmarkFig4b regenerates Figure 4(b) (per-partition branch lengths).
+func BenchmarkFig4b(b *testing.B) { benchmarkFig4(b, true) }
+
+// ---------- scheme comparison (wall clock on this machine) ----------
+
+func benchDataset(b *testing.B, taxa, parts, geneLen int) *msa.Dataset {
+	b.Helper()
+	res, err := seqgen.Generate(seqgen.PartitionedGenes(taxa, parts, geneLen, 99))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := msa.Compress(res.Alignment, res.Partitions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkSchemeDecentral measures a full decentralized inference.
+func BenchmarkSchemeDecentral(b *testing.B) {
+	d := benchDataset(b, 12, 8, 100)
+	cfg := search.Config{Het: model.Gamma, Seed: 1, MaxIterations: 1}
+	b.ResetTimer()
+	for b.Loop() {
+		if _, _, err := decentral.Run(d, decentral.RunConfig{Search: cfg, Ranks: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchemeForkJoin measures the identical inference under the
+// fork-join scheme.
+func BenchmarkSchemeForkJoin(b *testing.B) {
+	d := benchDataset(b, 12, 8, 100)
+	cfg := search.Config{Het: model.Gamma, Seed: 1, MaxIterations: 1}
+	b.ResetTimer()
+	for b.Loop() {
+		if _, _, err := forkjoin.Run(d, forkjoin.RunConfig{Search: cfg, Ranks: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- ablation: deterministic vs unordered Allreduce ----------
+
+// BenchmarkAblationReduceOrder compares the deterministic Allreduce
+// (Reduce + Bcast) against naive recursive doubling, and reports whether
+// the naive variant produced cross-rank bit divergence — the failure mode
+// §III-B's requirement guards against.
+func BenchmarkAblationReduceOrder(b *testing.B) {
+	const ranks = 8
+	const vecLen = 256
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([][]float64, ranks)
+	for r := range inputs {
+		vec := make([]float64, vecLen)
+		for i := range vec {
+			vec[i] = rng.NormFloat64() * float64(uint64(1)<<uint(rng.Intn(60)))
+		}
+		inputs[r] = vec
+	}
+	b.Run("deterministic", func(b *testing.B) {
+		w := mpi.NewWorld(ranks)
+		for b.Loop() {
+			w.Run(func(c *mpi.Comm) {
+				c.Allreduce(inputs[c.Rank()], mpi.OpSum, mpi.ClassLikelihoodEval)
+			})
+		}
+	})
+	b.Run("unordered", func(b *testing.B) {
+		w := mpi.NewWorld(ranks)
+		diverged := 0
+		for b.Loop() {
+			outs := make([][]float64, ranks)
+			w.Run(func(c *mpi.Comm) {
+				outs[c.Rank()] = c.AllreduceUnordered(inputs[c.Rank()], mpi.OpSum, mpi.ClassLikelihoodEval)
+			})
+			for r := 1; r < ranks; r++ {
+				for i := range outs[0] {
+					if outs[r][i] != outs[0][i] {
+						diverged++
+						break
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(diverged), "rank_divergences")
+	})
+}
+
+// ---------- ablation: cyclic vs MPS distribution ----------
+
+// BenchmarkAblationDistribution compares the two data-distribution
+// strategies on a many-partition dataset: MPS eliminates the per-partition
+// P(t) setup overhead that cyclic distribution replicates onto every rank
+// (the up-to-10× effect of the paper's reference [24]).
+func BenchmarkAblationDistribution(b *testing.B) {
+	d := benchDataset(b, 10, 48, 40)
+	cfg := search.Config{Het: model.Gamma, Seed: 2, MaxIterations: 1, SkipTopology: true}
+	for _, strat := range []distrib.Strategy{distrib.Cyclic, distrib.MPS} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var cols int64
+			for b.Loop() {
+				_, stats, err := decentral.Run(d, decentral.RunConfig{Search: cfg, Ranks: 4, Strategy: strat})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cols = stats.TotalColumns
+			}
+			b.ReportMetric(float64(cols), "kernel_columns")
+		})
+	}
+}
+
+// ---------- kernel microbenchmarks ----------
+
+func benchKernel(b *testing.B, het model.Heterogeneity) (*likelihood.Kernel, *tree.Tree, []likelihood.Step) {
+	b.Helper()
+	res, err := seqgen.Generate(seqgen.Config{
+		NTaxa: 32,
+		Specs: []seqgen.Spec{{Name: "g", NSites: 5000, Alpha: 0.8}},
+		Seed:  5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := msa.Compress(res.Alignment, res.Partitions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd := ds.Parts[0]
+	par, err := model.NewParams(het, pd.Freqs, pd.NPatterns())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := tree.NewRandom(ds.Names, 1, rand.New(rand.NewSource(3)))
+	k, err := likelihood.NewKernel(pd, par, tr.NInner())
+	if err != nil {
+		b.Fatal(err)
+	}
+	steps := traversal.ForEdge(tr, tr.Tip(0), 0, true)
+	k.Traverse(steps)
+	return k, tr, steps
+}
+
+// BenchmarkKernelNewviewGamma measures the Γ CLV kernel.
+func BenchmarkKernelNewviewGamma(b *testing.B) {
+	k, _, steps := benchKernel(b, model.Gamma)
+	b.ResetTimer()
+	for b.Loop() {
+		k.Traverse(steps)
+	}
+	b.ReportMetric(float64(k.NPatterns()*len(steps)), "columns/op")
+}
+
+// BenchmarkKernelNewviewPSR measures the PSR CLV kernel (4× less data).
+func BenchmarkKernelNewviewPSR(b *testing.B) {
+	k, _, steps := benchKernel(b, model.PSR)
+	b.ResetTimer()
+	for b.Loop() {
+		k.Traverse(steps)
+	}
+}
+
+// BenchmarkKernelEvaluateGamma measures the root-evaluation kernel.
+func BenchmarkKernelEvaluateGamma(b *testing.B) {
+	k, tr, _ := benchKernel(b, model.Gamma)
+	p := traversal.Ref(tr, tr.Tip(0))
+	q := traversal.Ref(tr, tr.Tip(0).Back)
+	b.ResetTimer()
+	for b.Loop() {
+		k.Evaluate(p, q, 0.1)
+	}
+}
+
+// BenchmarkKernelDerivativesGamma measures the Newton derivative kernel
+// after sum-table preparation (the per-iteration cost of branch
+// optimization).
+func BenchmarkKernelDerivativesGamma(b *testing.B) {
+	k, tr, _ := benchKernel(b, model.Gamma)
+	p := traversal.Ref(tr, tr.Tip(0))
+	q := traversal.Ref(tr, tr.Tip(0).Back)
+	k.PrepareDerivatives(p, q)
+	b.ResetTimer()
+	for b.Loop() {
+		k.Derivatives(0.1)
+	}
+}
+
+// ---------- binary format vs PHYLIP ----------
+
+// BenchmarkBinaryVsPhylip compares loading the same dataset from the
+// binary alignment format vs parsing PHYLIP text — the speedup the
+// paper's §V binary-format plan is after.
+func BenchmarkBinaryVsPhylip(b *testing.B) {
+	res, err := seqgen.Generate(seqgen.PartitionedGenes(24, 8, 500, 17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var phy bytes.Buffer
+	if err := msa.WritePhylip(&phy, res.Alignment); err != nil {
+		b.Fatal(err)
+	}
+	d, err := msa.Compress(res.Alignment, res.Partitions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := msa.WriteBinary(&bin, d); err != nil {
+		b.Fatal(err)
+	}
+	parts := res.Partitions
+
+	b.Run("phylip", func(b *testing.B) {
+		for b.Loop() {
+			a, err := msa.ParsePhylip(bytes.NewReader(phy.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := msa.Compress(a, parts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(phy.Len()))
+	})
+	b.Run("binary", func(b *testing.B) {
+		for b.Loop() {
+			if _, err := msa.ReadBinary(bytes.NewReader(bin.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(bin.Len()))
+	})
+}
+
+// ---------- ablation: flat vs hierarchical (hybrid) Allreduce ----------
+
+// BenchmarkAblationHybridAllreduce compares the flat Allreduce against
+// the §V hierarchical variant at a node-like grouping. In-process the
+// wall-clock difference is modest; on a real cluster the inter-node
+// participant count drops by the group factor (1536 → 32 on the paper's
+// machine).
+func BenchmarkAblationHybridAllreduce(b *testing.B) {
+	const ranks = 48
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	b.Run("flat", func(b *testing.B) {
+		w := mpi.NewWorld(ranks)
+		for b.Loop() {
+			w.Run(func(c *mpi.Comm) {
+				c.Allreduce(data, mpi.OpSum, mpi.ClassLikelihoodEval)
+			})
+		}
+	})
+	b.Run("hierarchical-8", func(b *testing.B) {
+		w := mpi.NewWorld(ranks)
+		for b.Loop() {
+			w.Run(func(c *mpi.Comm) {
+				c.AllreduceHierarchical(data, mpi.OpSum, mpi.ClassLikelihoodEval, 8)
+			})
+		}
+	})
+}
+
+// ---------- parsimony starting trees ----------
+
+// BenchmarkParsimonyStart measures Parsimonator-style starting-tree
+// construction (stepwise addition + SPR refinement).
+func BenchmarkParsimonyStart(b *testing.B) {
+	d := benchDataset(b, 24, 4, 250)
+	b.ResetTimer()
+	for b.Loop() {
+		if _, _, err := parsimony.Build(d, 1, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package examl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bootstrap"
+	"repro/internal/tree"
+)
+
+// BootstrapResult is the outcome of a bootstrap analysis.
+type BootstrapResult struct {
+	// BestTree is the reference ML tree in Newick with integer percent
+	// support values as inner-node labels.
+	BestTree string
+	// Supports are the per-bipartition support fractions (0..1) in the
+	// reference tree's bipartition order.
+	Supports []float64
+	// Replicates is the number of bootstrap replicates run.
+	Replicates int
+	// ReplicateTrees are the per-replicate ML trees (Newick).
+	ReplicateTrees []string
+	// ConsensusTree is the extended majority-rule consensus of the
+	// replicate trees (Newick), with per-split supports in
+	// ConsensusSupports (0 marks arbitrary resolutions of
+	// multifurcations).
+	ConsensusTree string
+	// ConsensusSupports aligns with the consensus tree's bipartitions.
+	ConsensusSupports []float64
+}
+
+// Bootstrap runs a nonparametric bootstrap: a reference ML search on the
+// original dataset, then `replicates` searches on site-resampled
+// replicates (deterministic given cfg.Seed), and maps the replicate
+// bipartition frequencies onto the reference tree as support values —
+// the standard RAxML workflow, under either parallelization scheme.
+func Bootstrap(d *Dataset, cfg Config, replicates int) (*BootstrapResult, error) {
+	if replicates < 1 {
+		return nil, fmt.Errorf("examl: need at least 1 bootstrap replicate")
+	}
+	ref, err := Infer(d, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("examl: reference search: %w", err)
+	}
+	refTree, err := tree.ParseNewick(ref.Tree, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x0b00f5))
+	out := &BootstrapResult{Replicates: replicates}
+	repTrees := make([]*tree.Tree, 0, replicates)
+	for r := 0; r < replicates; r++ {
+		resampled, err := bootstrap.Resample(d.d, rng)
+		if err != nil {
+			return nil, err
+		}
+		repCfg := cfg
+		repCfg.Seed = cfg.Seed + int64(r) + 1
+		res, err := Infer(&Dataset{d: resampled}, repCfg)
+		if err != nil {
+			return nil, fmt.Errorf("examl: replicate %d: %w", r, err)
+		}
+		rt, err := tree.ParseNewick(res.Tree, 1)
+		if err != nil {
+			return nil, err
+		}
+		repTrees = append(repTrees, rt)
+		out.ReplicateTrees = append(out.ReplicateTrees, res.Tree)
+	}
+	out.Supports, err = bootstrap.SupportValues(refTree, repTrees)
+	if err != nil {
+		return nil, err
+	}
+	out.BestTree, err = bootstrap.AnnotatedNewick(refTree, out.Supports)
+	if err != nil {
+		return nil, err
+	}
+	cons, csup, err := bootstrap.Consensus(repTrees, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	out.ConsensusTree = cons.Newick()
+	out.ConsensusSupports = csup
+	return out, nil
+}
+
+// MajorityConsensus builds the extended majority-rule consensus of a set
+// of Newick trees over the same taxa, returning the consensus Newick and
+// the per-bipartition support fractions.
+func MajorityConsensus(newicks []string, minFraction float64) (string, []float64, error) {
+	var trees []*tree.Tree
+	for i, nw := range newicks {
+		t, err := tree.ParseNewick(nw, 1)
+		if err != nil {
+			return "", nil, fmt.Errorf("examl: tree %d: %w", i, err)
+		}
+		trees = append(trees, t)
+	}
+	cons, sup, err := bootstrap.Consensus(trees, minFraction)
+	if err != nil {
+		return "", nil, err
+	}
+	return cons.Newick(), sup, nil
+}
+
+// ResampleDataset exposes bootstrap resampling for callers that manage
+// their own replicate searches.
+func ResampleDataset(d *Dataset, seed int64) (*Dataset, error) {
+	r, err := bootstrap.Resample(d.d, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: r}, nil
+}

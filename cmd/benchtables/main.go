@@ -1,0 +1,99 @@
+// Command benchtables regenerates the paper's evaluation artifacts —
+// Table I and Figures 3, 4(a), 4(b) — and prints them as text tables with
+// paper-vs-measured rows.
+//
+// Usage:
+//
+//	benchtables [-scale small|default|paper] [-table1] [-fig3] [-fig4a] [-fig4b]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtables: ")
+
+	scaleName := flag.String("scale", "default", "experiment scale: small, default, or paper")
+	table1 := flag.Bool("table1", false, "regenerate Table I")
+	fig3 := flag.Bool("fig3", false, "regenerate Figure 3")
+	fig4a := flag.Bool("fig4a", false, "regenerate Figure 4(a)")
+	fig4b := flag.Bool("fig4b", false, "regenerate Figure 4(b)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.Small()
+	case "default":
+		sc = experiments.Default()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	all := !*table1 && !*fig3 && !*fig4a && !*fig4b
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		start := time.Now()
+		fmt.Printf("==== %s (scale=%s) ====\n", name, *scaleName)
+		out, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if all || *table1 {
+		run("Table I", func() (fmt.Stringer, error) {
+			r, err := experiments.Table1(sc)
+			if err != nil {
+				return nil, err
+			}
+			return render{r.Render}, nil
+		})
+	}
+	if all || *fig3 {
+		run("Figure 3", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig3(sc)
+			if err != nil {
+				return nil, err
+			}
+			return render{r.Render}, nil
+		})
+	}
+	if all || *fig4a {
+		run("Figure 4(a)", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig4(sc, false)
+			if err != nil {
+				return nil, err
+			}
+			return render{r.Render}, nil
+		})
+	}
+	if all || *fig4b {
+		run("Figure 4(b)", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig4(sc, true)
+			if err != nil {
+				return nil, err
+			}
+			return render{r.Render}, nil
+		})
+	}
+	os.Exit(0)
+}
+
+// render adapts a Render method to fmt.Stringer.
+type render struct{ f func() string }
+
+func (r render) String() string { return r.f() }

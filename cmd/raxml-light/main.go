@@ -1,0 +1,30 @@
+// Command raxml-light performs the same maximum-likelihood inference as
+// the examl command but under the classical fork-join parallelization
+// scheme — the comparator the paper measures against. Both binaries run
+// exactly the same search algorithm; comparing their communication
+// profiles on the same dataset reproduces the paper's core contrast.
+//
+// Flags are identical to examl's; see that command's documentation.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro"
+	"repro/internal/cli"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("raxml-light: ")
+	var args cli.Args
+	cli.Register(&args)
+	flag.Parse()
+	args.Scheme = examl.ForkJoin
+	res, err := cli.Run(args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cli.Report(args.Name, res)
+}

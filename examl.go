@@ -1,0 +1,498 @@
+// Package examl is a Go reproduction of ExaML (Exascale Maximum
+// Likelihood) from "Novel Parallelization Schemes for Large-Scale
+// Likelihood-based Phylogenetic Inference" (Stamatakis & Aberer, 2013).
+//
+// It provides maximum-likelihood phylogenetic tree inference under
+// GTR+Γ / GTR+PSR models on partitioned DNA alignments, parallelized over
+// an in-process message-passing runtime with either of the paper's two
+// schemes:
+//
+//   - Decentralized (the paper's contribution): every rank runs a
+//     consistent replica of the search and communicates only through two
+//     Allreduce call sites.
+//   - ForkJoin (the RAxML-Light comparator): a master steers the search
+//     and broadcasts traversal descriptors and parameter arrays to
+//     workers before every parallel region.
+//
+// Both engines execute the identical search algorithm, so results agree
+// bit-for-bit at equal rank counts; what differs — and what the paper
+// measures — is the communication volume, which every run meters and
+// reports.
+//
+// Quick start:
+//
+//	d, _ := examl.Simulate(16, 4, 500, 42)
+//	res, _ := examl.Infer(d, examl.Config{Ranks: 4})
+//	fmt.Println(res.LogLikelihood, res.Tree)
+package examl
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/decentral"
+	"repro/internal/distrib"
+	"repro/internal/forkjoin"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+	"repro/internal/search"
+	"repro/internal/seqgen"
+	"repro/internal/tree"
+)
+
+// Scheme selects the parallelization scheme.
+type Scheme int
+
+// Available schemes.
+const (
+	// Decentralized is the ExaML scheme (default).
+	Decentralized Scheme = iota
+	// ForkJoin is the RAxML-Light comparator scheme.
+	ForkJoin
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if s == ForkJoin {
+		return "fork-join"
+	}
+	return "decentralized"
+}
+
+// RateModel selects the among-site rate heterogeneity model.
+type RateModel int
+
+// Available rate models.
+const (
+	// GAMMA is the 4-category discrete-Γ model (default).
+	GAMMA RateModel = iota
+	// PSR is the per-site rate model (4× lower memory).
+	PSR
+)
+
+// String implements fmt.Stringer.
+func (m RateModel) String() string {
+	if m == PSR {
+		return "PSR"
+	}
+	return "GAMMA"
+}
+
+// SubstitutionModel names the nucleotide substitution model. All are
+// special cases of GTR; they differ in which exchangeabilities the
+// optimizer may move and how base frequencies are set.
+type SubstitutionModel int
+
+// Available substitution models.
+const (
+	// GTRModel is the general time-reversible model (default, the
+	// paper's setting): 5 free rates, empirical frequencies.
+	GTRModel SubstitutionModel = iota
+	// JCModel is Jukes–Cantor: no free rates, uniform frequencies.
+	JCModel
+	// K80Model is Kimura 2-parameter: free κ, uniform frequencies.
+	K80Model
+	// HKYModel is HKY85: free κ, empirical frequencies.
+	HKYModel
+)
+
+// String implements fmt.Stringer.
+func (m SubstitutionModel) String() string {
+	return substOf(m).String()
+}
+
+func substOf(m SubstitutionModel) model.SubstModel {
+	switch m {
+	case JCModel:
+		return model.JC
+	case K80Model:
+		return model.K80
+	case HKYModel:
+		return model.HKY
+	}
+	return model.GTR
+}
+
+// Distribution selects the data-distribution strategy.
+type Distribution int
+
+// Available distributions.
+const (
+	// Cyclic deals site patterns round-robin (default).
+	Cyclic Distribution = iota
+	// MPS assigns whole partitions monolithically (the paper's -Q).
+	MPS
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	if d == MPS {
+		return "MPS"
+	}
+	return "cyclic"
+}
+
+// Dataset is a compressed, partitioned alignment ready for inference.
+type Dataset struct {
+	d *msa.Dataset
+}
+
+// NTaxa returns the number of sequences.
+func (d *Dataset) NTaxa() int { return d.d.NTaxa() }
+
+// NPartitions returns the number of partitions.
+func (d *Dataset) NPartitions() int { return d.d.NPartitions() }
+
+// Patterns returns the total number of unique site patterns — the
+// quantity that governs memory and parallel scalability.
+func (d *Dataset) Patterns() int { return d.d.TotalPatterns() }
+
+// Sites returns the total number of alignment columns.
+func (d *Dataset) Sites() int { return d.d.TotalSites() }
+
+// TaxonNames returns the taxon labels in dataset order.
+func (d *Dataset) TaxonNames() []string { return append([]string(nil), d.d.Names...) }
+
+// LoadPhylip reads a relaxed PHYLIP alignment and an optional RAxML-style
+// partition scheme ("DNA, gene1 = 1-1000" lines; empty = one partition).
+func LoadPhylip(r io.Reader, partitionScheme string) (*Dataset, error) {
+	a, err := msa.ParsePhylip(r)
+	if err != nil {
+		return nil, err
+	}
+	var parts []msa.Partition
+	if strings.TrimSpace(partitionScheme) != "" {
+		parts, err = msa.ParsePartitionFile(partitionScheme, a.NSites())
+		if err != nil {
+			return nil, err
+		}
+	}
+	d, err := msa.Compress(a, parts)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: d}, nil
+}
+
+// LoadBinary reads the compact binary alignment format.
+func LoadBinary(r io.Reader) (*Dataset, error) {
+	d, err := msa.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: d}, nil
+}
+
+// SaveBinary writes the dataset in the compact binary alignment format.
+func (d *Dataset) SaveBinary(w io.Writer) error { return msa.WriteBinary(w, d.d) }
+
+// Simulate generates a partitioned dataset with the paper's gene recipe:
+// nPartitions genes of geneLen sites each over nTaxa taxa, with per-gene
+// evolutionary heterogeneity.
+func Simulate(nTaxa, nPartitions, geneLen int, seed int64) (*Dataset, error) {
+	res, err := seqgen.Generate(seqgen.PartitionedGenes(nTaxa, nPartitions, geneLen, seed))
+	if err != nil {
+		return nil, err
+	}
+	d, err := msa.Compress(res.Alignment, res.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: d}, nil
+}
+
+// SimulateUnpartitioned generates a single-partition dataset with the
+// paper's large-alignment recipe (150 taxa × 20 M bp at full scale).
+func SimulateUnpartitioned(nTaxa, nSites int, seed int64) (*Dataset, error) {
+	res, err := seqgen.Generate(seqgen.LargeUnpartitioned(nTaxa, nSites, seed))
+	if err != nil {
+		return nil, err
+	}
+	d, err := msa.Compress(res.Alignment, res.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{d: d}, nil
+}
+
+// Config controls an inference run. The zero value is a sensible default:
+// decentralized scheme, 1 rank, GTR+Γ, cyclic distribution.
+type Config struct {
+	// Scheme selects the parallelization scheme.
+	Scheme Scheme
+	// Ranks is the number of simulated MPI ranks (default 1).
+	Ranks int
+	// RateModel selects Γ or PSR.
+	RateModel RateModel
+	// Substitution selects GTR (default) or a constrained sub-model.
+	Substitution SubstitutionModel
+	// PerPartitionBranchLengths enables the paper's -M option.
+	PerPartitionBranchLengths bool
+	// Distribution selects cyclic or MPS (-Q) data distribution.
+	Distribution Distribution
+	// Seed drives the random starting tree.
+	Seed int64
+	// StartTree overrides the random start with a Newick tree.
+	StartTree string
+	// ParsimonyStartTree builds the starting tree by randomized
+	// stepwise-addition parsimony (the Parsimonator recipe) instead of a
+	// random topology.
+	ParsimonyStartTree bool
+	// MaxIterations caps the outer search loop (default 50).
+	MaxIterations int
+	// Epsilon is the convergence threshold in log-likelihood units
+	// (default 0.1).
+	Epsilon float64
+	// SPRRadius is the rearrangement radius (default 5).
+	SPRRadius int
+	// SkipTopology restricts the run to model + branch-length
+	// optimization on the start tree (like RAxML -f e).
+	SkipTopology bool
+	// CheckpointPath, when set, writes a restartable checkpoint there
+	// after every search iteration.
+	CheckpointPath string
+	// RestorePath, when set, resumes from a checkpoint file.
+	RestorePath string
+}
+
+// CommReport is the per-class communication accounting of a run — the
+// data behind the paper's Table I.
+type CommReport struct {
+	// Classes lists per-class statistics, largest byte volume first.
+	Classes []CommClassStats
+	// TotalOps, TotalBytes, and TotalRegions aggregate all classes.
+	TotalOps, TotalBytes, TotalRegions int64
+}
+
+// CommClassStats is one class's row.
+type CommClassStats struct {
+	// Name is the traffic class ("traversal-descriptor", …).
+	Name string
+	// Ops is the number of collective operations.
+	Ops int64
+	// Bytes is the payload volume (counted once per logical collective).
+	Bytes int64
+	// Regions is the number of parallel regions of this class.
+	Regions int64
+	// ByteShare is Bytes / TotalBytes.
+	ByteShare float64
+}
+
+func makeCommReport(s mpi.Snapshot) CommReport {
+	rep := CommReport{
+		TotalOps:     s.TotalOps(),
+		TotalBytes:   s.TotalBytes(),
+		TotalRegions: s.TotalRegions(),
+	}
+	for c := mpi.CommClass(0); c < mpi.NumCommClasses; c++ {
+		if s.Ops[c] == 0 && s.Bytes[c] == 0 && s.Regions[c] == 0 {
+			continue
+		}
+		share := 0.0
+		if rep.TotalBytes > 0 {
+			share = float64(s.Bytes[c]) / float64(rep.TotalBytes)
+		}
+		rep.Classes = append(rep.Classes, CommClassStats{
+			Name:      c.String(),
+			Ops:       s.Ops[c],
+			Bytes:     s.Bytes[c],
+			Regions:   s.Regions[c],
+			ByteShare: share,
+		})
+	}
+	for i := 1; i < len(rep.Classes); i++ {
+		for j := i; j > 0 && rep.Classes[j-1].Bytes < rep.Classes[j].Bytes; j-- {
+			rep.Classes[j-1], rep.Classes[j] = rep.Classes[j], rep.Classes[j-1]
+		}
+	}
+	return rep
+}
+
+// Result is the outcome of an inference.
+type Result struct {
+	// Tree is the final topology in Newick format.
+	Tree string
+	// LogLikelihood is the final score.
+	LogLikelihood float64
+	// PerPartitionLogLikelihood is the per-partition breakdown.
+	PerPartitionLogLikelihood []float64
+	// Iterations is the number of outer search iterations executed.
+	Iterations int
+	// Comm is the communication accounting.
+	Comm CommReport
+	// WallSeconds is the measured wall-clock time.
+	WallSeconds float64
+	// Ranks echoes the rank count.
+	Ranks int
+
+	trace cluster.Trace
+}
+
+// Projection is a modeled execution time at cluster scale.
+type Projection struct {
+	// Ranks and Nodes are the projected scale.
+	Ranks, Nodes int
+	// Seconds is the modeled total time.
+	Seconds float64
+	// ComputeSeconds and CommSeconds are the breakdown.
+	ComputeSeconds, CommSeconds float64
+	// Swapping reports predicted memory thrashing.
+	Swapping bool
+}
+
+// Project models this run's execution time at the given rank count on the
+// paper's cluster (48-core nodes, InfiniBand) — the substitution for the
+// original 50-node testbed.
+func (r *Result) Project(ranks int) (Projection, error) {
+	p, err := cluster.Project(r.trace, ranks, cluster.MagnyCours())
+	if err != nil {
+		return Projection{}, err
+	}
+	return Projection{
+		Ranks:          p.Ranks,
+		Nodes:          p.Nodes,
+		Seconds:        p.TotalSec,
+		ComputeSeconds: p.ComputeSec,
+		CommSeconds:    p.CommSec,
+		Swapping:       p.Swapping,
+	}, nil
+}
+
+// Infer runs a maximum-likelihood tree search on the dataset.
+func Infer(d *Dataset, cfg Config) (*Result, error) {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	het := model.Gamma
+	if cfg.RateModel == PSR {
+		het = model.PSR
+	}
+	strategy := distrib.Cyclic
+	if cfg.Distribution == MPS {
+		strategy = distrib.MPS
+	}
+	scfg := search.Config{
+		Het:                  het,
+		Subst:                substOf(cfg.Substitution),
+		PerPartitionBranches: cfg.PerPartitionBranchLengths,
+		Epsilon:              cfg.Epsilon,
+		SPRRadius:            cfg.SPRRadius,
+		MaxIterations:        cfg.MaxIterations,
+		Seed:                 cfg.Seed,
+		StartTree:            cfg.StartTree,
+		ParsimonyStart:       cfg.ParsimonyStartTree,
+		SkipTopology:         cfg.SkipTopology,
+	}
+	if cfg.RestorePath != "" {
+		f, err := os.Open(cfg.RestorePath)
+		if err != nil {
+			return nil, fmt.Errorf("examl: open checkpoint: %w", err)
+		}
+		state, err := checkpoint.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		scfg.Restore = state
+	}
+	if cfg.CheckpointPath != "" {
+		var mu sync.Mutex
+		scfg.OnIteration = func(s *search.Searcher, iter int, lnL float64) {
+			// Every replica calls the hook with identical state; writes
+			// are serialized and idempotent.
+			mu.Lock()
+			defer mu.Unlock()
+			writeCheckpoint(cfg.CheckpointPath, s.Snapshot(iter))
+		}
+	}
+
+	var (
+		res   *search.Result
+		err   error
+		comm  mpi.Snapshot
+		wall  float64
+		trace cluster.Trace
+	)
+	switch cfg.Scheme {
+	case Decentralized:
+		var stats *decentral.RunStats
+		res, stats, err = decentral.Run(d.d, decentral.RunConfig{Search: scfg, Ranks: cfg.Ranks, Strategy: strategy})
+		if err == nil {
+			comm, wall = stats.Comm, stats.Wall.Seconds()
+			trace = cluster.Trace{
+				Comm:           stats.Comm,
+				MaxRankColumns: stats.MaxRankColumns,
+				TotalColumns:   stats.TotalColumns,
+				MeasuredRanks:  stats.Ranks,
+				CLVBytesTotal:  stats.CLVBytesTotal,
+			}
+		}
+	case ForkJoin:
+		var stats *forkjoin.RunStats
+		res, stats, err = forkjoin.Run(d.d, forkjoin.RunConfig{Search: scfg, Ranks: cfg.Ranks, Strategy: strategy})
+		if err == nil {
+			comm, wall = stats.Comm, stats.Wall.Seconds()
+			trace = cluster.Trace{
+				Comm:           stats.Comm,
+				MaxRankColumns: stats.MaxRankColumns,
+				TotalColumns:   stats.TotalColumns,
+				MeasuredRanks:  stats.Ranks,
+				CLVBytesTotal:  stats.CLVBytesTotal,
+			}
+		}
+	default:
+		return nil, fmt.Errorf("examl: unknown scheme %d", cfg.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tree:                      res.Tree.Newick(),
+		LogLikelihood:             res.LnL,
+		PerPartitionLogLikelihood: res.PerPartitionLnL,
+		Iterations:                res.Iterations,
+		Comm:                      makeCommReport(comm),
+		WallSeconds:               wall,
+		Ranks:                     cfg.Ranks,
+		trace:                     trace,
+	}, nil
+}
+
+// writeCheckpoint writes atomically via a temp file + rename.
+func writeCheckpoint(path string, state *checkpoint.State) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	if err := checkpoint.Write(f, state); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	os.Rename(tmp, path)
+}
+
+// RobinsonFoulds computes the Robinson–Foulds distance between two Newick
+// trees over the same taxa — the standard topology-comparison metric.
+func RobinsonFoulds(newickA, newickB string) (int, error) {
+	a, err := tree.ParseNewick(newickA, 1)
+	if err != nil {
+		return 0, err
+	}
+	b, err := tree.ParseNewick(newickB, 1)
+	if err != nil {
+		return 0, err
+	}
+	return tree.RobinsonFoulds(a, b)
+}

@@ -1,0 +1,285 @@
+package examl
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d, err := Simulate(10, 3, 60, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NTaxa() != 10 || d.NPartitions() != 3 || d.Sites() != 180 {
+		t.Fatalf("dataset dims: %d taxa, %d parts, %d sites", d.NTaxa(), d.NPartitions(), d.Sites())
+	}
+	if d.Patterns() == 0 || d.Patterns() > d.Sites() {
+		t.Fatalf("patterns = %d", d.Patterns())
+	}
+	res, err := Infer(d, Config{Ranks: 3, MaxIterations: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogLikelihood >= 0 || math.IsNaN(res.LogLikelihood) {
+		t.Fatalf("lnL = %g", res.LogLikelihood)
+	}
+	if !strings.HasSuffix(res.Tree, ";") {
+		t.Fatalf("tree not Newick: %q", res.Tree[:40])
+	}
+	if res.Comm.TotalOps == 0 {
+		t.Fatal("no communication metered")
+	}
+	if res.Ranks != 3 {
+		t.Fatalf("ranks = %d", res.Ranks)
+	}
+	// Projection must work and shrink compute time with more ranks.
+	p1, err := res.Project(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := res.Project(480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ComputeSeconds >= p1.ComputeSeconds {
+		t.Fatal("projection compute time did not shrink with ranks")
+	}
+	if p1.Nodes != 1 || p2.Nodes != 10 {
+		t.Fatalf("nodes: %d, %d", p1.Nodes, p2.Nodes)
+	}
+}
+
+func TestSchemesAgreeViaPublicAPI(t *testing.T) {
+	d, err := Simulate(8, 2, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Ranks: 2, MaxIterations: 1, Seed: 5}
+	dec, err := Infer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheme = ForkJoin
+	fj, err := Infer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(dec.LogLikelihood) != math.Float64bits(fj.LogLikelihood) {
+		t.Fatalf("schemes disagree: %.15g vs %.15g", dec.LogLikelihood, fj.LogLikelihood)
+	}
+	rf, err := RobinsonFoulds(dec.Tree, fj.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf != 0 {
+		t.Fatalf("RF distance between scheme results = %d", rf)
+	}
+	if fj.Comm.TotalBytes <= dec.Comm.TotalBytes {
+		t.Fatalf("fork-join bytes %d ≤ decentralized %d", fj.Comm.TotalBytes, dec.Comm.TotalBytes)
+	}
+}
+
+func TestBinaryRoundTripViaPublicAPI(t *testing.T) {
+	d, err := Simulate(6, 2, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Patterns() != d.Patterns() || back.NTaxa() != d.NTaxa() {
+		t.Fatal("binary round trip changed the dataset")
+	}
+}
+
+func TestLoadPhylipWithPartitions(t *testing.T) {
+	phy := `4 8
+A ACGTACGT
+B ACGTACGA
+C ACGAACGT
+D ACGAACGA
+`
+	scheme := "DNA, left = 1-4\nDNA, right = 5-8\n"
+	d, err := LoadPhylip(strings.NewReader(phy), scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NPartitions() != 2 || d.NTaxa() != 4 {
+		t.Fatalf("dims: %d parts, %d taxa", d.NPartitions(), d.NTaxa())
+	}
+	if _, err := LoadPhylip(strings.NewReader("garbage"), ""); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadPhylip(strings.NewReader(phy), "DNA, x = 1-99"); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+}
+
+func TestCheckpointRestartViaPublicAPI(t *testing.T) {
+	d, err := Simulate(8, 2, 40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	first, err := Infer(d, Config{Ranks: 2, MaxIterations: 2, Seed: 3, CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	resumed, err := Infer(d, Config{Ranks: 2, MaxIterations: 4, Seed: 3, RestorePath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.LogLikelihood < first.LogLikelihood-1e-6 {
+		t.Fatalf("resume regressed: %f < %f", resumed.LogLikelihood, first.LogLikelihood)
+	}
+	// Restoring against a different dataset must fail.
+	other, err := Simulate(9, 2, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Infer(other, Config{Ranks: 1, RestorePath: ckpt}); err == nil {
+		t.Error("checkpoint accepted for wrong dataset")
+	}
+}
+
+func TestPSRAndPerPartitionViaPublicAPI(t *testing.T) {
+	d, err := Simulate(8, 2, 30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Infer(d, Config{
+		Ranks:                     2,
+		RateModel:                 PSR,
+		PerPartitionBranchLengths: true,
+		Distribution:              MPS,
+		MaxIterations:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogLikelihood >= 0 {
+		t.Fatalf("lnL = %g", res.LogLikelihood)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Decentralized.String() != "decentralized" || ForkJoin.String() != "fork-join" {
+		t.Error("Scheme.String broken")
+	}
+	if GAMMA.String() != "GAMMA" || PSR.String() != "PSR" {
+		t.Error("RateModel.String broken")
+	}
+	if Cyclic.String() != "cyclic" || MPS.String() != "MPS" {
+		t.Error("Distribution.String broken")
+	}
+}
+
+func TestParsimonyStartBeatsRandomStart(t *testing.T) {
+	d, err := Simulate(12, 2, 400, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Ranks: 2, MaxIterations: 1, Seed: 4, SkipTopology: true}
+	random, err := Infer(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPars := base
+	withPars.ParsimonyStartTree = true
+	pars, err := Infer(d, withPars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With topology moves disabled, the starting topology decides the
+	// score: the parsimony tree must be better on signal-rich data.
+	if pars.LogLikelihood <= random.LogLikelihood {
+		t.Fatalf("parsimony start lnL %f not better than random start %f",
+			pars.LogLikelihood, random.LogLikelihood)
+	}
+}
+
+func TestBootstrapViaPublicAPI(t *testing.T) {
+	d, err := Simulate(8, 2, 250, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bootstrap(d, Config{Ranks: 2, MaxIterations: 2, Seed: 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicates != 5 || len(res.ReplicateTrees) != 5 {
+		t.Fatalf("replicates = %d/%d", res.Replicates, len(res.ReplicateTrees))
+	}
+	// 8 taxa → 5 non-trivial bipartitions.
+	if len(res.Supports) != 5 {
+		t.Fatalf("%d supports", len(res.Supports))
+	}
+	for i, s := range res.Supports {
+		if s < 0 || s > 1 {
+			t.Fatalf("support %d = %g", i, s)
+		}
+	}
+	if !strings.HasSuffix(res.BestTree, ");") {
+		t.Fatalf("annotated tree malformed: %s", res.BestTree)
+	}
+	// On strong-signal simulated data, at least one split should have
+	// full support.
+	max := 0.0
+	for _, s := range res.Supports {
+		if s > max {
+			max = s
+		}
+	}
+	if max < 0.6 {
+		t.Errorf("no well-supported split on clean data: %v", res.Supports)
+	}
+	if _, err := Bootstrap(d, Config{Ranks: 1}, 0); err == nil {
+		t.Error("0 replicates accepted")
+	}
+}
+
+func TestSubstitutionModelsViaPublicAPI(t *testing.T) {
+	d, err := Simulate(8, 1, 400, 66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Ranks: 2, MaxIterations: 1, Seed: 2, SkipTopology: true}
+	lnls := map[SubstitutionModel]float64{}
+	for _, m := range []SubstitutionModel{JCModel, K80Model, HKYModel, GTRModel} {
+		cfg := base
+		cfg.Substitution = m
+		res, err := Infer(d, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		lnls[m] = res.LogLikelihood
+	}
+	// Nested models: each generalization can only improve the maximized
+	// likelihood (up to optimizer slack).
+	const slack = 0.5
+	if !(lnls[K80Model] >= lnls[JCModel]-slack) {
+		t.Errorf("K80 (%f) worse than nested JC (%f)", lnls[K80Model], lnls[JCModel])
+	}
+	if !(lnls[GTRModel] >= lnls[HKYModel]-slack) {
+		t.Errorf("GTR (%f) worse than nested HKY (%f)", lnls[GTRModel], lnls[HKYModel])
+	}
+	if !(lnls[GTRModel] >= lnls[JCModel]-slack) {
+		t.Errorf("GTR (%f) worse than nested JC (%f)", lnls[GTRModel], lnls[JCModel])
+	}
+	if JCModel.String() != "JC" || GTRModel.String() != "GTR" {
+		t.Error("SubstitutionModel.String broken")
+	}
+}

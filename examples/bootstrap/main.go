@@ -1,0 +1,45 @@
+// Bootstrap analysis: quantify the confidence in each branch of the best
+// tree. Sites are resampled with replacement per partition, one ML tree
+// is inferred per replicate (all of it running on the de-centralized
+// engine), and each split of the best tree is annotated with the fraction
+// of replicates supporting it. A majority-rule consensus of the
+// replicates is printed as well.
+//
+//	go run ./examples/bootstrap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	dataset, err := examl.Simulate(10, 3, 300, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d taxa, %d partitions, %d sites\n",
+		dataset.NTaxa(), dataset.NPartitions(), dataset.Sites())
+
+	const replicates = 10
+	fmt.Printf("running 1 reference + %d bootstrap replicate searches ...\n\n", replicates)
+	res, err := examl.Bootstrap(dataset, examl.Config{
+		Ranks:         4,
+		MaxIterations: 3,
+		Seed:          5,
+	}, replicates)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("best tree with bootstrap support values (%):")
+	fmt.Println(res.BestTree)
+	fmt.Printf("\nper-split supports: ")
+	for _, s := range res.Supports {
+		fmt.Printf("%3.0f%% ", 100*s)
+	}
+	fmt.Printf("\n\nmajority-rule consensus of the %d replicates:\n%s\n",
+		replicates, res.ConsensusTree)
+}

@@ -1,0 +1,46 @@
+// Quickstart: simulate a small partitioned DNA dataset and infer a
+// maximum-likelihood tree with the de-centralized (ExaML) scheme on four
+// simulated MPI ranks.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 16 taxa, 4 gene partitions of 300 bp each.
+	dataset, err := examl.Simulate(16, 4, 300, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d taxa, %d partitions, %d sites compressed to %d patterns\n",
+		dataset.NTaxa(), dataset.NPartitions(), dataset.Sites(), dataset.Patterns())
+
+	result, err := examl.Infer(dataset, examl.Config{
+		Ranks:         4,
+		MaxIterations: 5,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nlog likelihood: %.4f after %d search iterations (%.2fs wall)\n",
+		result.LogLikelihood, result.Iterations, result.WallSeconds)
+	fmt.Printf("communication:  %d collectives, %d bytes total\n",
+		result.Comm.TotalOps, result.Comm.TotalBytes)
+	fmt.Printf("\nbest tree:\n%s\n", result.Tree)
+
+	// Project the run onto the paper's cluster at 8 nodes (384 cores).
+	proj, err := result.Project(384)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprojected on the paper's cluster: %d nodes, %.3fs (%.3fs compute + %.3fs comm)\n",
+		proj.Nodes, proj.Seconds, proj.ComputeSeconds, proj.CommSeconds)
+}

@@ -1,0 +1,233 @@
+package bootstrap
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/msa"
+	"repro/internal/seqgen"
+	"repro/internal/tree"
+)
+
+func makeDataset(t testing.TB, nTaxa, nParts, geneLen int, seed int64) *msa.Dataset {
+	t.Helper()
+	res, err := seqgen.Generate(seqgen.PartitionedGenes(nTaxa, nParts, geneLen, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := msa.Compress(res.Alignment, res.Partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestResamplePreservesSiteCounts(t *testing.T) {
+	d := makeDataset(t, 8, 3, 120, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		r, err := Resample(d, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NPartitions() != d.NPartitions() {
+			t.Fatal("partition count changed")
+		}
+		for pi, p := range r.Parts {
+			if p.NSites() != d.Parts[pi].NSites() {
+				t.Fatalf("trial %d partition %d: %d sites, want %d", trial, pi, p.NSites(), d.Parts[pi].NSites())
+			}
+			if p.NPatterns() > d.Parts[pi].NPatterns() {
+				t.Fatal("resampling invented patterns")
+			}
+			for _, w := range p.Weights {
+				if w < 1 {
+					t.Fatal("zero-weight pattern retained")
+				}
+			}
+		}
+	}
+}
+
+func TestResampleVaries(t *testing.T) {
+	d := makeDataset(t, 6, 1, 200, 3)
+	rng := rand.New(rand.NewSource(4))
+	a, err := Resample(d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resample(d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.Parts[0].NPatterns() == b.Parts[0].NPatterns()
+	if same {
+		for i := range a.Parts[0].Weights {
+			if a.Parts[0].Weights[i] != b.Parts[0].Weights[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("two replicates drew identical weights (astronomically unlikely)")
+	}
+}
+
+func TestSupportValues(t *testing.T) {
+	taxa := []string{"A", "B", "C", "D", "E"}
+	ref, err := tree.ParseNewick("((A:1,B:1):1,(C:1,D:1):1,E:1);", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = taxa
+	same, err := tree.ParseNewick("((A:1,B:1):1,(C:1,D:1):1,E:1);", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A replicate that keeps the AB split but breaks the CD split.
+	half, err := tree.ParseNewick("((A:1,B:1):1,(C:1,E:1):1,D:1);", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := SupportValues(ref, []*tree.Tree{same, half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sup) != 2 {
+		t.Fatalf("%d supports for a 5-taxon tree", len(sup))
+	}
+	// One split is in 2/2 replicates, the other in 1/2.
+	hi, lo := sup[0], sup[1]
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if hi != 1.0 || lo != 0.5 {
+		t.Fatalf("supports = %v, want {1.0, 0.5}", sup)
+	}
+}
+
+func TestSupportValuesErrors(t *testing.T) {
+	ref, _ := tree.ParseNewick("((A:1,B:1):1,C:1,D:1);", 1)
+	if _, err := SupportValues(ref, nil); err == nil {
+		t.Error("empty replicate set accepted")
+	}
+	small, _ := tree.ParseNewick("(A:1,B:1,C:1);", 1)
+	if _, err := SupportValues(ref, []*tree.Tree{small}); err == nil {
+		t.Error("taxon-count mismatch accepted")
+	}
+}
+
+func TestAnnotatedNewick(t *testing.T) {
+	ref, err := tree.ParseNewick("((A:1,B:1):1,(C:1,D:1):1,E:1);", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := AnnotatedNewick(ref, []float64{0.87, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "87") || !strings.Contains(out, "100") {
+		t.Fatalf("support labels missing: %s", out)
+	}
+	// The annotated string must still parse as Newick once labels are
+	// accepted as inner names — we at least require the topology markers.
+	if !strings.HasSuffix(out, ");") || strings.Count(out, "(") != strings.Count(out, ")") {
+		t.Fatalf("malformed newick: %s", out)
+	}
+	if _, err := AnnotatedNewick(ref, []float64{0.5}); err == nil {
+		t.Error("support-count mismatch accepted")
+	}
+}
+
+func TestConsensusUnanimous(t *testing.T) {
+	// All input trees identical → consensus is that topology with 100%
+	// support everywhere.
+	base := tree.NewRandom([]string{"A", "B", "C", "D", "E", "F", "G"}, 1, rand.New(rand.NewSource(6)))
+	trees := []*tree.Tree{base, base.Clone(), base.Clone()}
+	cons, sup, err := Consensus(trees, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.SameTopology(cons, base) {
+		t.Fatalf("consensus differs from the unanimous input\nin:  %s\nout: %s", base.Newick(), cons.Newick())
+	}
+	for i, s := range sup {
+		if s != 1.0 {
+			t.Errorf("split %d support %g, want 1", i, s)
+		}
+	}
+}
+
+func TestConsensusMajority(t *testing.T) {
+	// Two trees share the (A,B) cherry; the third disagrees. The
+	// majority consensus must contain the (A,B) split.
+	t1, _ := tree.ParseNewick("((A:1,B:1):1,(C:1,D:1):1,E:1);", 1)
+	t2, _ := tree.ParseNewick("((A:1,B:1):1,(C:1,E:1):1,D:1);", 1)
+	t3, _ := tree.ParseNewick("((A:1,C:1):1,(B:1,D:1):1,E:1);", 1)
+	cons, sup, err := Consensus([]*tree.Tree{t1, t2, t3}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The AB|CDE split appears in t1 and t2 (2/3). Identify it by key in
+	// the reference tree t1 and check the consensus carries it with the
+	// right support. (Normalization stores the side away from taxon A.)
+	abKey := ""
+	for _, bp := range t1.Bipartitions() {
+		if bp.Size() == 3 {
+			abKey = bp.Key()
+		}
+	}
+	if abKey == "" {
+		t.Fatal("could not locate the AB split in t1")
+	}
+	found := false
+	for i, bp := range cons.Bipartitions() {
+		if bp.Key() == abKey {
+			found = true
+			if sup[i] < 0.6 || sup[i] > 0.7 {
+				t.Fatalf("AB split support = %g, want 2/3", sup[i])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("majority (A,B) split missing from consensus %s (supports %v)", cons.Newick(), sup)
+	}
+}
+
+func TestConsensusFromDivergentReplicates(t *testing.T) {
+	// Random trees: the consensus must still be a valid tree over the
+	// same taxa (mostly unresolved → filler splits with support 0).
+	taxa := []string{"A", "B", "C", "D", "E", "F", "G", "H", "I", "J"}
+	var trees []*tree.Tree
+	for i := int64(0); i < 7; i++ {
+		trees = append(trees, tree.NewRandom(taxa, 1, rand.New(rand.NewSource(i))))
+	}
+	cons, sup, err := Consensus(trees, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sup) != len(cons.Bipartitions()) {
+		t.Fatal("support vector misaligned")
+	}
+	for _, s := range sup {
+		if s < 0 || s > 1 {
+			t.Fatalf("support %g out of range", s)
+		}
+	}
+}
+
+func TestConsensusErrors(t *testing.T) {
+	if _, _, err := Consensus(nil, 0.5); err == nil {
+		t.Error("empty tree set accepted")
+	}
+	a := tree.NewComb([]string{"A", "B", "C", "D"}, 1)
+	b := tree.NewComb([]string{"A", "B", "C", "D", "E"}, 1)
+	if _, _, err := Consensus([]*tree.Tree{a, b}, 0.5); err == nil {
+		t.Error("taxon mismatch accepted")
+	}
+}

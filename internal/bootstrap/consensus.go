@@ -1,0 +1,278 @@
+package bootstrap
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// split is a counted bipartition during consensus construction.
+type split struct {
+	key   string
+	words []uint64
+	count int
+}
+
+// Consensus builds the majority-rule (extended) consensus of a set of
+// trees over the same taxa: bipartitions are ranked by frequency, and
+// greedily added when compatible with everything accepted so far —
+// splits above 50% are always mutually compatible, so the plain
+// majority-rule consensus is a prefix of the greedy one. Branch lengths
+// carry no meaning and are set to tree.DefaultBranchLength; the returned
+// supports are the per-accepted-split frequencies aligned with the
+// consensus tree's Bipartitions order.
+func Consensus(trees []*tree.Tree, minFraction float64) (*tree.Tree, []float64, error) {
+	if len(trees) == 0 {
+		return nil, nil, fmt.Errorf("bootstrap: no trees for consensus")
+	}
+	ref := trees[0]
+	n := ref.NTaxa()
+	for i, t := range trees[1:] {
+		if t.NTaxa() != n {
+			return nil, nil, fmt.Errorf("bootstrap: tree %d has %d taxa, want %d", i+1, t.NTaxa(), n)
+		}
+		for j := range t.Taxa {
+			if t.Taxa[j] != ref.Taxa[j] {
+				return nil, nil, fmt.Errorf("bootstrap: tree %d taxon %d is %q, want %q", i+1, j, t.Taxa[j], ref.Taxa[j])
+			}
+		}
+	}
+	if minFraction <= 0 {
+		minFraction = 0.5
+	}
+
+	seen := map[string]*split{}
+	for _, t := range trees {
+		for _, bp := range t.Bipartitions() {
+			k := bp.Key()
+			if s, ok := seen[k]; ok {
+				s.count++
+			} else {
+				seen[k] = &split{key: k, words: bipWords(bp, n), count: 1}
+			}
+		}
+	}
+	var candidates []*split
+	for _, s := range seen {
+		if float64(s.count) >= minFraction*float64(len(trees)) {
+			candidates = append(candidates, s)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].count != candidates[j].count {
+			return candidates[i].count > candidates[j].count
+		}
+		return candidates[i].key < candidates[j].key // deterministic ties
+	})
+
+	// Greedy compatibility filter.
+	var accepted []*split
+	for _, c := range candidates {
+		ok := true
+		for _, a := range accepted {
+			if !compatible(c.words, a.words, n) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			accepted = append(accepted, c)
+		}
+	}
+
+	// Build the consensus tree by refining a star tree: cluster taxa by
+	// accepted splits, largest splits first (so nesting works).
+	sort.Slice(accepted, func(i, j int) bool {
+		pi, pj := popcount(accepted[i].words), popcount(accepted[j].words)
+		if pi != pj {
+			return pi > pj
+		}
+		return accepted[i].key < accepted[j].key
+	})
+	cons := buildFromSplits(ref.Taxa, accepted)
+	if err := cons.Check(); err != nil {
+		return nil, nil, fmt.Errorf("bootstrap: consensus construction: %w", err)
+	}
+
+	// Align supports with the consensus tree's bipartition order.
+	freq := make(map[string]float64, len(accepted))
+	for _, a := range accepted {
+		freq[a.key] = float64(a.count) / float64(len(trees))
+	}
+	var supports []float64
+	for _, bp := range cons.Bipartitions() {
+		supports = append(supports, freq[bp.Key()])
+	}
+	return cons, supports, nil
+}
+
+func bipWords(bp tree.Bipartition, n int) []uint64 {
+	// Re-derive the word representation from the key string.
+	key := bp.Key()
+	words := make([]uint64, (n+63)/64)
+	for i := range words {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w |= uint64(key[i*8+j]) << (8 * j)
+		}
+		words[i] = w
+	}
+	return words
+}
+
+func popcount(words []uint64) int {
+	t := 0
+	for _, w := range words {
+		t += bits.OnesCount64(w)
+	}
+	return t
+}
+
+// compatible reports whether two splits (both normalized to exclude taxon
+// 0) can coexist in one tree: A⊆B, B⊆A, or A∩B=∅.
+func compatible(a, b []uint64, n int) bool {
+	subAB, subBA, disjoint := true, true, true
+	for i := range a {
+		if a[i]&^b[i] != 0 {
+			subAB = false
+		}
+		if b[i]&^a[i] != 0 {
+			subBA = false
+		}
+		if a[i]&b[i] != 0 {
+			disjoint = false
+		}
+	}
+	return subAB || subBA || disjoint
+}
+
+// buildFromSplits constructs a (possibly multifurcation-free) tree
+// containing exactly the accepted splits. It works on a recursive
+// clustering: at each level, maximal splits partition the taxa; each
+// cluster becomes a child subtree. To stay within this package's strictly
+// binary tree type, multifurcations are resolved arbitrarily as
+// caterpillars of zero-support splits — callers must treat splits absent
+// from `accepted` as unsupported (support 0 in the returned alignment).
+func buildFromSplits(taxa []string, accepted []*split) *tree.Tree {
+	n := len(taxa)
+	t := tree.New(taxa, 1)
+
+	// cluster is a set of taxa plus the splits scoped inside it.
+	type item struct {
+		members []int    // taxon ids
+		splits  []*split // splits whose 1-side is a strict subset of members
+	}
+
+	nextInner := 0
+	// attach builds the subtree for an item and returns the half-node to
+	// connect to the parent.
+	var attach func(it item) *tree.Node
+	attach = func(it item) *tree.Node {
+		if len(it.members) == 1 {
+			return t.Tip(it.members[0])
+		}
+		// Find the maximal splits inside this cluster: they define the
+		// immediate children groups; ungrouped taxa become singletons.
+		used := make(map[int]bool)
+		var groups []item
+		for si, s := range it.splits {
+			if s == nil {
+				continue
+			}
+			inside := membersOf(s.words, it.members)
+			if len(inside) == 0 || used[inside[0]] {
+				continue
+			}
+			maximal := true
+			for sj, o := range it.splits {
+				if sj == si || o == nil {
+					continue
+				}
+				if strictSubset(s.words, o.words) {
+					maximal = false
+					break
+				}
+			}
+			if !maximal {
+				continue
+			}
+			// Collect the child splits scoped inside s.
+			var childSplits []*split
+			for sj, o := range it.splits {
+				if sj != si && o != nil && strictSubset(o.words, s.words) {
+					childSplits = append(childSplits, o)
+				}
+			}
+			groups = append(groups, item{members: inside, splits: childSplits})
+			for _, m := range inside {
+				used[m] = true
+			}
+		}
+		for _, m := range it.members {
+			if !used[m] {
+				groups = append(groups, item{members: []int{m}})
+			}
+		}
+		// Chain the groups into a binary caterpillar.
+		children := make([]*tree.Node, len(groups))
+		for i, g := range groups {
+			children[i] = attach(g)
+		}
+		// Combine children pairwise: a left-leaning chain of inner
+		// vertices; the final vertex's free slot faces the parent.
+		cur := children[0]
+		for i := 1; i < len(children); i++ {
+			v := t.InnerRing(nextInner)
+			nextInner++
+			t.Connect(v.Next, cur, tree.DefaultBranchLength)
+			t.Connect(v.Next.Next, children[i], tree.DefaultBranchLength)
+			cur = v
+		}
+		return cur
+	}
+
+	// Top level: taxon 0 on one side, everything else clustered.
+	rest := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		rest = append(rest, i)
+	}
+	top := item{members: rest}
+	for _, s := range accepted {
+		top.splits = append(top.splits, s)
+	}
+	sub := attach(top)
+	// sub's vertex chain root joins taxon 0 — but an unrooted binary tree
+	// needs the top join to be an inner vertex with 3 neighbors. `attach`
+	// returns a half-node whose remaining ring slots are already wired
+	// except its own edge; connect it to tip 0.
+	t.Connect(sub, t.Tip(0), tree.DefaultBranchLength)
+
+	return t
+}
+
+// membersOf lists the taxa of `members` whose bit is set in words.
+func membersOf(words []uint64, members []int) []int {
+	var out []int
+	for _, m := range members {
+		if words[m/64]&(1<<(m%64)) != 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// strictSubset reports a ⊂ b.
+func strictSubset(a, b []uint64) bool {
+	equal := true
+	for i := range a {
+		if a[i]&^b[i] != 0 {
+			return false
+		}
+		if a[i] != b[i] {
+			equal = false
+		}
+	}
+	return !equal
+}

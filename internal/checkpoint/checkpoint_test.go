@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func taxa(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	return out
+}
+
+func sampleState(t *testing.T, nTaxa, classes int) (*State, *tree.Tree) {
+	t.Helper()
+	tr := tree.NewRandom(taxa(nTaxa), classes, rand.New(rand.NewSource(int64(nTaxa))))
+	for i, e := range tr.Edges() {
+		for c := 0; c < classes; c++ {
+			e.SetLength(c, 0.01*float64(i+1)+0.001*float64(c))
+		}
+	}
+	s := &State{
+		Iteration: 7,
+		LnL:       -12345.678,
+		Taxa:      tr.Taxa,
+		BLClasses: classes,
+		Edges:     FromTree(tr),
+		Shared:    [][]float64{{1, 1, 1, 1, 1, 1, 1}, {0.5, 2, 1, 1, 1, 1, 1}},
+	}
+	return s, tr
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	s, tr := sampleState(t, 12, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Iteration != 7 || back.LnL != -12345.678 || back.BLClasses != 3 {
+		t.Fatalf("header changed: %+v", back)
+	}
+	rebuilt, err := back.BuildTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.SameTopology(tr, rebuilt) {
+		t.Fatal("topology changed through checkpoint")
+	}
+	// Branch lengths of every class must survive exactly.
+	re := rebuilt.Edges()
+	for i, e := range tr.Edges() {
+		for c := 0; c < 3; c++ {
+			if re[i].Length(c) != e.Length(c) {
+				t.Fatalf("edge %d class %d length changed", i, c)
+			}
+		}
+	}
+	if len(back.Shared) != 2 || back.Shared[1][0] != 0.5 {
+		t.Fatalf("shared params changed: %v", back.Shared)
+	}
+}
+
+func TestStateDetectsCorruption(t *testing.T) {
+	s, _ := sampleState(t, 8, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	if _, err := Read(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupted checkpoint accepted")
+	}
+	if _, err := Read(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'Z'
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBuildTreeValidation(t *testing.T) {
+	s, _ := sampleState(t, 6, 1)
+	s.Edges[0].A = 9999
+	if _, err := s.BuildTree(); err == nil {
+		t.Error("out-of-range half-node accepted")
+	}
+	s2, _ := sampleState(t, 6, 2)
+	s2.BLClasses = 1
+	if _, err := s2.BuildTree(); err == nil {
+		t.Error("class count mismatch accepted")
+	}
+	// Missing edge → disconnected tree.
+	s3, _ := sampleState(t, 6, 1)
+	s3.Edges = s3.Edges[:len(s3.Edges)-1]
+	if _, err := Read(bytes.NewReader(mustEncode(t, s3))); err == nil {
+		t.Error("edge-count mismatch accepted at read time")
+	}
+}
+
+func mustEncode(t *testing.T, s *State) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,141 @@
+// Package cli holds the inference plumbing shared by the examl and
+// raxml-light command-line tools: flag wiring, dataset loading, and the
+// result report. The two binaries differ only in the parallelization
+// scheme they select — mirroring how the paper's two codes relate.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+// Args carries every inference flag.
+type Args struct {
+	AlignPath, PartPath, ModelName, SubstName, TreePath, Ckpt, Restore, Name string
+	Binary, MPS, PerPart, Parsimony                                          bool
+	Ranks, MaxIter                                                           int
+	Seed                                                                     int64
+	Scheme                                                                   examl.Scheme
+}
+
+// Register installs the shared flags on the default FlagSet.
+func Register(a *Args) {
+	flag.StringVar(&a.AlignPath, "s", "", "alignment file (relaxed PHYLIP; binary if -b)")
+	flag.BoolVar(&a.Binary, "b", false, "alignment file is in the binary format")
+	flag.StringVar(&a.PartPath, "q", "", "partition scheme file (RAxML format)")
+	flag.StringVar(&a.ModelName, "m", "GAMMA", "rate heterogeneity: GAMMA or PSR")
+	flag.StringVar(&a.SubstName, "subst", "GTR", "substitution model: GTR, JC, K80, or HKY")
+	flag.BoolVar(&a.MPS, "Q", false, "monolithic per-partition data distribution (MPS)")
+	flag.BoolVar(&a.PerPart, "M", false, "individual per-partition branch lengths")
+	flag.IntVar(&a.Ranks, "np", 1, "number of simulated MPI ranks")
+	flag.StringVar(&a.TreePath, "t", "", "starting tree file (Newick)")
+	flag.BoolVar(&a.Parsimony, "y", false, "build the starting tree by stepwise-addition parsimony")
+	flag.Int64Var(&a.Seed, "p", 12345, "random seed for the starting tree")
+	flag.StringVar(&a.Name, "n", "run", "run name (output prefix)")
+	flag.IntVar(&a.MaxIter, "iter", 0, "maximum search iterations (0 = default)")
+	flag.StringVar(&a.Ckpt, "c", "", "checkpoint file path")
+	flag.StringVar(&a.Restore, "r", "", "restore from checkpoint file")
+}
+
+// Run loads the dataset per the args and executes the inference.
+func Run(a Args) (*examl.Result, error) {
+	if a.AlignPath == "" {
+		return nil, fmt.Errorf("an alignment is required (-s)")
+	}
+	f, err := os.Open(a.AlignPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var d *examl.Dataset
+	if a.Binary {
+		d, err = examl.LoadBinary(f)
+	} else {
+		scheme := ""
+		if a.PartPath != "" {
+			raw, rerr := os.ReadFile(a.PartPath)
+			if rerr != nil {
+				return nil, rerr
+			}
+			scheme = string(raw)
+		}
+		d, err = examl.LoadPhylip(f, scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rateModel examl.RateModel
+	switch a.ModelName {
+	case "GAMMA", "gamma":
+		rateModel = examl.GAMMA
+	case "PSR", "psr", "CAT", "cat":
+		rateModel = examl.PSR
+	default:
+		return nil, fmt.Errorf("unknown model %q (want GAMMA or PSR)", a.ModelName)
+	}
+	startTree := ""
+	if a.TreePath != "" {
+		raw, err := os.ReadFile(a.TreePath)
+		if err != nil {
+			return nil, err
+		}
+		startTree = string(raw)
+	}
+	var subst examl.SubstitutionModel
+	switch a.SubstName {
+	case "GTR", "gtr", "":
+		subst = examl.GTRModel
+	case "JC", "jc":
+		subst = examl.JCModel
+	case "K80", "k80":
+		subst = examl.K80Model
+	case "HKY", "hky":
+		subst = examl.HKYModel
+	default:
+		return nil, fmt.Errorf("unknown substitution model %q", a.SubstName)
+	}
+	dist := examl.Cyclic
+	if a.MPS {
+		dist = examl.MPS
+	}
+	fmt.Printf("dataset: %d taxa, %d partitions, %d sites (%d patterns)\n",
+		d.NTaxa(), d.NPartitions(), d.Sites(), d.Patterns())
+	fmt.Printf("scheme: %s, %d ranks, %s, %s distribution\n",
+		a.Scheme, a.Ranks, rateModel, dist)
+	return examl.Infer(d, examl.Config{
+		Scheme:                    a.Scheme,
+		Ranks:                     a.Ranks,
+		RateModel:                 rateModel,
+		Substitution:              subst,
+		PerPartitionBranchLengths: a.PerPart,
+		Distribution:              dist,
+		Seed:                      a.Seed,
+		StartTree:                 startTree,
+		ParsimonyStartTree:        a.Parsimony,
+		MaxIterations:             a.MaxIter,
+		CheckpointPath:            a.Ckpt,
+		RestorePath:               a.Restore,
+	})
+}
+
+// Report prints the result summary and writes the best tree.
+func Report(name string, res *examl.Result) {
+	fmt.Printf("\nfinal log likelihood: %.6f\n", res.LogLikelihood)
+	fmt.Printf("search iterations:    %d\n", res.Iterations)
+	fmt.Printf("wall time:            %.2fs\n", res.WallSeconds)
+	fmt.Printf("\ncommunication profile:\n")
+	for _, c := range res.Comm.Classes {
+		fmt.Printf("  %-22s ops=%-9d bytes=%-12d share=%5.1f%%\n", c.Name, c.Ops, c.Bytes, 100*c.ByteShare)
+	}
+	fmt.Printf("  %-22s ops=%-9d bytes=%-12d regions=%d\n", "TOTAL", res.Comm.TotalOps, res.Comm.TotalBytes, res.Comm.TotalRegions)
+
+	treeFile := name + ".bestTree.nwk"
+	if err := os.WriteFile(treeFile, []byte(res.Tree+"\n"), 0o644); err != nil {
+		log.Fatalf("writing tree: %v", err)
+	}
+	fmt.Printf("\nbest tree written to %s\n", treeFile)
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func testTrace() Trace {
+	var snap mpi.Snapshot
+	snap.Ops[mpi.ClassLikelihoodEval] = 100_000
+	snap.Bytes[mpi.ClassLikelihoodEval] = 100_000 * 80
+	// Proportions modeled on a real run: hours of per-rank kernel work
+	// against ~1e5 collectives.
+	return Trace{
+		Comm:           snap,
+		MaxRankColumns: 2e11,
+		TotalColumns:   48 * 2e11,
+		MeasuredRanks:  48,
+		CLVBytesTotal:  64e9,
+	}
+}
+
+func TestProjectBasics(t *testing.T) {
+	hw := MagnyCours()
+	tr := testTrace()
+	p48, err := Project(tr, 48, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p96, err := Project(tr, 96, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p48.Nodes != 1 || p96.Nodes != 2 {
+		t.Fatalf("nodes: %d, %d", p48.Nodes, p96.Nodes)
+	}
+	if !(p96.ComputeSec < p48.ComputeSec) {
+		t.Fatal("doubling ranks must reduce compute time")
+	}
+	if !(p96.CommSec > p48.CommSec) {
+		t.Fatal("deeper tree must increase comm time")
+	}
+	if p48.TotalSec != p48.ComputeSec+p48.CommSec {
+		t.Fatal("total != compute + comm")
+	}
+}
+
+func TestProjectDiminishingReturns(t *testing.T) {
+	// With fixed comm volume, speedup must flatten as ranks grow.
+	hw := MagnyCours()
+	tr := testTrace()
+	base, _ := Project(tr, 48, hw)
+	prevSpeedup := 1.0
+	prevGain := math.Inf(1)
+	for _, ranks := range []int{96, 192, 384, 768, 1536} {
+		p, err := Project(tr, ranks, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Speedup(base, p)
+		if s < prevSpeedup*0.9 {
+			t.Fatalf("speedup collapsed at %d ranks: %g < %g", ranks, s, prevSpeedup)
+		}
+		gain := s / prevSpeedup
+		if gain > prevGain*1.2 {
+			t.Fatalf("parallel efficiency should not improve with scale: gain %g after %g", gain, prevGain)
+		}
+		prevSpeedup, prevGain = s, gain
+	}
+}
+
+func TestProjectSwapPenalty(t *testing.T) {
+	hw := MagnyCours()
+	tr := testTrace()
+	tr.CLVBytesTotal = 300e9 // exceeds 128 GB/node on 1–2 nodes
+	p1, err := Project(tr, 48, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Swapping {
+		t.Fatal("1 node with 300 GB working set must swap")
+	}
+	p4, err := Project(tr, 4*48, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.Swapping {
+		t.Fatal("4 nodes with 75 GB/node must not swap")
+	}
+	// The paper's super-linear artifact: going 1→4 nodes gains more than
+	// 4× because the swap penalty disappears.
+	if s := Speedup(p1, p4); s < 4 {
+		t.Fatalf("swap-relief speedup = %g, want super-linear (>4)", s)
+	}
+}
+
+func TestProjectImbalancePreserved(t *testing.T) {
+	hw := MagnyCours()
+	tr := testTrace()
+	balanced := tr
+	balanced.MaxRankColumns = tr.TotalColumns / int64(tr.MeasuredRanks)
+	skewed := tr
+	skewed.MaxRankColumns = 3 * tr.TotalColumns / int64(tr.MeasuredRanks)
+	pb, _ := Project(balanced, 192, hw)
+	ps, _ := Project(skewed, 192, hw)
+	if !(ps.ComputeSec > 2.5*pb.ComputeSec) {
+		t.Fatalf("3× imbalance must show in compute time: %g vs %g", ps.ComputeSec, pb.ComputeSec)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	hw := MagnyCours()
+	if _, err := Project(testTrace(), 0, hw); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	bad := testTrace()
+	bad.MeasuredRanks = 0
+	if _, err := Project(bad, 48, hw); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestSpeedupEdge(t *testing.T) {
+	if !math.IsInf(Speedup(Projection{TotalSec: 1}, Projection{}), 1) {
+		t.Error("speedup vs zero time should be +Inf")
+	}
+}

@@ -1,0 +1,142 @@
+// Package decentral implements the paper's contribution: the
+// de-centralized parallelization scheme of ExaML. Every rank executes a
+// local, consistent replica of the entire tree-search algorithm on its
+// share of the data; ranks communicate *only* through Allreduce at the two
+// call sites the paper identifies — the likelihood evaluation and the
+// branch-length derivative computation (plus a rare, small Allreduce for
+// the PSR rate-category statistics, the "additional MPI calls to handle
+// the CAT model"). There is no master, no traversal-descriptor broadcast,
+// and no model-parameter broadcast.
+package decentral
+
+import (
+	"fmt"
+
+	"repro/internal/distrib"
+	"repro/internal/enginecore"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+	"repro/internal/search"
+	"repro/internal/traversal"
+)
+
+// EngineConfig selects the model dimensions the engine must provision.
+type EngineConfig struct {
+	// Het is the rate-heterogeneity model.
+	Het model.Heterogeneity
+	// Subst constrains the exchangeabilities (see model.SubstModel).
+	Subst model.SubstModel
+	// PerPartitionBranches mirrors search.Config.PerPartitionBranches.
+	PerPartitionBranches bool
+	// HybridRanksPerNode, when > 1, routes the two Allreduce call sites
+	// through the hierarchical (intra-node first) algorithm — the §V
+	// hybrid MPI/PThreads idea. 0 or 1 selects the flat Allreduce.
+	HybridRanksPerNode int
+}
+
+// Engine is one rank's view of the de-centralized backend. It implements
+// search.Engine.
+type Engine struct {
+	comm   *mpi.Comm
+	local  *enginecore.Local
+	hybrid int // ranks per node for hierarchical Allreduce; ≤1 = flat
+}
+
+// allreduce dispatches to the flat or hierarchical algorithm per the
+// engine configuration.
+func (e *Engine) allreduce(data []float64, class mpi.CommClass) []float64 {
+	if e.hybrid > 1 {
+		return e.comm.AllreduceHierarchical(data, mpi.OpSum, class, e.hybrid)
+	}
+	return e.comm.Allreduce(data, mpi.OpSum, class)
+}
+
+var _ search.Engine = (*Engine)(nil)
+
+// NewEngine materializes rank comm.Rank()'s data share and builds its
+// kernels. The assignment is computed by the caller (identically on every
+// rank — it is a pure function of the pattern counts).
+func NewEngine(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg EngineConfig) (*Engine, error) {
+	local, err := enginecore.NewLocal(d, a, comm.Rank(), cfg.Het, cfg.Subst, cfg.PerPartitionBranches)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{comm: comm, local: local, hybrid: cfg.HybridRanksPerNode}, nil
+}
+
+// NPartitions implements search.Engine.
+func (e *Engine) NPartitions() int { return e.local.NPart }
+
+// BLClasses implements search.Engine.
+func (e *Engine) BLClasses() int { return e.local.BLClasses() }
+
+// Traverse implements search.Engine: purely local CLV updates, no
+// communication — the descriptor broadcast fork-join would need simply
+// does not exist here.
+func (e *Engine) Traverse(d *traversal.Descriptor) { e.local.Traverse(d) }
+
+// Evaluate implements search.Engine: local traversal + evaluation, then a
+// single Allreduce of the per-partition log likelihoods — the first of
+// the paper's two Allreduce call sites.
+func (e *Engine) Evaluate(d *traversal.Descriptor) []float64 {
+	vec := e.local.EvaluateLocal(d)
+	if e.comm.Rank() == 0 {
+		e.comm.Meter().AddRegion(mpi.ClassLikelihoodEval)
+	}
+	return e.allreduce(vec, mpi.ClassLikelihoodEval)
+}
+
+// PrepareBranch implements search.Engine: local only.
+func (e *Engine) PrepareBranch(d *traversal.Descriptor) { e.local.PrepareLocal(d) }
+
+// BranchDerivatives implements search.Engine: local derivative sums, then
+// a single Allreduce of 2·classes doubles — the second Allreduce call
+// site.
+func (e *Engine) BranchDerivatives(ts []float64) (d1, d2 []float64) {
+	classes := e.local.BLClasses()
+	vec := e.local.DerivativesLocal(ts)
+	if e.comm.Rank() == 0 {
+		e.comm.Meter().AddRegion(mpi.ClassBranchLength)
+	}
+	out := e.allreduce(vec, mpi.ClassBranchLength)
+	return out[:classes], out[classes:]
+}
+
+// SetShared implements search.Engine: every rank computed the identical
+// parameter trajectory, so this is a purely local apply — the fork-join
+// broadcast the de-centralized scheme eliminates.
+func (e *Engine) SetShared(params [][]float64) {
+	if err := e.local.SetSharedLocal(params); err != nil {
+		panic(fmt.Sprintf("decentral: set shared: %v", err))
+	}
+}
+
+// OptimizeSiteRates implements search.Engine (PSR only): per-site Brent
+// locally, one small Allreduce of the per-partition rate-cell statistics,
+// then local category finalize + rate normalization.
+func (e *Engine) OptimizeSiteRates(d *traversal.Descriptor) []float64 {
+	classes := e.local.BLClasses()
+	if e.local.Het != model.PSR {
+		ones := make([]float64, classes)
+		for c := range ones {
+			ones[c] = 1
+		}
+		return ones
+	}
+	stats := e.local.OptimizeSiteRatesLocal(d)
+	if e.comm.Rank() == 0 {
+		e.comm.Meter().AddRegion(mpi.ClassModelParams)
+	}
+	stats = e.allreduce(stats, mpi.ClassModelParams)
+	res := enginecore.ResolveSiteRates(stats, e.local.NPart, e.local.PerPartBranches)
+	e.local.ApplySiteRates(res)
+	return res.Scale
+}
+
+// Close implements search.Engine (no resources to release).
+func (e *Engine) Close() {}
+
+// Stats reports this rank's kernel work and CLV footprint for the cluster
+// cost model.
+func (e *Engine) Stats() (columns int64, clvBytes float64) { return e.local.Stats() }

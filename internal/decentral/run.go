@@ -1,0 +1,128 @@
+package decentral
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+	"repro/internal/search"
+)
+
+// RunConfig bundles everything a de-centralized inference needs.
+type RunConfig struct {
+	// Search is the tree-search configuration.
+	Search search.Config
+	// Ranks is the number of MPI ranks (goroutines).
+	Ranks int
+	// Strategy selects cyclic or MPS data distribution.
+	Strategy distrib.Strategy
+	// HybridRanksPerNode enables hierarchical Allreduce (see
+	// EngineConfig.HybridRanksPerNode).
+	HybridRanksPerNode int
+}
+
+// RunStats captures the measured execution profile for the cost model and
+// the benchmark harness.
+type RunStats struct {
+	// Comm is the metered collective trace.
+	Comm mpi.Snapshot
+	// MaxRankColumns and TotalColumns are kernel column-update counts.
+	MaxRankColumns, TotalColumns int64
+	// CLVBytesTotal is the summed CLV footprint.
+	CLVBytesTotal float64
+	// Wall is the measured wall-clock time of the run.
+	Wall time.Duration
+	// Ranks echoes the rank count.
+	Ranks int
+}
+
+// Run executes a full de-centralized inference: every rank materializes
+// its share, builds a Searcher replica, and runs the identical algorithm;
+// results are cross-checked for the bit-level consistency the scheme
+// guarantees and rank 0's result is returned.
+func Run(d *msa.Dataset, cfg RunConfig) (*search.Result, *RunStats, error) {
+	if cfg.Ranks < 1 {
+		return nil, nil, fmt.Errorf("decentral: %d ranks", cfg.Ranks)
+	}
+	counts := make([]int, d.NPartitions())
+	for i, p := range d.Parts {
+		counts[i] = p.NPatterns()
+	}
+	assign, err := distrib.Compute(cfg.Strategy, counts, cfg.Ranks)
+	if err != nil {
+		return nil, nil, err
+	}
+	world := mpi.NewWorld(cfg.Ranks)
+
+	results := make([]*search.Result, cfg.Ranks)
+	columns := make([]int64, cfg.Ranks)
+	clvBytes := make([]float64, cfg.Ranks)
+	errs := make([]error, cfg.Ranks)
+	var mu sync.Mutex
+
+	start := time.Now()
+	world.Run(func(c *mpi.Comm) {
+		eng, err := NewEngine(c, d, assign, EngineConfig{
+			Het:                  cfg.Search.Het,
+			Subst:                cfg.Search.Subst,
+			PerPartitionBranches: cfg.Search.PerPartitionBranches,
+			HybridRanksPerNode:   cfg.HybridRanksPerNode,
+		})
+		if err == nil {
+			var s *search.Searcher
+			s, err = search.NewSearcher(eng, d, cfg.Search)
+			if err == nil {
+				var res *search.Result
+				res, err = s.Run()
+				cols, clv := eng.Stats()
+				mu.Lock()
+				results[c.Rank()] = res
+				columns[c.Rank()] = cols
+				clvBytes[c.Rank()] = clv
+				mu.Unlock()
+			}
+		}
+		if err != nil {
+			mu.Lock()
+			errs[c.Rank()] = err
+			mu.Unlock()
+		}
+	})
+	wall := time.Since(start)
+
+	for r, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("decentral: rank %d: %w", r, err)
+		}
+	}
+	// Consistency check (§III-B): every replica must have reached the
+	// bit-identical likelihood and the same topology.
+	ref := results[0]
+	refNewick := ref.Tree.Newick()
+	for r := 1; r < cfg.Ranks; r++ {
+		if math.Float64bits(results[r].LnL) != math.Float64bits(ref.LnL) {
+			return nil, nil, fmt.Errorf("decentral: replica divergence: rank %d lnL %v != rank 0 lnL %v", r, results[r].LnL, ref.LnL)
+		}
+		if results[r].Tree.Newick() != refNewick {
+			return nil, nil, fmt.Errorf("decentral: replica divergence: rank %d tree differs", r)
+		}
+	}
+
+	stats := &RunStats{
+		Comm:  world.Meter().Snapshot(),
+		Wall:  wall,
+		Ranks: cfg.Ranks,
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		stats.TotalColumns += columns[r]
+		if columns[r] > stats.MaxRankColumns {
+			stats.MaxRankColumns = columns[r]
+		}
+		stats.CLVBytesTotal += clvBytes[r]
+	}
+	return ref, stats, nil
+}

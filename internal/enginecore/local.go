@@ -1,0 +1,328 @@
+// Package enginecore holds the rank-local state and operations shared by
+// both parallelization schemes: a rank's kernels over its data shares, and
+// the local halves of every likelihood operation. The fork-join and
+// de-centralized engines differ *only* in how they stitch these local
+// operations together with communication — which is precisely the paper's
+// point.
+package enginecore
+
+import (
+	"math"
+
+	"repro/internal/distrib"
+	"repro/internal/likelihood"
+	"repro/internal/model"
+	"repro/internal/msa"
+	"repro/internal/numutil"
+	"repro/internal/traversal"
+)
+
+// Local is one rank's kernel state.
+type Local struct {
+	// NPart is the number of global partitions.
+	NPart int
+	// NInner is the CLV slot count (taxa − 2).
+	NInner int
+	// Het is the rate-heterogeneity model.
+	Het model.Heterogeneity
+	// PerPartBranches mirrors the -M setting.
+	PerPartBranches bool
+	// Kernels are the local partition-share kernels.
+	Kernels []*likelihood.Kernel
+	// PartIdx maps local kernel index → global partition index.
+	PartIdx []int
+}
+
+// NewLocal materializes rank's shares and builds kernels. subst decides
+// the stationary frequencies (uniform for JC/K80, empirical otherwise).
+func NewLocal(d *msa.Dataset, a *distrib.Assignment, rank int, het model.Heterogeneity, subst model.SubstModel, perPart bool) (*Local, error) {
+	l := &Local{
+		NPart:           d.NPartitions(),
+		NInner:          d.NTaxa() - 2,
+		Het:             het,
+		PerPartBranches: perPart,
+	}
+	parts, partIdx := a.Materialize(d, rank)
+	for i, pd := range parts {
+		par, err := model.NewParams(het, subst.InitialFreqs(pd.Freqs), pd.NPatterns())
+		if err != nil {
+			return nil, err
+		}
+		k, err := likelihood.NewKernel(pd, par, l.NInner)
+		if err != nil {
+			return nil, err
+		}
+		l.Kernels = append(l.Kernels, k)
+		l.PartIdx = append(l.PartIdx, partIdx[i])
+	}
+	return l, nil
+}
+
+// BLClasses returns the linkage-class count.
+func (l *Local) BLClasses() int {
+	if l.PerPartBranches {
+		return l.NPart
+	}
+	return 1
+}
+
+// ClassOf maps a global partition to its linkage class.
+func (l *Local) ClassOf(part int) int {
+	if l.PerPartBranches {
+		return part
+	}
+	return 0
+}
+
+// Traverse executes the descriptor's schedules on the local kernels.
+func (l *Local) Traverse(d *traversal.Descriptor) {
+	for i, k := range l.Kernels {
+		k.Traverse(d.Steps[l.ClassOf(l.PartIdx[i])])
+	}
+}
+
+// EvaluateLocal traverses and evaluates, returning the local
+// per-partition log-likelihood vector (zeros for unowned partitions).
+func (l *Local) EvaluateLocal(d *traversal.Descriptor) []float64 {
+	vec := make([]float64, l.NPart)
+	for i, k := range l.Kernels {
+		cls := l.ClassOf(l.PartIdx[i])
+		k.Traverse(d.Steps[cls])
+		vec[l.PartIdx[i]] += k.Evaluate(d.P, d.Q, d.T[cls])
+	}
+	return vec
+}
+
+// PrepareLocal traverses and builds the derivative sum tables.
+func (l *Local) PrepareLocal(d *traversal.Descriptor) {
+	for i, k := range l.Kernels {
+		cls := l.ClassOf(l.PartIdx[i])
+		k.Traverse(d.Steps[cls])
+		k.PrepareDerivatives(d.P, d.Q)
+	}
+}
+
+// DerivativesLocal returns the local per-class derivative sums packed as
+// [d1_0..d1_{C-1}, d2_0..d2_{C-1}].
+func (l *Local) DerivativesLocal(ts []float64) []float64 {
+	classes := l.BLClasses()
+	vec := make([]float64, 2*classes)
+	for i, k := range l.Kernels {
+		cls := l.ClassOf(l.PartIdx[i])
+		a, b := k.Derivatives(ts[cls])
+		vec[cls] += a
+		vec[classes+cls] += b
+	}
+	return vec
+}
+
+// DerivativesPerPartition returns per-*partition* derivative sums packed
+// as [d1_0..d1_{P-1}, d2_0..d2_{P-1}], with ts indexed by partition.
+// RAxML-Light communicates branch-length derivatives at this granularity
+// regardless of the linkage setting (the caller folds partitions into
+// linkage classes), which is why fork-join branch traffic scales with the
+// partition count.
+func (l *Local) DerivativesPerPartition(ts []float64) []float64 {
+	vec := make([]float64, 2*l.NPart)
+	for i, k := range l.Kernels {
+		p := l.PartIdx[i]
+		a, b := k.Derivatives(ts[p])
+		vec[p] += a
+		vec[l.NPart+p] += b
+	}
+	return vec
+}
+
+// SetSharedLocal applies the per-partition (α + GTR) matrix to the local
+// kernels.
+func (l *Local) SetSharedLocal(params [][]float64) error {
+	for i, k := range l.Kernels {
+		if err := k.Params().DecodeShared(params[l.PartIdx[i]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SiteRateCells is the flattened length of the per-partition cell
+// statistics vector exchanged during PSR rate optimization.
+func SiteRateCells(nPart int) int { return 2 * model.MaxPSRCategories * nPart }
+
+// OptimizeSiteRatesLocal Brent-optimizes every local pattern's rate and
+// returns the local cell-statistics vector (2·cells doubles per
+// partition: rate·weight sums then weight sums).
+func (l *Local) OptimizeSiteRatesLocal(d *traversal.Descriptor) []float64 {
+	const cells = model.MaxPSRCategories
+	stats := make([]float64, SiteRateCells(l.NPart))
+	for i, k := range l.Kernels {
+		cls := l.ClassOf(l.PartIdx[i])
+		optimizeKernelSiteRates(k, d.Steps[cls], d.P, d.Q, d.T[cls])
+		par := k.Params()
+		sumR, sumW := model.AccumulateRateCells(par.SiteRates, k.Data().Weights, cells)
+		base := 2 * cells * l.PartIdx[i]
+		for c := 0; c < cells; c++ {
+			stats[base+c] += sumR[c]
+			stats[base+cells+c] += sumW[c]
+		}
+	}
+	return stats
+}
+
+// optimizeKernelSiteRates Brent-optimizes every local pattern's rate.
+func optimizeKernelSiteRates(k *likelihood.Kernel, steps []likelihood.Step, p, q likelihood.NodeRef, rootT float64) {
+	par := k.Params()
+	for i := range par.SiteRates {
+		neg := func(r float64) float64 {
+			return -k.EvaluateSiteAtRate(steps, p, q, rootT, i, r)
+		}
+		cur := par.SiteRates[i]
+		lo := math.Max(model.MinSiteRate, cur/8)
+		hi := math.Min(model.MaxSiteRate, cur*8)
+		if hi <= lo {
+			hi = model.MaxSiteRate
+		}
+		x, fx := numutil.Brent(neg, lo, hi, 1e-3, 24)
+		if fx <= neg(cur) {
+			par.SiteRates[i] = x
+		}
+	}
+}
+
+// SiteRateResolution is the globally agreed outcome of a PSR optimization
+// round, derived purely from the summed cell statistics (so every rank —
+// or the master — computes the identical resolution).
+type SiteRateResolution struct {
+	// CatRates[p] are partition p's category rates (pre-normalization).
+	CatRates [][]float64
+	// CellToCat[p] maps grid cells to category indices.
+	CellToCat [][]int
+	// Scale[c] is the branch-length scale factor of linkage class c that
+	// compensates dividing the class's site rates by the same factor.
+	Scale []float64
+}
+
+// ResolveSiteRates turns globally summed cell statistics into the shared
+// resolution.
+func ResolveSiteRates(stats []float64, nPart int, perPart bool) *SiteRateResolution {
+	const cells = model.MaxPSRCategories
+	classes := 1
+	if perPart {
+		classes = nPart
+	}
+	res := &SiteRateResolution{
+		CatRates:  make([][]float64, nPart),
+		CellToCat: make([][]int, nPart),
+		Scale:     make([]float64, classes),
+	}
+	var globalR, globalW float64
+	for p := 0; p < nPart; p++ {
+		base := 2 * cells * p
+		sumR := stats[base : base+cells]
+		sumW := stats[base+cells : base+2*cells]
+		res.CatRates[p], res.CellToCat[p] = model.FinalizeRateCategories(sumR, sumW)
+		var pr, pw float64
+		for c := 0; c < cells; c++ {
+			pr += sumR[c]
+			pw += sumW[c]
+		}
+		globalR += pr
+		globalW += pw
+		if perPart && pw > 0 {
+			res.Scale[p] = pr / pw
+		}
+	}
+	if !perPart {
+		if globalW > 0 && globalR > 0 {
+			res.Scale[0] = globalR / globalW
+		}
+	}
+	for c := range res.Scale {
+		if !(res.Scale[c] > 0) {
+			res.Scale[c] = 1
+		}
+	}
+	return res
+}
+
+// Encode flattens the resolution for broadcast: per partition a category
+// count, the category rates, the cell map (as floats), then the scale
+// vector.
+func (r *SiteRateResolution) Encode() []float64 {
+	var out []float64
+	for p := range r.CatRates {
+		out = append(out, float64(len(r.CatRates[p])))
+		out = append(out, r.CatRates[p]...)
+		for _, c := range r.CellToCat[p] {
+			out = append(out, float64(c))
+		}
+	}
+	out = append(out, r.Scale...)
+	return out
+}
+
+// DecodeSiteRateResolution reverses Encode.
+func DecodeSiteRateResolution(v []float64, nPart int, perPart bool) *SiteRateResolution {
+	const cells = model.MaxPSRCategories
+	classes := 1
+	if perPart {
+		classes = nPart
+	}
+	res := &SiteRateResolution{
+		CatRates:  make([][]float64, nPart),
+		CellToCat: make([][]int, nPart),
+	}
+	pos := 0
+	for p := 0; p < nPart; p++ {
+		n := int(v[pos])
+		pos++
+		res.CatRates[p] = append([]float64(nil), v[pos:pos+n]...)
+		pos += n
+		res.CellToCat[p] = make([]int, cells)
+		for c := 0; c < cells; c++ {
+			res.CellToCat[p][c] = int(v[pos])
+			pos++
+		}
+	}
+	res.Scale = append([]float64(nil), v[pos:pos+classes]...)
+	return res
+}
+
+// ApplySiteRates installs the resolution into the local kernels.
+func (l *Local) ApplySiteRates(res *SiteRateResolution) {
+	const cells = model.MaxPSRCategories
+	for i, k := range l.Kernels {
+		p := l.PartIdx[i]
+		f := res.Scale[l.ClassOf(p)]
+		par := k.Params()
+		// Assignment uses the pre-normalization rates the cells were
+		// accumulated on (the current kernel rates).
+		par.SiteCats = model.AssignRateCategories(par.SiteRates, res.CellToCat[p], cells)
+		for j := range par.SiteRates {
+			par.SiteRates[j] /= f
+		}
+		par.CatRates = make([]float64, len(res.CatRates[p]))
+		for c := range res.CatRates[p] {
+			par.CatRates[c] = res.CatRates[p][c] / f
+		}
+		k.InvalidateAll()
+	}
+}
+
+// memOverheadFactor accounts for the working-set beyond raw CLVs (sum
+// tables, scratch buffers, tip data, allocator overhead). The paper's Γ
+// runs exceeded 256 GB on one node and 2×256 GB on two nodes for a
+// ~240 GB raw-CLV dataset, implying roughly this factor in practice.
+const memOverheadFactor = 1.5
+
+// Stats reports kernel work and working-set footprint for the cost model.
+func (l *Local) Stats() (columns int64, clvBytes float64) {
+	for _, k := range l.Kernels {
+		columns += k.Flops().Total()
+		cats := 1
+		if l.Het == model.Gamma {
+			cats = model.GammaCategories
+		}
+		clvBytes += memOverheadFactor * float64(k.NPatterns()*cats*4*8*l.NInner)
+	}
+	return columns, clvBytes
+}

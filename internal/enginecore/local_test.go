@@ -1,0 +1,141 @@
+package enginecore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/distrib"
+	"repro/internal/model"
+	"repro/internal/msa"
+	"repro/internal/seqgen"
+)
+
+func makeLocal(t *testing.T, nTaxa, nParts, geneLen int, het model.Heterogeneity, perPart bool, ranks, rank int) (*Local, *msa.Dataset) {
+	t.Helper()
+	res, err := seqgen.Generate(seqgen.PartitionedGenes(nTaxa, nParts, geneLen, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := msa.Compress(res.Alignment, res.Partitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, d.NPartitions())
+	for i, p := range d.Parts {
+		counts[i] = p.NPatterns()
+	}
+	assign, err := distrib.Compute(distrib.Cyclic, counts, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLocal(d, assign, rank, het, model.GTR, perPart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, d
+}
+
+func TestLocalClassMapping(t *testing.T) {
+	joint, _ := makeLocal(t, 8, 3, 40, model.Gamma, false, 2, 0)
+	if joint.BLClasses() != 1 || joint.ClassOf(2) != 0 {
+		t.Error("joint class mapping wrong")
+	}
+	per, _ := makeLocal(t, 8, 3, 40, model.Gamma, true, 2, 0)
+	if per.BLClasses() != 3 || per.ClassOf(2) != 2 {
+		t.Error("per-partition class mapping wrong")
+	}
+}
+
+func TestLocalSharesPartitionCoverage(t *testing.T) {
+	const ranks = 3
+	seen := map[int]int{} // partition → total patterns over ranks
+	var total int
+	for r := 0; r < ranks; r++ {
+		l, d := makeLocal(t, 8, 4, 50, model.Gamma, false, ranks, r)
+		for i, k := range l.Kernels {
+			seen[l.PartIdx[i]] += k.NPatterns()
+		}
+		total = d.TotalPatterns()
+	}
+	sum := 0
+	for _, n := range seen {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("ranks jointly hold %d patterns, dataset has %d", sum, total)
+	}
+}
+
+func TestSiteRateResolutionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const nPart = 4
+	stats := make([]float64, SiteRateCells(nPart))
+	for i := range stats {
+		if rng.Intn(3) > 0 {
+			stats[i] = rng.Float64() * 10
+		}
+	}
+	// Make weights consistent: second half of each partition block holds
+	// weights; ensure weight>0 wherever rate-sum>0.
+	const cells = model.MaxPSRCategories
+	for p := 0; p < nPart; p++ {
+		base := 2 * cells * p
+		for c := 0; c < cells; c++ {
+			if stats[base+c] > 0 && stats[base+cells+c] == 0 {
+				stats[base+cells+c] = 1
+			}
+			if stats[base+c] == 0 {
+				stats[base+cells+c] = 0
+			}
+		}
+	}
+	for _, perPart := range []bool{false, true} {
+		res := ResolveSiteRates(stats, nPart, perPart)
+		enc := res.Encode()
+		back := DecodeSiteRateResolution(enc, nPart, perPart)
+		if len(back.CatRates) != nPart || len(back.CellToCat) != nPart {
+			t.Fatal("shape lost")
+		}
+		for p := 0; p < nPart; p++ {
+			if len(back.CatRates[p]) != len(res.CatRates[p]) {
+				t.Fatalf("partition %d: %d cats vs %d", p, len(back.CatRates[p]), len(res.CatRates[p]))
+			}
+			for c := range res.CatRates[p] {
+				if math.Float64bits(back.CatRates[p][c]) != math.Float64bits(res.CatRates[p][c]) {
+					t.Fatal("cat rate changed")
+				}
+			}
+			for c := range res.CellToCat[p] {
+				if back.CellToCat[p][c] != res.CellToCat[p][c] {
+					t.Fatal("cell map changed")
+				}
+			}
+		}
+		if len(back.Scale) != len(res.Scale) {
+			t.Fatal("scale length changed")
+		}
+		for i := range res.Scale {
+			if back.Scale[i] != res.Scale[i] {
+				t.Fatal("scale changed")
+			}
+			if !(res.Scale[i] > 0) {
+				t.Fatal("non-positive scale")
+			}
+		}
+	}
+}
+
+func TestResolveSiteRatesEmptyPartitions(t *testing.T) {
+	// All-empty stats must not produce NaNs or zero scales.
+	stats := make([]float64, SiteRateCells(2))
+	res := ResolveSiteRates(stats, 2, true)
+	for _, s := range res.Scale {
+		if s != 1 {
+			t.Fatalf("scale = %v, want 1 for empty stats", res.Scale)
+		}
+	}
+	if len(res.CatRates[0]) != 0 {
+		t.Fatal("categories invented for empty stats")
+	}
+}

@@ -1,0 +1,321 @@
+// Package forkjoin implements the classical fork-join parallelization
+// scheme of RAxML-Light — the comparator the paper measures ExaML against.
+//
+// A dedicated master process (rank 0) is the only process holding the tree
+// and the search state. Every parallel region begins with the master
+// broadcasting a command: the traversal descriptor (CLV schedule + branch
+// lengths — under -M, p·(2n−3) of them), changed model-parameter arrays,
+// or branch-length proposals; and ends with a Reduce of results back to
+// the master. Workers are completely agnostic of tree semantics: they
+// execute numbered kernel operations on their data share, exactly as the
+// paper describes.
+//
+// The consequence the paper quantifies: with p partitions, parameter and
+// descriptor payloads grow with p, making region startup bandwidth-bound —
+// the traffic Table I decomposes and Figure 4's crossover stems from.
+package forkjoin
+
+import (
+	"fmt"
+
+	"repro/internal/distrib"
+	"repro/internal/enginecore"
+	"repro/internal/likelihood"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+	"repro/internal/search"
+	"repro/internal/traversal"
+)
+
+// opcodes of the master→worker command protocol.
+const (
+	opTraverse byte = iota + 1
+	opEvaluate
+	opPrepareBranch
+	opDerivatives
+	opSetShared
+	opSiteRates
+	opShutdown
+)
+
+// EngineConfig mirrors decentral.EngineConfig.
+type EngineConfig struct {
+	// Het is the rate-heterogeneity model.
+	Het model.Heterogeneity
+	// Subst constrains the exchangeabilities (see model.SubstModel).
+	Subst model.SubstModel
+	// PerPartitionBranches mirrors search.Config.PerPartitionBranches.
+	PerPartitionBranches bool
+}
+
+// Engine is the master-side search.Engine. It owns rank 0's data share
+// (the master participates in kernel work, as in RAxML-Light) and steers
+// the workers.
+type Engine struct {
+	comm  *mpi.Comm
+	local *enginecore.Local
+}
+
+var _ search.Engine = (*Engine)(nil)
+
+// NewMaster builds the master engine on rank 0.
+func NewMaster(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg EngineConfig) (*Engine, error) {
+	if comm.Rank() != 0 {
+		return nil, fmt.Errorf("forkjoin: master must be rank 0, got %d", comm.Rank())
+	}
+	local, err := enginecore.NewLocal(d, a, 0, cfg.Het, cfg.Subst, cfg.PerPartitionBranches)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{comm: comm, local: local}, nil
+}
+
+// command broadcasts the opcode (control traffic).
+func (e *Engine) command(op byte) {
+	e.comm.BcastBytes(0, []byte{op}, mpi.ClassControl)
+}
+
+// bcastDescriptor ships the traversal descriptor — the traffic class the
+// paper's Table I shows dominating fork-join volume.
+//
+// Wire-format fidelity note: RAxML-Light's traversalInfo records carry
+// per-partition branch-length slots for every step *even under joint
+// branch-length estimation* (the C structs have NUM_BRANCHES-wide z
+// arrays), so the on-wire descriptor always scales with the partition
+// count. We replicate that here by padding a single-class descriptor to
+// the partition count before encoding; workers execute the class their
+// partition maps to, so semantics are unchanged — only the metered (and
+// historically real) bytes grow.
+func (e *Engine) bcastDescriptor(d *traversal.Descriptor) {
+	e.comm.BcastBytes(0, e.padDescriptor(d).Encode(), mpi.ClassTraversal)
+}
+
+// padDescriptor replicates class 0 across all partitions when the run
+// uses joint branch lengths.
+func (e *Engine) padDescriptor(d *traversal.Descriptor) *traversal.Descriptor {
+	if len(d.Steps) >= e.local.NPart {
+		return d
+	}
+	padded := &traversal.Descriptor{
+		P:     d.P,
+		Q:     d.Q,
+		T:     make([]float64, e.local.NPart),
+		Steps: make([][]likelihood.Step, e.local.NPart),
+	}
+	for c := 0; c < e.local.NPart; c++ {
+		padded.T[c] = d.T[0]
+		padded.Steps[c] = d.Steps[0]
+	}
+	return padded
+}
+
+// NPartitions implements search.Engine.
+func (e *Engine) NPartitions() int { return e.local.NPart }
+
+// BLClasses implements search.Engine.
+func (e *Engine) BLClasses() int { return e.local.BLClasses() }
+
+// Traverse implements search.Engine: broadcast descriptor, all ranks
+// execute, barrier-terminated region (the paper's "conditional likelihood
+// arrays" region).
+func (e *Engine) Traverse(d *traversal.Descriptor) {
+	e.comm.Meter().AddRegion(mpi.ClassTraversal)
+	e.command(opTraverse)
+	e.bcastDescriptor(d)
+	e.local.Traverse(d)
+	e.comm.Barrier(mpi.ClassControl)
+}
+
+// Evaluate implements search.Engine: broadcast descriptor, compute, Reduce
+// per-partition log likelihoods to the master.
+func (e *Engine) Evaluate(d *traversal.Descriptor) []float64 {
+	e.comm.Meter().AddRegion(mpi.ClassLikelihoodEval)
+	e.command(opEvaluate)
+	e.bcastDescriptor(d)
+	vec := e.local.EvaluateLocal(d)
+	return e.comm.Reduce(0, vec, mpi.OpSum, mpi.ClassLikelihoodEval)
+}
+
+// PrepareBranch implements search.Engine: broadcast descriptor, build sum
+// tables everywhere.
+func (e *Engine) PrepareBranch(d *traversal.Descriptor) {
+	e.comm.Meter().AddRegion(mpi.ClassTraversal)
+	e.command(opPrepareBranch)
+	e.bcastDescriptor(d)
+	e.local.PrepareLocal(d)
+	e.comm.Barrier(mpi.ClassControl)
+}
+
+// BranchDerivatives implements search.Engine: broadcast per-partition
+// trial lengths, Reduce 2·partitions derivative sums, fold into linkage
+// classes at the master. The per-partition wire granularity mirrors
+// RAxML-Light (see DerivativesPerPartition) and is what makes this class
+// of fork-join traffic scale with the partition count.
+func (e *Engine) BranchDerivatives(ts []float64) (d1, d2 []float64) {
+	classes := e.local.BLClasses()
+	nPart := e.local.NPart
+	e.comm.Meter().AddRegion(mpi.ClassBranchLength)
+	e.command(opDerivatives)
+	perPart := make([]float64, nPart)
+	for p := 0; p < nPart; p++ {
+		perPart[p] = ts[e.local.ClassOf(p)]
+	}
+	e.comm.Bcast(0, perPart, mpi.ClassBranchLength)
+	vec := e.local.DerivativesPerPartition(perPart)
+	out := e.comm.Reduce(0, vec, mpi.OpSum, mpi.ClassBranchLength)
+	d1 = make([]float64, classes)
+	d2 = make([]float64, classes)
+	for p := 0; p < nPart; p++ {
+		c := e.local.ClassOf(p)
+		d1[c] += out[p]
+		d2[c] += out[nPart+p]
+	}
+	return d1, d2
+}
+
+// SetShared implements search.Engine: the master must broadcast the full
+// per-partition parameter matrix (p·SharedLen doubles) — the traffic that
+// becomes bandwidth-bound with many partitions.
+func (e *Engine) SetShared(params [][]float64) {
+	e.comm.Meter().AddRegion(mpi.ClassModelParams)
+	e.command(opSetShared)
+	flat := make([]float64, 0, len(params)*model.SharedLen)
+	for _, p := range params {
+		flat = append(flat, p...)
+	}
+	e.comm.Bcast(0, flat, mpi.ClassModelParams)
+	if err := e.local.SetSharedLocal(params); err != nil {
+		panic(fmt.Sprintf("forkjoin: set shared: %v", err))
+	}
+}
+
+// OptimizeSiteRates implements search.Engine: descriptor broadcast, local
+// optimization everywhere, cell-statistics Reduce to the master, master
+// resolves categories and broadcasts the resolution.
+func (e *Engine) OptimizeSiteRates(d *traversal.Descriptor) []float64 {
+	classes := e.local.BLClasses()
+	if e.local.Het != model.PSR {
+		ones := make([]float64, classes)
+		for c := range ones {
+			ones[c] = 1
+		}
+		return ones
+	}
+	e.comm.Meter().AddRegion(mpi.ClassModelParams)
+	e.command(opSiteRates)
+	e.bcastDescriptor(d)
+	stats := e.local.OptimizeSiteRatesLocal(d)
+	stats = e.comm.Reduce(0, stats, mpi.OpSum, mpi.ClassModelParams)
+	res := enginecore.ResolveSiteRates(stats, e.local.NPart, e.local.PerPartBranches)
+	e.comm.Bcast(0, res.Encode(), mpi.ClassModelParams)
+	e.local.ApplySiteRates(res)
+	return res.Scale
+}
+
+// Close implements search.Engine: shuts the worker loops down.
+func (e *Engine) Close() {
+	e.command(opShutdown)
+}
+
+// Stats reports the master's local kernel work and CLV footprint.
+func (e *Engine) Stats() (columns int64, clvBytes float64) { return e.local.Stats() }
+
+// RunWorker executes the worker command loop on a non-zero rank until the
+// master sends opShutdown. Workers hold no tree: they decode whatever the
+// master broadcasts and run kernels on their share.
+func RunWorker(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg EngineConfig) error {
+	_, err := RunWorkerWithStats(comm, d, a, cfg)
+	return err
+}
+
+// runWorkerLoop is the command interpreter shared by the worker entry
+// points.
+func runWorkerLoop(comm *mpi.Comm, local *enginecore.Local) error {
+	recvDescriptor := func() (*traversal.Descriptor, error) {
+		buf := comm.BcastBytes(0, nil, mpi.ClassTraversal)
+		return traversal.Decode(buf)
+	}
+	for {
+		op := comm.BcastBytes(0, nil, mpi.ClassControl)
+		if len(op) != 1 {
+			return fmt.Errorf("forkjoin: worker %d: bad opcode frame (%d bytes)", comm.Rank(), len(op))
+		}
+		switch op[0] {
+		case opTraverse:
+			desc, err := recvDescriptor()
+			if err != nil {
+				return err
+			}
+			local.Traverse(desc)
+			comm.Barrier(mpi.ClassControl)
+
+		case opEvaluate:
+			desc, err := recvDescriptor()
+			if err != nil {
+				return err
+			}
+			comm.Reduce(0, local.EvaluateLocal(desc), mpi.OpSum, mpi.ClassLikelihoodEval)
+
+		case opPrepareBranch:
+			desc, err := recvDescriptor()
+			if err != nil {
+				return err
+			}
+			local.PrepareLocal(desc)
+			comm.Barrier(mpi.ClassControl)
+
+		case opDerivatives:
+			ts := comm.Bcast(0, nil, mpi.ClassBranchLength)
+			comm.Reduce(0, local.DerivativesPerPartition(ts), mpi.OpSum, mpi.ClassBranchLength)
+
+		case opSetShared:
+			flat := comm.Bcast(0, nil, mpi.ClassModelParams)
+			params := make([][]float64, local.NPart)
+			for p := 0; p < local.NPart; p++ {
+				params[p] = flat[p*model.SharedLen : (p+1)*model.SharedLen]
+			}
+			if err := local.SetSharedLocal(params); err != nil {
+				return err
+			}
+
+		case opSiteRates:
+			desc, err := recvDescriptor()
+			if err != nil {
+				return err
+			}
+			stats := local.OptimizeSiteRatesLocal(desc)
+			comm.Reduce(0, stats, mpi.OpSum, mpi.ClassModelParams)
+			enc := comm.Bcast(0, nil, mpi.ClassModelParams)
+			res := enginecore.DecodeSiteRateResolution(enc, local.NPart, local.PerPartBranches)
+			local.ApplySiteRates(res)
+
+		case opShutdown:
+			return nil
+
+		default:
+			return fmt.Errorf("forkjoin: worker %d: unknown opcode %d", comm.Rank(), op[0])
+		}
+	}
+}
+
+// WorkerStats is exposed via RunWorkerWithStats for the harness.
+type WorkerStats struct {
+	// Columns is the kernel column-update count.
+	Columns int64
+	// CLVBytes is the CLV footprint.
+	CLVBytes float64
+}
+
+// RunWorkerWithStats is RunWorker plus a stats readout on return.
+func RunWorkerWithStats(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg EngineConfig) (*WorkerStats, error) {
+	local, err := enginecore.NewLocal(d, a, comm.Rank(), cfg.Het, cfg.Subst, cfg.PerPartitionBranches)
+	if err != nil {
+		return nil, err
+	}
+	if err := runWorkerLoop(comm, local); err != nil {
+		return nil, err
+	}
+	cols, clv := local.Stats()
+	return &WorkerStats{Columns: cols, CLVBytes: clv}, nil
+}

@@ -1,0 +1,242 @@
+package likelihood
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/msa"
+)
+
+// gammaCats is a local alias for the fixed discrete-Γ category count.
+const gammaCats = model.GammaCategories
+
+// newviewGamma computes the CLV at inner slot dst from children a and b
+// across branch lengths ta and tb under the Γ model.
+func (k *Kernel) newviewGamma(dst int32, a, b NodeRef, ta, tb float64) {
+	var pa, pb [gammaCats][ns * ns]float64
+	k.probMatrices(ta, pa[:])
+	k.probMatrices(tb, pb[:])
+
+	dclv, dscale := k.slot(dst)
+
+	var aclv, bclv []float64
+	var ascale, bscale []int32
+	var atips, btips []msa.State
+	if a.Tip {
+		atips = k.data.Tips[a.Idx]
+	} else {
+		aclv, ascale = k.clv[a.Idx], k.scale[a.Idx]
+	}
+	if b.Tip {
+		btips = k.data.Tips[b.Idx]
+	} else {
+		bclv, bscale = k.clv[b.Idx], k.scale[b.Idx]
+	}
+
+	for i := 0; i < k.nPat; i++ {
+		var sc int32
+		if ascale != nil {
+			sc += ascale[i]
+		}
+		if bscale != nil {
+			sc += bscale[i]
+		}
+		needScale := true
+		base := i * gammaCats * ns
+		for c := 0; c < gammaCats; c++ {
+			pca := &pa[c]
+			pcb := &pb[c]
+			// Gather child likelihood columns for this category.
+			var va, vb [ns]float64
+			if atips != nil {
+				va = k.tipVec[atips[i]]
+			} else {
+				off := base + c*ns
+				va[0], va[1], va[2], va[3] = aclv[off], aclv[off+1], aclv[off+2], aclv[off+3]
+			}
+			if btips != nil {
+				vb = k.tipVec[btips[i]]
+			} else {
+				off := base + c*ns
+				vb[0], vb[1], vb[2], vb[3] = bclv[off], bclv[off+1], bclv[off+2], bclv[off+3]
+			}
+			off := base + c*ns
+			for x := 0; x < ns; x++ {
+				la := pca[x*ns]*va[0] + pca[x*ns+1]*va[1] + pca[x*ns+2]*va[2] + pca[x*ns+3]*va[3]
+				lb := pcb[x*ns]*vb[0] + pcb[x*ns+1]*vb[1] + pcb[x*ns+2]*vb[2] + pcb[x*ns+3]*vb[3]
+				v := la * lb
+				dclv[off+x] = v
+				if v >= ScaleThreshold || v != v {
+					needScale = false
+				}
+			}
+		}
+		if needScale {
+			for j := base; j < base+gammaCats*ns; j++ {
+				dclv[j] *= ScaleFactor
+			}
+			sc++
+		}
+		dscale[i] = sc
+	}
+	k.flops.Newview += int64(k.nPat * gammaCats)
+}
+
+// evaluateGamma returns the weighted log likelihood summed over the local
+// patterns for a virtual root on the edge (p, q) of length t.
+func (k *Kernel) evaluateGamma(p, q NodeRef, t float64) float64 {
+	var pm [gammaCats][ns * ns]float64
+	k.probMatrices(t, pm[:])
+	freqs := &k.par.Freqs
+	catW := k.par.CatWeight()
+
+	var pclv, qclv []float64
+	var pscale, qscale []int32
+	var ptips, qtips []msa.State
+	if p.Tip {
+		ptips = k.data.Tips[p.Idx]
+	} else {
+		pclv, pscale = k.clv[p.Idx], k.scale[p.Idx]
+	}
+	if q.Tip {
+		qtips = k.data.Tips[q.Idx]
+	} else {
+		qclv, qscale = k.clv[q.Idx], k.scale[q.Idx]
+	}
+
+	total := 0.0
+	for i := 0; i < k.nPat; i++ {
+		site := 0.0
+		base := i * gammaCats * ns
+		for c := 0; c < gammaCats; c++ {
+			pc := &pm[c]
+			var vp, vq [ns]float64
+			if ptips != nil {
+				vp = k.tipVec[ptips[i]]
+			} else {
+				off := base + c*ns
+				vp[0], vp[1], vp[2], vp[3] = pclv[off], pclv[off+1], pclv[off+2], pclv[off+3]
+			}
+			if qtips != nil {
+				vq = k.tipVec[qtips[i]]
+			} else {
+				off := base + c*ns
+				vq[0], vq[1], vq[2], vq[3] = qclv[off], qclv[off+1], qclv[off+2], qclv[off+3]
+			}
+			for x := 0; x < ns; x++ {
+				right := pc[x*ns]*vq[0] + pc[x*ns+1]*vq[1] + pc[x*ns+2]*vq[2] + pc[x*ns+3]*vq[3]
+				site += freqs[x] * vp[x] * right * catW
+			}
+		}
+		var sc int32
+		if pscale != nil {
+			sc += pscale[i]
+		}
+		if qscale != nil {
+			sc += qscale[i]
+		}
+		lnl := math.Log(site) + float64(sc)*LogScaleStep
+		total += float64(k.data.Weights[i]) * lnl
+	}
+	k.flops.Evaluate += int64(k.nPat * gammaCats)
+	return total
+}
+
+// prepareDerivativesGamma fills the sum table for the edge (p, q):
+// sumTab[((i·C)+c)·4+k] = (Σ_x π_x clvP_x U_{xk}) · (Σ_y U⁻¹_{ky} clvQ_y).
+func (k *Kernel) prepareDerivativesGamma(p, q NodeRef) {
+	need := k.nPat * gammaCats * ns
+	if cap(k.sumTab) < need {
+		k.sumTab = make([]float64, need)
+	}
+	k.sumTab = k.sumTab[:need]
+	e := k.par.Eigen
+	freqs := &k.par.Freqs
+
+	var pclv, qclv []float64
+	var ptips, qtips []msa.State
+	if p.Tip {
+		ptips = k.data.Tips[p.Idx]
+	} else {
+		pclv = k.clv[p.Idx]
+	}
+	if q.Tip {
+		qtips = k.data.Tips[q.Idx]
+	} else {
+		qclv = k.clv[q.Idx]
+	}
+
+	for i := 0; i < k.nPat; i++ {
+		base := i * gammaCats * ns
+		for c := 0; c < gammaCats; c++ {
+			var vp, vq [ns]float64
+			if ptips != nil {
+				vp = k.tipVec[ptips[i]]
+			} else {
+				off := base + c*ns
+				vp[0], vp[1], vp[2], vp[3] = pclv[off], pclv[off+1], pclv[off+2], pclv[off+3]
+			}
+			if qtips != nil {
+				vq = k.tipVec[qtips[i]]
+			} else {
+				off := base + c*ns
+				vq[0], vq[1], vq[2], vq[3] = qclv[off], qclv[off+1], qclv[off+2], qclv[off+3]
+			}
+			off := base + c*ns
+			for kk := 0; kk < ns; kk++ {
+				ap := freqs[0]*vp[0]*e.U[0*ns+kk] + freqs[1]*vp[1]*e.U[1*ns+kk] +
+					freqs[2]*vp[2]*e.U[2*ns+kk] + freqs[3]*vp[3]*e.U[3*ns+kk]
+				bq := e.UInv[kk*ns]*vq[0] + e.UInv[kk*ns+1]*vq[1] +
+					e.UInv[kk*ns+2]*vq[2] + e.UInv[kk*ns+3]*vq[3]
+				k.sumTab[off+kk] = ap * bq
+			}
+		}
+	}
+	k.prepared = true
+	k.flops.Derivative += int64(k.nPat * gammaCats)
+}
+
+// derivativesGamma evaluates d lnL/dt and d² lnL/dt² at branch length t
+// from the prepared sum table.
+func (k *Kernel) derivativesGamma(t float64) (d1, d2 float64) {
+	e := k.par.Eigen
+	catW := k.par.CatWeight()
+	// Per category, e^{λ_k r_c t} and its λ·r factors.
+	var ex, lam [gammaCats][ns]float64
+	for c, r := range k.par.CatRates {
+		for kk := 0; kk < ns; kk++ {
+			l := e.Vals[kk] * r
+			lam[c][kk] = l
+			ex[c][kk] = math.Exp(l * t)
+		}
+	}
+	for i := 0; i < k.nPat; i++ {
+		var f, fp, fpp float64
+		base := i * gammaCats * ns
+		for c := 0; c < gammaCats; c++ {
+			off := base + c*ns
+			for kk := 0; kk < ns; kk++ {
+				term := k.sumTab[off+kk] * ex[c][kk]
+				l := lam[c][kk]
+				f += term
+				fp += l * term
+				fpp += l * l * term
+			}
+		}
+		f *= catW
+		fp *= catW
+		fpp *= catW
+		if f <= 0 || math.IsNaN(f) {
+			// Pathological branch proposals can underflow the unscaled
+			// site likelihood; skip the site rather than poison the sum
+			// (Newton falls back to bisection on bad curvature anyway).
+			continue
+		}
+		w := float64(k.data.Weights[i])
+		ratio := fp / f
+		d1 += w * ratio
+		d2 += w * (fpp/f - ratio*ratio)
+	}
+	k.flops.Derivative += int64(k.nPat * gammaCats)
+	return d1, d2
+}

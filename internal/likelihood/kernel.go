@@ -1,0 +1,187 @@
+// Package likelihood implements the three computational kernels of
+// likelihood-based phylogenetics on pattern-compressed data:
+//
+//   - Newview: conditional likelihood vectors (CLVs) at inner vertices via
+//     the Felsenstein pruning recursion,
+//   - Evaluate: the log likelihood at a virtual root placed on an edge,
+//   - Derivatives: the first and second derivative of the log likelihood
+//     with respect to one branch length (for Newton–Raphson optimization),
+//     computed through the eigen-basis sum-table factorization.
+//
+// A Kernel instance owns the CLV arrays for one partition *slice* — the
+// patterns a single rank holds of one partition — which is exactly the
+// worker-side state of both parallelization schemes in the paper. The
+// kernel is deliberately tree-agnostic: it executes numbered operations on
+// CLV slots and tip indices, the same contract a fork-join worker gets
+// from a traversal descriptor.
+package likelihood
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/msa"
+)
+
+// Numerical scaling constants (RAxML's minlikelihood convention): a CLV
+// column whose entries all drop below ScaleThreshold is multiplied by
+// ScaleFactor = 1/ScaleThreshold and the event is counted, contributing
+// LogScaleStep to the site's log likelihood.
+const scaleExp = 256
+
+var (
+	// ScaleThreshold is 2^-256.
+	ScaleThreshold = math.Exp2(-scaleExp)
+	// ScaleFactor is 2^+256.
+	ScaleFactor = math.Exp2(scaleExp)
+	// LogScaleStep is ln(2^-256), added once per scaling event.
+	LogScaleStep = -float64(scaleExp) * math.Ln2
+)
+
+// NodeRef addresses a CLV operand: either a tip (taxon index into the
+// partition's rows) or an inner CLV slot.
+type NodeRef struct {
+	// Tip selects tip addressing.
+	Tip bool
+	// Idx is the taxon index (Tip) or the inner CLV slot (otherwise).
+	Idx int32
+}
+
+// TipRef and InnerRef are NodeRef constructors.
+func TipRef(taxon int) NodeRef  { return NodeRef{Tip: true, Idx: int32(taxon)} }
+func InnerRef(slot int) NodeRef { return NodeRef{Tip: false, Idx: int32(slot)} }
+
+const ns = msa.NumStates
+
+// Kernel holds per-partition-slice likelihood state.
+type Kernel struct {
+	data *msa.PartitionData
+	par  *model.Params
+
+	nPat   int
+	nInner int
+
+	// clv[slot] is nil until first computed. Layout:
+	//   Γ:   [pattern][category][state] → ((i*C)+c)*4+x, C = GammaCategories
+	//   PSR: [pattern][state]           → i*4+x (one category per site)
+	clv [][]float64
+	// scale[slot][pattern] counts scaling events accumulated in the
+	// subtree the CLV summarizes.
+	scale [][]int32
+
+	// tipVec[state][x] is the 0/1 tip likelihood lookup.
+	tipVec [16][ns]float64
+
+	// sum table for Derivatives: Γ: [pattern][category][eig]; PSR:
+	// [pattern][eig]; plus the per-pattern category rate view.
+	sumTab []float64
+	// prepared records whether sumTab matches the most recent
+	// PrepareDerivatives call.
+	prepared bool
+
+	flops FlopCount
+}
+
+// NewKernel builds a kernel for one partition slice. nInner is the number
+// of inner-vertex CLV slots to provision (n-2 for an n-taxon tree).
+func NewKernel(data *msa.PartitionData, par *model.Params, nInner int) (*Kernel, error) {
+	if data.NPatterns() == 0 {
+		return nil, fmt.Errorf("likelihood: empty partition slice %q", data.Name)
+	}
+	if err := par.Check(); err != nil {
+		return nil, err
+	}
+	if par.Het == model.PSR && len(par.SiteRates) != data.NPatterns() {
+		return nil, fmt.Errorf("likelihood: %d site rates for %d patterns", len(par.SiteRates), data.NPatterns())
+	}
+	k := &Kernel{
+		data:   data,
+		par:    par,
+		nPat:   data.NPatterns(),
+		nInner: nInner,
+		clv:    make([][]float64, nInner),
+		scale:  make([][]int32, nInner),
+	}
+	for s := msa.State(1); s <= 15; s++ {
+		k.tipVec[s] = s.TipVector()
+	}
+	return k, nil
+}
+
+// Params returns the kernel's model parameters (shared, mutable: the
+// caller re-runs traversals after changing them).
+func (k *Kernel) Params() *model.Params { return k.par }
+
+// Data returns the kernel's partition slice.
+func (k *Kernel) Data() *msa.PartitionData { return k.data }
+
+// NPatterns returns the number of local patterns.
+func (k *Kernel) NPatterns() int { return k.nPat }
+
+// WeightSum returns the summed pattern weights (local site count).
+func (k *Kernel) WeightSum() int {
+	t := 0
+	for _, w := range k.data.Weights {
+		t += w
+	}
+	return t
+}
+
+// clvLen returns the per-slot CLV length for the active model.
+func (k *Kernel) clvLen() int {
+	if k.par.Het == model.Gamma {
+		return k.nPat * model.GammaCategories * ns
+	}
+	return k.nPat * ns
+}
+
+// slot returns (allocating on demand) the CLV backing store for an inner
+// slot.
+func (k *Kernel) slot(i int32) ([]float64, []int32) {
+	if k.clv[i] == nil || len(k.clv[i]) != k.clvLen() {
+		k.clv[i] = make([]float64, k.clvLen())
+		k.scale[i] = make([]int32, k.nPat)
+	}
+	return k.clv[i], k.scale[i]
+}
+
+// InvalidateAll drops all CLVs (used after model changes that the caller
+// follows with a full traversal, and by fault-recovery redistribution).
+func (k *Kernel) InvalidateAll() {
+	for i := range k.clv {
+		k.clv[i] = nil
+		k.scale[i] = nil
+	}
+	k.prepared = false
+}
+
+// probMatrices fills one P matrix per rate category for branch length t.
+// The per-partition setup cost (spectral recombination + exponentials) is
+// metered separately: it is paid once per partition per operation
+// regardless of how few patterns the rank holds, which is why cyclic
+// distribution of many partitions hurts and monolithic (MPS) assignment
+// helps — the effect of the paper's reference [24].
+func (k *Kernel) probMatrices(t float64, dst [][ns * ns]float64) {
+	for c, r := range k.par.CatRates {
+		k.par.Eigen.ProbMatrix(t, r, &dst[c])
+	}
+	k.flops.Setup += int64(len(k.par.CatRates) * ns * ns / 4)
+}
+
+// FlopCount is a rough per-call floating-point operation estimate
+// maintained for the cluster cost model; incremented by the kernels.
+type FlopCount struct {
+	// Newview, Evaluate, Derivative count pattern×category column
+	// updates executed by the respective kernel.
+	Newview, Evaluate, Derivative int64
+	// Setup counts P(t)-matrix construction work in column-update
+	// equivalents — the per-partition fixed cost of every operation.
+	Setup int64
+}
+
+// Total returns all counters summed.
+func (f FlopCount) Total() int64 { return f.Newview + f.Evaluate + f.Derivative + f.Setup }
+
+// Flops aggregates the kernel's column-update counters.
+func (k *Kernel) Flops() FlopCount { return k.flops }

@@ -1,0 +1,223 @@
+package likelihood
+
+import (
+	"math"
+
+	"repro/internal/msa"
+)
+
+// PSR kernels: one rate category per site, CLVs hold a single 4-vector per
+// pattern (the 4× memory saving over Γ the paper highlights). The per-site
+// category index selects which P matrix a site uses.
+
+func (k *Kernel) psrMatrices(t float64) [][ns * ns]float64 {
+	ps := make([][ns * ns]float64, len(k.par.CatRates))
+	k.probMatrices(t, ps)
+	return ps
+}
+
+// newviewPSR computes the CLV at inner slot dst under the PSR model.
+func (k *Kernel) newviewPSR(dst int32, a, b NodeRef, ta, tb float64) {
+	pa := k.psrMatrices(ta)
+	pb := k.psrMatrices(tb)
+	cats := k.par.SiteCats
+
+	dclv, dscale := k.slot(dst)
+
+	var aclv, bclv []float64
+	var ascale, bscale []int32
+	var atips, btips []msa.State
+	if a.Tip {
+		atips = k.data.Tips[a.Idx]
+	} else {
+		aclv, ascale = k.clv[a.Idx], k.scale[a.Idx]
+	}
+	if b.Tip {
+		btips = k.data.Tips[b.Idx]
+	} else {
+		bclv, bscale = k.clv[b.Idx], k.scale[b.Idx]
+	}
+
+	for i := 0; i < k.nPat; i++ {
+		var sc int32
+		if ascale != nil {
+			sc += ascale[i]
+		}
+		if bscale != nil {
+			sc += bscale[i]
+		}
+		c := cats[i]
+		pca := &pa[c]
+		pcb := &pb[c]
+		var va, vb [ns]float64
+		off := i * ns
+		if atips != nil {
+			va = k.tipVec[atips[i]]
+		} else {
+			va[0], va[1], va[2], va[3] = aclv[off], aclv[off+1], aclv[off+2], aclv[off+3]
+		}
+		if btips != nil {
+			vb = k.tipVec[btips[i]]
+		} else {
+			vb[0], vb[1], vb[2], vb[3] = bclv[off], bclv[off+1], bclv[off+2], bclv[off+3]
+		}
+		needScale := true
+		for x := 0; x < ns; x++ {
+			la := pca[x*ns]*va[0] + pca[x*ns+1]*va[1] + pca[x*ns+2]*va[2] + pca[x*ns+3]*va[3]
+			lb := pcb[x*ns]*vb[0] + pcb[x*ns+1]*vb[1] + pcb[x*ns+2]*vb[2] + pcb[x*ns+3]*vb[3]
+			v := la * lb
+			dclv[off+x] = v
+			if v >= ScaleThreshold || v != v {
+				needScale = false
+			}
+		}
+		if needScale {
+			for x := 0; x < ns; x++ {
+				dclv[off+x] *= ScaleFactor
+			}
+			sc++
+		}
+		dscale[i] = sc
+	}
+	k.flops.Newview += int64(k.nPat)
+}
+
+// evaluatePSR returns the weighted log likelihood for a virtual root on
+// (p, q) with branch length t.
+func (k *Kernel) evaluatePSR(p, q NodeRef, t float64) float64 {
+	pm := k.psrMatrices(t)
+	cats := k.par.SiteCats
+	freqs := &k.par.Freqs
+
+	var pclv, qclv []float64
+	var pscale, qscale []int32
+	var ptips, qtips []msa.State
+	if p.Tip {
+		ptips = k.data.Tips[p.Idx]
+	} else {
+		pclv, pscale = k.clv[p.Idx], k.scale[p.Idx]
+	}
+	if q.Tip {
+		qtips = k.data.Tips[q.Idx]
+	} else {
+		qclv, qscale = k.clv[q.Idx], k.scale[q.Idx]
+	}
+
+	total := 0.0
+	for i := 0; i < k.nPat; i++ {
+		pc := &pm[cats[i]]
+		var vp, vq [ns]float64
+		off := i * ns
+		if ptips != nil {
+			vp = k.tipVec[ptips[i]]
+		} else {
+			vp[0], vp[1], vp[2], vp[3] = pclv[off], pclv[off+1], pclv[off+2], pclv[off+3]
+		}
+		if qtips != nil {
+			vq = k.tipVec[qtips[i]]
+		} else {
+			vq[0], vq[1], vq[2], vq[3] = qclv[off], qclv[off+1], qclv[off+2], qclv[off+3]
+		}
+		site := 0.0
+		for x := 0; x < ns; x++ {
+			right := pc[x*ns]*vq[0] + pc[x*ns+1]*vq[1] + pc[x*ns+2]*vq[2] + pc[x*ns+3]*vq[3]
+			site += freqs[x] * vp[x] * right
+		}
+		var sc int32
+		if pscale != nil {
+			sc += pscale[i]
+		}
+		if qscale != nil {
+			sc += qscale[i]
+		}
+		total += float64(k.data.Weights[i]) * (math.Log(site) + float64(sc)*LogScaleStep)
+	}
+	k.flops.Evaluate += int64(k.nPat)
+	return total
+}
+
+// prepareDerivativesPSR fills the PSR sum table: sumTab[i·4+k].
+func (k *Kernel) prepareDerivativesPSR(p, q NodeRef) {
+	need := k.nPat * ns
+	if cap(k.sumTab) < need {
+		k.sumTab = make([]float64, need)
+	}
+	k.sumTab = k.sumTab[:need]
+	e := k.par.Eigen
+	freqs := &k.par.Freqs
+
+	var pclv, qclv []float64
+	var ptips, qtips []msa.State
+	if p.Tip {
+		ptips = k.data.Tips[p.Idx]
+	} else {
+		pclv = k.clv[p.Idx]
+	}
+	if q.Tip {
+		qtips = k.data.Tips[q.Idx]
+	} else {
+		qclv = k.clv[q.Idx]
+	}
+
+	for i := 0; i < k.nPat; i++ {
+		var vp, vq [ns]float64
+		off := i * ns
+		if ptips != nil {
+			vp = k.tipVec[ptips[i]]
+		} else {
+			vp[0], vp[1], vp[2], vp[3] = pclv[off], pclv[off+1], pclv[off+2], pclv[off+3]
+		}
+		if qtips != nil {
+			vq = k.tipVec[qtips[i]]
+		} else {
+			vq[0], vq[1], vq[2], vq[3] = qclv[off], qclv[off+1], qclv[off+2], qclv[off+3]
+		}
+		for kk := 0; kk < ns; kk++ {
+			ap := freqs[0]*vp[0]*e.U[0*ns+kk] + freqs[1]*vp[1]*e.U[1*ns+kk] +
+				freqs[2]*vp[2]*e.U[2*ns+kk] + freqs[3]*vp[3]*e.U[3*ns+kk]
+			bq := e.UInv[kk*ns]*vq[0] + e.UInv[kk*ns+1]*vq[1] +
+				e.UInv[kk*ns+2]*vq[2] + e.UInv[kk*ns+3]*vq[3]
+			k.sumTab[off+kk] = ap * bq
+		}
+	}
+	k.prepared = true
+	k.flops.Derivative += int64(k.nPat)
+}
+
+// derivativesPSR evaluates (d1, d2) at branch length t from the PSR sum
+// table.
+func (k *Kernel) derivativesPSR(t float64) (d1, d2 float64) {
+	e := k.par.Eigen
+	cats := k.par.SiteCats
+	nc := len(k.par.CatRates)
+	ex := make([][ns]float64, nc)
+	lam := make([][ns]float64, nc)
+	for c, r := range k.par.CatRates {
+		for kk := 0; kk < ns; kk++ {
+			l := e.Vals[kk] * r
+			lam[c][kk] = l
+			ex[c][kk] = math.Exp(l * t)
+		}
+	}
+	for i := 0; i < k.nPat; i++ {
+		c := cats[i]
+		off := i * ns
+		var f, fp, fpp float64
+		for kk := 0; kk < ns; kk++ {
+			term := k.sumTab[off+kk] * ex[c][kk]
+			l := lam[c][kk]
+			f += term
+			fp += l * term
+			fpp += l * l * term
+		}
+		if f <= 0 || math.IsNaN(f) {
+			continue
+		}
+		w := float64(k.data.Weights[i])
+		ratio := fp / f
+		d1 += w * ratio
+		d2 += w * (fpp/f - ratio*ratio)
+	}
+	k.flops.Derivative += int64(k.nPat)
+	return d1, d2
+}

@@ -1,0 +1,160 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/msa"
+)
+
+// Params bundles the model parameters of one partition together with the
+// derived quantities (eigensystem, category rates) the kernels consume.
+//
+// Frequencies are empirical (set once from the data); α, the GTR rates,
+// and — under PSR — the per-site rates are optimized during the search.
+// SiteRates and SiteCats are indexed by *local* pattern: after data
+// distribution each rank holds entries only for the patterns it owns,
+// which is exactly why the fork-join master must ship rate updates over
+// the wire while the de-centralized scheme keeps them local.
+type Params struct {
+	// Het selects Γ or PSR rate heterogeneity.
+	Het Heterogeneity
+	// Freqs is the stationary distribution (empirical base frequencies).
+	Freqs [msa.NumStates]float64
+	// Rates are the GTR exchangeabilities (GT fixed to 1).
+	Rates [NumRates]float64
+	// Alpha is the Γ shape parameter (unused under PSR).
+	Alpha float64
+	// CatRates are the active rate categories: the 4 discrete-Γ means, or
+	// the quantized PSR category rates (≥1 entries).
+	CatRates []float64
+	// SiteRates are the per-local-pattern rates (PSR only).
+	SiteRates []float64
+	// SiteCats are the per-local-pattern category indices (PSR only).
+	SiteCats []int
+	// Eigen is the spectral decomposition of the current GTR matrix.
+	Eigen *Eigen
+}
+
+// NewParams constructs default parameters: JC-equal exchangeabilities,
+// α = 1, and — for PSR over nLocalPatterns patterns — unit site rates in a
+// single category.
+func NewParams(het Heterogeneity, freqs [msa.NumStates]float64, nLocalPatterns int) (*Params, error) {
+	p := &Params{
+		Het:   het,
+		Freqs: freqs,
+		Rates: DefaultRates(),
+		Alpha: 1.0,
+	}
+	if het == PSR {
+		p.SiteRates = make([]float64, nLocalPatterns)
+		p.SiteCats = make([]int, nLocalPatterns)
+		for i := range p.SiteRates {
+			p.SiteRates[i] = 1
+		}
+		p.CatRates = []float64{1}
+	}
+	if err := p.Rebuild(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Rebuild recomputes the derived quantities (eigensystem; Γ category
+// means) after a parameter change. PSR category rates are maintained by
+// the quantization pipeline, not here.
+func (p *Params) Rebuild() error {
+	e, err := NewEigen(p.Rates, p.Freqs)
+	if err != nil {
+		return err
+	}
+	p.Eigen = e
+	if p.Het == Gamma {
+		means, err := DiscreteGammaMeans(p.Alpha, GammaCategories)
+		if err != nil {
+			return err
+		}
+		p.CatRates = means
+	}
+	return nil
+}
+
+// NCats returns the number of active rate categories.
+func (p *Params) NCats() int { return len(p.CatRates) }
+
+// CatWeight returns the probability mass of category c: 1/4 under Γ; under
+// PSR the categories partition the sites, so each site uses exactly one
+// category with weight 1 (the weighting happens through site membership).
+func (p *Params) CatWeight() float64 {
+	if p.Het == Gamma {
+		return 1.0 / GammaCategories
+	}
+	return 1.0
+}
+
+// Clone deep-copies the parameters.
+func (p *Params) Clone() *Params {
+	c := *p
+	c.CatRates = append([]float64(nil), p.CatRates...)
+	c.SiteRates = append([]float64(nil), p.SiteRates...)
+	c.SiteCats = append([]int(nil), p.SiteCats...)
+	if p.Eigen != nil {
+		e := *p.Eigen
+		c.Eigen = &e
+	}
+	return &c
+}
+
+// Check validates internal consistency.
+func (p *Params) Check() error {
+	if p.Eigen == nil {
+		return fmt.Errorf("model: params not rebuilt")
+	}
+	if len(p.CatRates) == 0 {
+		return fmt.Errorf("model: no rate categories")
+	}
+	for i, r := range p.CatRates {
+		if !(r > 0) || math.IsInf(r, 0) {
+			return fmt.Errorf("model: category rate %d = %g", i, r)
+		}
+	}
+	if p.Het == PSR {
+		if len(p.SiteRates) != len(p.SiteCats) {
+			return fmt.Errorf("model: %d site rates, %d site cats", len(p.SiteRates), len(p.SiteCats))
+		}
+		for i, c := range p.SiteCats {
+			if c < 0 || c >= len(p.CatRates) {
+				return fmt.Errorf("model: site %d category %d out of range", i, c)
+			}
+		}
+	}
+	if p.Het == Gamma && len(p.CatRates) != GammaCategories {
+		return fmt.Errorf("model: gamma with %d categories", len(p.CatRates))
+	}
+	return nil
+}
+
+// EncodeShared flattens the parameters every rank must agree on
+// (α + the 6 GTR rates) into 7 doubles — the per-partition payload the
+// fork-join master broadcasts whenever a proposal changes them, and the
+// quantity Table I meters as "model parameters" traffic.
+func (p *Params) EncodeShared() []float64 {
+	out := make([]float64, 0, 1+NumRates)
+	out = append(out, p.Alpha)
+	out = append(out, p.Rates[:]...)
+	return out
+}
+
+// SharedLen is the number of doubles EncodeShared produces.
+const SharedLen = 1 + NumRates
+
+// DecodeShared applies a flattened parameter vector and rebuilds the
+// derived state.
+func (p *Params) DecodeShared(v []float64) error {
+	if len(v) != SharedLen {
+		return fmt.Errorf("model: shared vector has %d entries, want %d", len(v), SharedLen)
+	}
+	p.Alpha = v[0]
+	copy(p.Rates[:], v[1:])
+	return p.Rebuild()
+}

@@ -1,0 +1,129 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewParamsGamma(t *testing.T) {
+	p, err := NewParams(Gamma, UniformFreqs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NCats() != GammaCategories {
+		t.Fatalf("cats = %d", p.NCats())
+	}
+	if p.CatWeight() != 0.25 {
+		t.Fatalf("weight = %g", p.CatWeight())
+	}
+}
+
+func TestNewParamsPSR(t *testing.T) {
+	p, err := NewParams(PSR, UniformFreqs(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NCats() != 1 || len(p.SiteRates) != 10 {
+		t.Fatalf("cats=%d siteRates=%d", p.NCats(), len(p.SiteRates))
+	}
+	if p.CatWeight() != 1 {
+		t.Fatalf("weight = %g", p.CatWeight())
+	}
+}
+
+func TestParamsRebuildUpdatesGammaRates(t *testing.T) {
+	p, err := NewParams(Gamma, UniformFreqs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), p.CatRates...)
+	p.Alpha = 0.2
+	if err := p.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range before {
+		if math.Abs(before[i]-p.CatRates[i]) > 1e-12 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("changing alpha did not change category rates")
+	}
+}
+
+func TestParamsSharedRoundTrip(t *testing.T) {
+	p, err := NewParams(Gamma, UniformFreqs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Alpha = 0.73
+	p.Rates = [NumRates]float64{1.1, 2.2, 0.5, 0.9, 3.1, 1}
+	if err := p.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	v := p.EncodeShared()
+	if len(v) != SharedLen {
+		t.Fatalf("encoded length %d, want %d", len(v), SharedLen)
+	}
+	q, err := NewParams(Gamma, UniformFreqs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.DecodeShared(v); err != nil {
+		t.Fatal(err)
+	}
+	if q.Alpha != p.Alpha || q.Rates != p.Rates {
+		t.Fatal("shared round trip lost parameters")
+	}
+	// Derived eigensystem must match too.
+	for i := range p.Eigen.Vals {
+		if math.Abs(p.Eigen.Vals[i]-q.Eigen.Vals[i]) > 1e-14 {
+			t.Fatal("eigen differs after decode")
+		}
+	}
+	if err := q.DecodeShared(v[:3]); err == nil {
+		t.Error("short vector accepted")
+	}
+}
+
+func TestParamsCloneIndependence(t *testing.T) {
+	p, err := NewParams(PSR, UniformFreqs(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	c.SiteRates[0] = 9
+	c.CatRates[0] = 9
+	c.Alpha = 9
+	if p.SiteRates[0] == 9 || p.CatRates[0] == 9 || p.Alpha == 9 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestParamsCheckCatchesCorruption(t *testing.T) {
+	p, err := NewParams(PSR, UniformFreqs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SiteCats[1] = 7
+	if p.Check() == nil {
+		t.Error("out-of-range site category accepted")
+	}
+	q, _ := NewParams(Gamma, UniformFreqs(), 0)
+	q.CatRates = q.CatRates[:2]
+	if q.Check() == nil {
+		t.Error("wrong gamma category count accepted")
+	}
+	q2, _ := NewParams(Gamma, UniformFreqs(), 0)
+	q2.CatRates[0] = -1
+	if q2.Check() == nil {
+		t.Error("negative category rate accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numutil"
+)
+
+// Heterogeneity selects the among-site rate heterogeneity model.
+type Heterogeneity int
+
+const (
+	// Gamma is the standard discrete-Γ model (Yang 1994) with
+	// GammaCategories categories of equal probability.
+	Gamma Heterogeneity = iota
+	// PSR is the per-site rate model (renamed from CAT by the paper to
+	// avoid confusion with PhyloBayes-CAT): every site owns an individual
+	// evolutionary rate, quantized into at most MaxPSRCategories distinct
+	// values. Its memory footprint is 4× smaller than Γ's, which the
+	// paper identifies as its main advantage.
+	PSR
+)
+
+// String implements fmt.Stringer.
+func (h Heterogeneity) String() string {
+	switch h {
+	case Gamma:
+		return "GAMMA"
+	case PSR:
+		return "PSR"
+	}
+	return fmt.Sprintf("Heterogeneity(%d)", int(h))
+}
+
+// GammaCategories is the number of discrete Γ rate categories, fixed to 4
+// as in essentially all likelihood-based phylogenetics software.
+const GammaCategories = 4
+
+// Bounds for the Γ shape parameter α during optimization (RAxML limits).
+const (
+	MinAlpha = 0.02
+	MaxAlpha = 100.0
+)
+
+// MaxPSRCategories bounds the number of distinct per-site rate values
+// after quantization, following RAxML's default of 25.
+const MaxPSRCategories = 25
+
+// Bounds for individual site rates under PSR.
+const (
+	MinSiteRate = 1e-3
+	MaxSiteRate = 30.0
+)
+
+// DiscreteGammaMeans returns the k category rates of the discrete-Γ model
+// with shape α: the means of Gamma(α, α) over its k equal-probability
+// quantile slices, rescaled to average exactly 1. Category probabilities
+// are uniform (1/k).
+func DiscreteGammaMeans(alpha float64, k int) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("model: need at least 1 gamma category, got %d", k)
+	}
+	if !(alpha > 0) {
+		return nil, fmt.Errorf("model: alpha = %g must be positive", alpha)
+	}
+	if k == 1 {
+		return []float64{1}, nil
+	}
+	// Boundaries at the i/k quantiles of Gamma(α, α).
+	bounds := make([]float64, k+1)
+	bounds[0], bounds[k] = 0, math.Inf(1)
+	for i := 1; i < k; i++ {
+		bounds[i] = numutil.GammaQuantile(float64(i)/float64(k), alpha, alpha)
+	}
+	// Mean of slice [a,b): k·(P(α+1, αb) − P(α+1, αa)) for Gamma(α, α).
+	rates := make([]float64, k)
+	prev := 0.0
+	for i := 0; i < k; i++ {
+		var next float64
+		if i == k-1 {
+			next = 1
+		} else {
+			next = numutil.GammaIncP(alpha+1, alpha*bounds[i+1])
+		}
+		rates[i] = float64(k) * (next - prev)
+		prev = next
+	}
+	// Renormalize the tiny numerical drift so the mean is exactly 1.
+	mean := 0.0
+	for _, r := range rates {
+		mean += r
+	}
+	mean /= float64(k)
+	for i := range rates {
+		rates[i] /= mean
+		if rates[i] < 1e-10 {
+			rates[i] = 1e-10 // guard against α so extreme a category underflows
+		}
+	}
+	return rates, nil
+}
+
+// PSR rate quantization groups per-site rates onto a fixed geometric grid
+// of maxCats cells spanning [MinSiteRate, MaxSiteRate]; every occupied
+// cell becomes one category whose rate is the weight-averaged rate of its
+// member sites. This is the PSR analogue of RAxML's rate-category
+// compression: it bounds both CLV memory and the per-category P(t) work.
+//
+// The procedure is deliberately split into three steps so that the
+// per-cell statistics can be summed across ranks with one small Allreduce
+// (2·maxCats doubles) — the "additional MPI calls to handle the CAT model"
+// the paper mentions for ExaML — giving every rank the identical global
+// category rates:
+//
+//	sumR, sumW := AccumulateRateCells(localRates, localWeights, maxCats)
+//	// engine: Allreduce(sumR), Allreduce(sumW)
+//	catRates, cellToCat := FinalizeRateCategories(sumR, sumW)
+//	siteCats := AssignRateCategories(localRates, cellToCat, maxCats)
+
+// RateCellOf maps a site rate to its cell on the fixed geometric grid.
+func RateCellOf(r float64, maxCats int) int {
+	if r <= MinSiteRate {
+		return 0
+	}
+	if r >= MaxSiteRate {
+		return maxCats - 1
+	}
+	logLo, logHi := math.Log(MinSiteRate), math.Log(MaxSiteRate)
+	c := int(float64(maxCats) * (math.Log(r) - logLo) / (logHi - logLo))
+	if c >= maxCats {
+		c = maxCats - 1
+	}
+	return c
+}
+
+// AccumulateRateCells computes per-cell weighted rate sums and weight
+// totals for the local sites.
+func AccumulateRateCells(rates []float64, weights []int, maxCats int) (sumR, sumW []float64) {
+	sumR = make([]float64, maxCats)
+	sumW = make([]float64, maxCats)
+	for i, r := range rates {
+		c := RateCellOf(r, maxCats)
+		w := float64(weights[i])
+		sumR[c] += r * w
+		sumW[c] += w
+	}
+	return sumR, sumW
+}
+
+// FinalizeRateCategories turns (globally summed) cell statistics into the
+// dense category rate list and a cell→category index map (-1 for empty
+// cells).
+func FinalizeRateCategories(sumR, sumW []float64) (catRates []float64, cellToCat []int) {
+	cellToCat = make([]int, len(sumW))
+	for c := range sumW {
+		if sumW[c] > 0 {
+			cellToCat[c] = len(catRates)
+			catRates = append(catRates, sumR[c]/sumW[c])
+		} else {
+			cellToCat[c] = -1
+		}
+	}
+	return catRates, cellToCat
+}
+
+// AssignRateCategories maps each local site rate to its category index.
+func AssignRateCategories(rates []float64, cellToCat []int, maxCats int) []int {
+	siteCats := make([]int, len(rates))
+	for i, r := range rates {
+		siteCats[i] = cellToCat[RateCellOf(r, maxCats)]
+	}
+	return siteCats
+}
+
+// QuantizeSiteRates is the single-process composition of the three-step
+// quantization, used by the sequential reference engine and by tests.
+func QuantizeSiteRates(rates []float64, weights []int, maxCats int) (catRates []float64, siteCats []int, err error) {
+	if len(rates) == 0 {
+		return nil, nil, fmt.Errorf("model: no site rates to quantize")
+	}
+	if len(weights) != len(rates) {
+		return nil, nil, fmt.Errorf("model: %d weights for %d rates", len(weights), len(rates))
+	}
+	if maxCats < 1 {
+		return nil, nil, fmt.Errorf("model: maxCats = %d", maxCats)
+	}
+	sumR, sumW := AccumulateRateCells(rates, weights, maxCats)
+	catRates, cellToCat := FinalizeRateCategories(sumR, sumW)
+	return catRates, AssignRateCategories(rates, cellToCat, maxCats), nil
+}

@@ -1,0 +1,93 @@
+package mpi
+
+import "fmt"
+
+// AllreduceHierarchical is the hybrid-communication variant the paper's
+// §V proposes ("evaluate whether a hybrid MPI/PThreads approach can be
+// used for accelerating the performance-critical MPI_Allreduce calls"):
+// ranks are grouped into nodes of ranksPerNode; the reduction runs
+// intra-node first (cheap shared-memory communication on real hardware),
+// then only the node leaders participate in the inter-node exchange, and
+// the result is re-broadcast within each node.
+//
+// The number of ranks crossing the (expensive) network drops from p to
+// ⌈p/ranksPerNode⌉ — on the paper's machine from 1536 to 32.
+//
+// Like Allreduce, the result is bit-identical on every rank: both phases
+// use the fixed binomial-tree order, and the intra-node combination order
+// (leader first, then members ascending) is rank-layout-deterministic.
+// Note the *bits* differ from plain Allreduce's (different association),
+// so a run must use one variant throughout — mixing them across ranks
+// would diverge replicas.
+func (c *Comm) AllreduceHierarchical(data []float64, op Op, class CommClass, ranksPerNode int) []float64 {
+	if ranksPerNode < 1 {
+		panic(fmt.Sprintf("mpi: ranksPerNode = %d", ranksPerNode))
+	}
+	size := c.world.size
+	if ranksPerNode == 1 || size <= ranksPerNode {
+		return c.Allreduce(data, op, class)
+	}
+	node := c.rank / ranksPerNode
+	leader := node * ranksPerNode
+	last := leader + ranksPerNode
+	if last > size {
+		last = size
+	}
+
+	seq := c.nextSeq()
+	if c.rank == 0 {
+		c.world.meter.addOp(class, 8*len(data))
+	}
+
+	// Phase 1: intra-node gather to the leader, combining in ascending
+	// member order.
+	if c.rank != leader {
+		c.send(leader, message{seq: seq, f64: data})
+	}
+	var acc []float64
+	if c.rank == leader {
+		acc = append([]float64(nil), data...)
+		for r := leader + 1; r < last; r++ {
+			m := c.recv(r, seq)
+			if len(m.f64) != len(acc) {
+				panic(fmt.Sprintf("mpi: hierarchical reduce length mismatch: %d vs %d", len(m.f64), len(acc)))
+			}
+			for i := range acc {
+				acc[i] = op.apply(acc[i], m.f64[i])
+			}
+		}
+	}
+
+	// Phase 2: inter-node allreduce among the leaders, implemented as a
+	// linear deterministic gather at rank 0 over leaders followed by a
+	// broadcast back to the leaders.
+	seq2 := c.nextSeq()
+	if c.rank == leader {
+		if leader == 0 {
+			for l := ranksPerNode; l < size; l += ranksPerNode {
+				m := c.recv(l, seq2)
+				for i := range acc {
+					acc[i] = op.apply(acc[i], m.f64[i])
+				}
+			}
+			for l := ranksPerNode; l < size; l += ranksPerNode {
+				c.send(l, message{seq: seq2, f64: acc})
+			}
+		} else {
+			c.send(0, message{seq: seq2, f64: acc})
+			m := c.recv(0, seq2)
+			acc = m.f64
+		}
+	}
+
+	// Phase 3: intra-node broadcast from the leader.
+	seq3 := c.nextSeq()
+	if c.rank == leader {
+		for r := leader + 1; r < last; r++ {
+			c.send(r, message{seq: seq3, f64: acc})
+		}
+		return acc
+	}
+	m := c.recv(leader, seq3)
+	return m.f64
+}

@@ -1,0 +1,92 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestAllreduceHierarchicalCorrect(t *testing.T) {
+	for _, tc := range []struct{ size, perNode int }{
+		{4, 2}, {6, 2}, {8, 4}, {9, 4}, {12, 3}, {5, 8}, {7, 1},
+	} {
+		w := NewWorld(tc.size)
+		outs := make([][]float64, tc.size)
+		var mu sync.Mutex
+		w.Run(func(c *Comm) {
+			res := c.AllreduceHierarchical([]float64{float64(c.Rank() + 1), 2}, OpSum, ClassLikelihoodEval, tc.perNode)
+			mu.Lock()
+			outs[c.Rank()] = res
+			mu.Unlock()
+		})
+		want := float64(tc.size*(tc.size+1)) / 2
+		for r := 0; r < tc.size; r++ {
+			if outs[r][0] != want || outs[r][1] != float64(2*tc.size) {
+				t.Fatalf("size=%d perNode=%d rank=%d: %v, want [%g %g]",
+					tc.size, tc.perNode, r, outs[r], want, float64(2*tc.size))
+			}
+		}
+	}
+}
+
+func TestAllreduceHierarchicalBitIdentical(t *testing.T) {
+	// The §III-B consistency requirement applies to the hybrid variant
+	// too: all ranks must see bit-identical results.
+	const size, perNode = 12, 4
+	rng := rand.New(rand.NewSource(5))
+	inputs := make([][]float64, size)
+	for r := range inputs {
+		vec := make([]float64, 32)
+		for i := range vec {
+			vec[i] = rng.NormFloat64() * math.Exp(float64(rng.Intn(60)-30))
+		}
+		inputs[r] = vec
+	}
+	w := NewWorld(size)
+	outs := make([][]float64, size)
+	var mu sync.Mutex
+	w.Run(func(c *Comm) {
+		res := c.AllreduceHierarchical(inputs[c.Rank()], OpSum, ClassLikelihoodEval, perNode)
+		mu.Lock()
+		outs[c.Rank()] = res
+		mu.Unlock()
+	})
+	for r := 1; r < size; r++ {
+		for i := range outs[0] {
+			if math.Float64bits(outs[r][i]) != math.Float64bits(outs[0][i]) {
+				t.Fatalf("rank %d element %d differs bitwise", r, i)
+			}
+		}
+	}
+}
+
+func TestAllreduceHierarchicalMinMax(t *testing.T) {
+	w := NewWorld(6)
+	var mn, mx []float64
+	var mu sync.Mutex
+	w.Run(func(c *Comm) {
+		v := []float64{float64((c.Rank()*5)%7 - 2)}
+		a := c.AllreduceHierarchical(v, OpMin, ClassControl, 2)
+		b := c.AllreduceHierarchical(v, OpMax, ClassControl, 2)
+		mu.Lock()
+		mn, mx = a, b
+		mu.Unlock()
+	})
+	// values: r=0→-2, 1→3, 2→1, 3→-1, 4→4, 5→2 (mod arithmetic: (r*5)%7-2)
+	if mn[0] != -2 || mx[0] != 4 {
+		t.Fatalf("min=%v max=%v", mn, mx)
+	}
+}
+
+func TestAllreduceHierarchicalPanicsOnBadGroup(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ranksPerNode=0")
+		}
+	}()
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		c.AllreduceHierarchical([]float64{1}, OpSum, ClassControl, 0)
+	})
+}

@@ -1,0 +1,144 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Meter aggregates communication statistics per CommClass. Payload bytes
+// are counted once per logical collective (at its root), independent of
+// rank count — the convention of the paper's Table I. Parallel-region
+// counts are bumped explicitly by the engines via AddRegion, because one
+// parallel region can comprise several collectives (e.g. a descriptor
+// broadcast plus a reduction).
+type Meter struct {
+	mu      sync.Mutex
+	ops     [NumCommClasses]int64
+	bytes   [NumCommClasses]int64
+	regions [NumCommClasses]int64
+}
+
+// NewMeter creates an empty meter.
+func NewMeter() *Meter { return &Meter{} }
+
+func (m *Meter) addOp(class CommClass, bytes int) {
+	m.mu.Lock()
+	m.ops[class]++
+	m.bytes[class] += int64(bytes)
+	m.mu.Unlock()
+}
+
+// AddRegion records that a parallel region of the given class was
+// triggered.
+func (m *Meter) AddRegion(class CommClass) {
+	m.mu.Lock()
+	m.regions[class]++
+	m.mu.Unlock()
+}
+
+// Snapshot is a frozen copy of the meters.
+type Snapshot struct {
+	// Ops is the number of collective operations per class.
+	Ops [NumCommClasses]int64
+	// Bytes is the payload volume per class.
+	Bytes [NumCommClasses]int64
+	// Regions is the number of parallel regions per class.
+	Regions [NumCommClasses]int64
+}
+
+// Snapshot returns the current counters.
+func (m *Meter) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{Ops: m.ops, Bytes: m.bytes, Regions: m.regions}
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.ops = [NumCommClasses]int64{}
+	m.bytes = [NumCommClasses]int64{}
+	m.regions = [NumCommClasses]int64{}
+	m.mu.Unlock()
+}
+
+// TotalOps sums operation counts over all classes.
+func (s Snapshot) TotalOps() int64 {
+	var t int64
+	for _, v := range s.Ops {
+		t += v
+	}
+	return t
+}
+
+// TotalBytes sums payload volume over all classes.
+func (s Snapshot) TotalBytes() int64 {
+	var t int64
+	for _, v := range s.Bytes {
+		t += v
+	}
+	return t
+}
+
+// TotalRegions sums parallel-region counts over all classes.
+func (s Snapshot) TotalRegions() int64 {
+	var t int64
+	for _, v := range s.Regions {
+		t += v
+	}
+	return t
+}
+
+// Sub returns s − other, for measuring a phase between two snapshots.
+func (s Snapshot) Sub(other Snapshot) Snapshot {
+	var out Snapshot
+	for c := 0; c < int(NumCommClasses); c++ {
+		out.Ops[c] = s.Ops[c] - other.Ops[c]
+		out.Bytes[c] = s.Bytes[c] - other.Bytes[c]
+		out.Regions[c] = s.Regions[c] - other.Regions[c]
+	}
+	return out
+}
+
+// Add returns s + other.
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	var out Snapshot
+	for c := 0; c < int(NumCommClasses); c++ {
+		out.Ops[c] = s.Ops[c] + other.Ops[c]
+		out.Bytes[c] = s.Bytes[c] + other.Bytes[c]
+		out.Regions[c] = s.Regions[c] + other.Regions[c]
+	}
+	return out
+}
+
+// String renders a per-class table sorted by byte volume, mirroring the
+// layout of the paper's Table I.
+func (s Snapshot) String() string {
+	type row struct {
+		class CommClass
+		ops   int64
+		bytes int64
+	}
+	var rows []row
+	for c := CommClass(0); c < NumCommClasses; c++ {
+		if s.Ops[c] == 0 && s.Bytes[c] == 0 {
+			continue
+		}
+		rows = append(rows, row{c, s.Ops[c], s.Bytes[c]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].bytes > rows[j].bytes })
+	total := s.TotalBytes()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %12s %14s %8s\n", "class", "ops", "bytes", "share")
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.bytes) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-22s %12d %14d %7.2f%%\n", r.class, r.ops, r.bytes, share)
+	}
+	fmt.Fprintf(&b, "%-22s %12d %14d\n", "TOTAL", s.TotalOps(), total)
+	return b.String()
+}

@@ -1,0 +1,443 @@
+// Package mpi is an in-process message-passing runtime standing in for MPI:
+// ranks are goroutines, point-to-point transport is Go channels, and the
+// collectives the two parallelization schemes need (Barrier, Bcast, Reduce,
+// Allreduce, Gatherv, Scatterv) are implemented with deterministic binomial
+// trees.
+//
+// Two properties are load-bearing for the reproduction:
+//
+//  1. Determinism. Reduce applies operands in a fixed tree order and
+//     Allreduce is Reduce-to-root followed by Bcast, so every rank receives
+//     bit-identical results — the property §III-B of the paper requires so
+//     the de-centralized replicas never diverge. A deliberately
+//     non-deterministic AllreduceUnordered is provided for the ablation
+//     that shows why this matters.
+//
+//  2. Metering. Every collective is tagged with a CommClass and metered
+//     (operation count + payload bytes, counted once per logical collective
+//     independent of rank count — the accounting Table I of the paper
+//     uses). The meters are what the benchmark harness reads out.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CommClass labels the purpose of a collective for Table-I style
+// accounting.
+type CommClass int
+
+// The classes mirror the four rows of the paper's Table I plus
+// bookkeeping classes for data distribution and control traffic.
+const (
+	// ClassTraversal is traversal-descriptor broadcasts (fork-join only).
+	ClassTraversal CommClass = iota
+	// ClassBranchLength is branch-length optimization traffic
+	// (derivative reductions, fork-join branch-length commands).
+	ClassBranchLength
+	// ClassLikelihoodEval is per-site/per-partition log-likelihood
+	// reductions at the virtual root.
+	ClassLikelihoodEval
+	// ClassModelParams is broadcasts/reductions of changed model
+	// parameters (α, GTR rates, PSR rates).
+	ClassModelParams
+	// ClassDataDistribution is initial data distribution traffic.
+	ClassDataDistribution
+	// ClassControl is scheme-internal control traffic (job opcodes).
+	ClassControl
+
+	// NumCommClasses is the number of distinct classes.
+	NumCommClasses
+)
+
+// String implements fmt.Stringer.
+func (c CommClass) String() string {
+	switch c {
+	case ClassTraversal:
+		return "traversal-descriptor"
+	case ClassBranchLength:
+		return "branch-length"
+	case ClassLikelihoodEval:
+		return "likelihood-eval"
+	case ClassModelParams:
+		return "model-params"
+	case ClassDataDistribution:
+		return "data-distribution"
+	case ClassControl:
+		return "control"
+	}
+	return fmt.Sprintf("CommClass(%d)", int(c))
+}
+
+// Op selects a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+func (o Op) apply(acc, v float64) float64 {
+	switch o {
+	case OpSum:
+		return acc + v
+	case OpMin:
+		if v < acc {
+			return v
+		}
+		return acc
+	case OpMax:
+		if v > acc {
+			return v
+		}
+		return acc
+	}
+	panic("mpi: unknown op")
+}
+
+// message is the transport unit.
+type message struct {
+	seq uint64
+	f64 []float64
+	raw []byte
+}
+
+// World is a communicator over a fixed set of ranks.
+type World struct {
+	size  int
+	chans [][]chan message // chans[from][to]
+	meter *Meter
+}
+
+// NewWorld creates a communicator with the given number of ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: world size %d", size))
+	}
+	w := &World{size: size, meter: NewMeter()}
+	w.chans = make([][]chan message, size)
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, size)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan message, 4)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Meter returns the shared communication meter.
+func (w *World) Meter() *Meter { return w.meter }
+
+// Run executes f concurrently on every rank (SPMD) and waits for all of
+// them. A panic on any rank is re-raised on the caller after all ranks
+// finish or deadlock-free teardown is impossible; ranks therefore must not
+// panic in normal operation.
+func (w *World) Run(f func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			f(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for rank, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", rank, p))
+		}
+	}
+}
+
+// Comm returns the per-rank handle.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Comm is one rank's endpoint. It must be used by a single goroutine.
+type Comm struct {
+	world *World
+	rank  int
+	seq   uint64
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Meter returns the shared meter.
+func (c *Comm) Meter() *Meter { return c.world.meter }
+
+// send transmits a copied payload to rank `to`.
+func (c *Comm) send(to int, m message) {
+	if m.f64 != nil {
+		m.f64 = append([]float64(nil), m.f64...)
+	}
+	if m.raw != nil {
+		m.raw = append([]byte(nil), m.raw...)
+	}
+	c.world.chans[c.rank][to] <- m
+}
+
+// recv blocks for the next message from rank `from` and asserts the
+// collective sequence number, catching protocol mismatches (ranks calling
+// collectives in different orders) immediately instead of silently
+// corrupting data.
+func (c *Comm) recv(from int, seq uint64) message {
+	m := <-c.world.chans[from][c.rank]
+	if m.seq != seq {
+		panic(fmt.Sprintf("mpi: rank %d: message from %d has seq %d, want %d (collective order mismatch)", c.rank, from, m.seq, seq))
+	}
+	return m
+}
+
+// nextSeq advances this rank's collective counter. All ranks execute the
+// same collective sequence, so counters stay aligned.
+func (c *Comm) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// vrank maps a rank into the binomial tree rooted at root.
+func vrank(rank, root, size int) int { return (rank - root + size) % size }
+func unvrank(v, root, size int) int  { return (v + root) % size }
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier(class CommClass) {
+	seq := c.nextSeq()
+	size := c.world.size
+	if size == 1 {
+		c.world.meter.addOp(class, 0)
+		return
+	}
+	v := vrank(c.rank, 0, size)
+	// Reduce phase (children → parent), then broadcast phase.
+	for mask := 1; mask < size; mask <<= 1 {
+		if v&mask != 0 {
+			c.send(unvrank(v&^mask, 0, size), message{seq: seq})
+			break
+		}
+		if v|mask < size {
+			c.recv(unvrank(v|mask, 0, size), seq)
+		}
+	}
+	c.bcastTree(seq, 0, message{seq: seq}, nil)
+	if c.rank == 0 {
+		c.world.meter.addOp(class, 0)
+	}
+}
+
+// bcastTree distributes m down the binomial tree from root; non-roots
+// first receive, storing into *out if non-nil. The tree is the standard
+// binomial broadcast: a vrank's parent clears its lowest set bit, and a
+// vrank forwards to v+2^j for every j below its lowest set bit (the whole
+// range for the root).
+func (c *Comm) bcastTree(seq uint64, root int, m message, out *message) {
+	size := c.world.size
+	v := vrank(c.rank, root, size)
+	mask := 1
+	for mask < size {
+		if v&mask != 0 {
+			got := c.recv(unvrank(v-mask, root, size), seq)
+			if out != nil {
+				*out = got
+			}
+			m = got
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if child := v + mask; child < size {
+			c.send(unvrank(child, root, size), m)
+		}
+	}
+	if v == 0 && out != nil {
+		*out = m
+	}
+}
+
+// Bcast broadcasts data from root; every rank returns the root's payload.
+func (c *Comm) Bcast(root int, data []float64, class CommClass) []float64 {
+	seq := c.nextSeq()
+	if c.rank == root {
+		c.world.meter.addOp(class, 8*len(data))
+	}
+	if c.world.size == 1 {
+		return data
+	}
+	var out message
+	c.bcastTree(seq, root, message{seq: seq, f64: data}, &out)
+	return out.f64
+}
+
+// BcastBytes broadcasts a byte payload from root.
+func (c *Comm) BcastBytes(root int, data []byte, class CommClass) []byte {
+	seq := c.nextSeq()
+	if c.rank == root {
+		c.world.meter.addOp(class, len(data))
+	}
+	if c.world.size == 1 {
+		return data
+	}
+	var out message
+	c.bcastTree(seq, root, message{seq: seq, raw: data}, &out)
+	return out.raw
+}
+
+// Reduce element-wise reduces data to root; root receives the result,
+// other ranks receive nil. The combination order is the fixed binomial
+// tree order — independent of goroutine scheduling.
+func (c *Comm) Reduce(root int, data []float64, op Op, class CommClass) []float64 {
+	seq := c.nextSeq()
+	if c.rank == root {
+		c.world.meter.addOp(class, 8*len(data))
+	}
+	size := c.world.size
+	acc := append([]float64(nil), data...)
+	if size == 1 {
+		return acc
+	}
+	v := vrank(c.rank, root, size)
+	for mask := 1; mask < size; mask <<= 1 {
+		if v&mask != 0 {
+			c.send(unvrank(v&^mask, root, size), message{seq: seq, f64: acc})
+			return nil
+		}
+		if v|mask < size {
+			m := c.recv(unvrank(v|mask, root, size), seq)
+			if len(m.f64) != len(acc) {
+				panic(fmt.Sprintf("mpi: reduce length mismatch: %d vs %d", len(m.f64), len(acc)))
+			}
+			for i := range acc {
+				acc[i] = op.apply(acc[i], m.f64[i])
+			}
+		}
+	}
+	return acc
+}
+
+// Allreduce reduces and redistributes: every rank returns bit-identical
+// results. Implemented as Reduce-to-0 + Bcast, the composition that
+// guarantees the replica-consistency property of §III-B.
+func (c *Comm) Allreduce(data []float64, op Op, class CommClass) []float64 {
+	red := c.Reduce(0, data, op, class)
+	// The broadcast leg of an Allreduce is part of the same logical
+	// operation; meter only the reduce leg (payload counted once, as the
+	// paper does: "an MPI_Allreduce on 3 MPI_DOUBLE values is counted as
+	// 24 bytes").
+	seq := c.nextSeq()
+	if c.world.size == 1 {
+		return red
+	}
+	var out message
+	c.bcastTree(seq, 0, message{seq: seq, f64: red}, &out)
+	return out.f64
+}
+
+// AllreduceUnordered is the ablation variant: an allgather followed by a
+// *rank-rotated* local summation — the naive small-message algorithm some
+// MPI implementations use. Every rank associates the addends in a
+// different order, so for floating-point sums different ranks can (and
+// do) observe different last-bit results. This is exactly the failure
+// mode the paper's §III-B consistency requirement guards against: replica
+// state would silently diverge. Do not use outside the ablation.
+func (c *Comm) AllreduceUnordered(data []float64, op Op, class CommClass) []float64 {
+	seq := c.nextSeq()
+	if c.rank == 0 {
+		c.world.meter.addOp(class, 8*len(data))
+	}
+	size := c.world.size
+	if size == 1 {
+		return append([]float64(nil), data...)
+	}
+	// Allgather: everyone sends to everyone (naive exchange).
+	for to := 0; to < size; to++ {
+		if to != c.rank {
+			c.send(to, message{seq: seq, f64: data})
+		}
+	}
+	all := make([][]float64, size)
+	all[c.rank] = data
+	for from := 0; from < size; from++ {
+		if from != c.rank {
+			all[from] = c.recv(from, seq).f64
+		}
+	}
+	// Local sum starting at this rank's own contribution: the
+	// association order differs per rank.
+	acc := append([]float64(nil), all[c.rank]...)
+	for k := 1; k < size; k++ {
+		src := all[(c.rank+k)%size]
+		for i := range acc {
+			acc[i] = op.apply(acc[i], src[i])
+		}
+	}
+	return acc
+}
+
+// Gatherv gathers variable-length contributions at root; root receives
+// them indexed by rank, others receive nil. Payload accounting charges the
+// total gathered volume.
+func (c *Comm) Gatherv(root int, data []float64, class CommClass) [][]float64 {
+	seq := c.nextSeq()
+	size := c.world.size
+	if c.rank == root {
+		out := make([][]float64, size)
+		total := len(data)
+		out[root] = append([]float64(nil), data...)
+		for r := 0; r < size; r++ {
+			if r == root {
+				continue
+			}
+			m := c.recv(r, seq)
+			out[r] = m.f64
+			total += len(m.f64)
+		}
+		c.world.meter.addOp(class, 8*total)
+		return out
+	}
+	c.send(root, message{seq: seq, f64: data})
+	return nil
+}
+
+// Scatterv distributes per-rank payloads from root; every rank returns its
+// slice. parts is consulted only at root.
+func (c *Comm) Scatterv(root int, parts [][]float64, class CommClass) []float64 {
+	seq := c.nextSeq()
+	size := c.world.size
+	if c.rank == root {
+		if len(parts) != size {
+			panic(fmt.Sprintf("mpi: scatterv got %d parts for %d ranks", len(parts), size))
+		}
+		total := 0
+		for r := 0; r < size; r++ {
+			total += len(parts[r])
+			if r == root {
+				continue
+			}
+			c.send(r, message{seq: seq, f64: parts[r]})
+		}
+		c.world.meter.addOp(class, 8*total)
+		return append([]float64(nil), parts[root]...)
+	}
+	m := c.recv(root, seq)
+	return m.f64
+}

@@ -1,0 +1,155 @@
+package numutil
+
+import "math"
+
+// Brent minimizes f on [lo, hi] using Brent's method (golden-section search
+// with parabolic interpolation), returning the abscissa and minimum value.
+// tol is the relative x tolerance; maxIter bounds the iteration count.
+//
+// Brent's method is the standard choice in likelihood software for
+// optimizing the Γ shape parameter α and the GTR exchangeability rates:
+// derivatives of the likelihood with respect to those parameters are not
+// available in closed form, and Brent converges superlinearly without them.
+func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) (xmin, fmin float64) {
+	const goldenRatio = 0.3819660112501051 // (3 - √5)/2
+	const tiny = 1e-12
+
+	a, b := lo, hi
+	x := a + goldenRatio*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	var d, e float64 // step of this and the previous iteration
+
+	for iter := 0; iter < maxIter; iter++ {
+		xm := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + tiny
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-0.5*(b-a) {
+			return x, fx
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Fit a parabola through (v,fv), (w,fw), (x,fx).
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etmp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etmp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = goldenRatio * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, w = w, u
+				fv, fw = fw, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return x, fx
+}
+
+// NewtonResult reports how a Newton branch-length iteration terminated.
+type NewtonResult int
+
+const (
+	// NewtonConverged means |step| fell below the tolerance.
+	NewtonConverged NewtonResult = iota
+	// NewtonHitBound means the iterate was clamped at lo or hi.
+	NewtonHitBound
+	// NewtonMaxIter means the iteration budget ran out; the best iterate
+	// seen is still returned and is usable.
+	NewtonMaxIter
+)
+
+// NewtonMaximize finds a maximum of a univariate function on [lo, hi] given
+// its first and second derivatives, starting from x0. derivs must return
+// (f'(x), f”(x)). It is a guarded Newton–Raphson: steps that would leave
+// the bracket, or that are taken where f” ≥ 0 (no local max), fall back to
+// bisection on the sign of f'.
+//
+// This mirrors the branch-length optimization inner loop of RAxML
+// (makenewz): the phylogenetic likelihood along one branch is unimodal in
+// practice and Newton converges in a handful of iterations.
+func NewtonMaximize(derivs func(x float64) (d1, d2 float64), x0, lo, hi, tol float64, maxIter int) (float64, NewtonResult) {
+	x := math.Min(math.Max(x0, lo), hi)
+	a, b := lo, hi // bracket maintained on the sign of d1
+	for iter := 0; iter < maxIter; iter++ {
+		d1, d2 := derivs(x)
+		if d1 > 0 {
+			a = x
+		} else {
+			b = x
+		}
+		var xn float64
+		if d2 < 0 {
+			xn = x - d1/d2
+		} else {
+			// No curvature information pointing at a max: bisect.
+			xn = 0.5 * (a + b)
+		}
+		if xn <= a || xn >= b || math.IsNaN(xn) {
+			xn = 0.5 * (a + b)
+		}
+		if math.Abs(xn-x) < tol {
+			x = xn
+			if x <= lo+tol || x >= hi-tol {
+				return clamp(x, lo, hi), NewtonHitBound
+			}
+			return x, NewtonConverged
+		}
+		x = xn
+	}
+	return clamp(x, lo, hi), NewtonMaxIter
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

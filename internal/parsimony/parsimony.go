@@ -1,0 +1,263 @@
+// Package parsimony implements maximum-parsimony scoring (the Fitch
+// algorithm on 4-bit state sets) and randomized stepwise-addition tree
+// construction with SPR refinement — a reproduction of the Parsimonator
+// tool that generates the starting trees for production ExaML runs (the
+// paper's runs start from parsimony trees, not random ones).
+//
+// Everything is deterministic given the seed, so every rank of the
+// de-centralized scheme can construct the identical starting tree locally
+// without communication.
+package parsimony
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/msa"
+	"repro/internal/tree"
+)
+
+// Data is the parsimony view of a dataset: per taxon, the concatenated
+// pattern states over all partitions, plus pattern weights.
+type Data struct {
+	// Tips[taxon][pattern] is the 4-bit state set.
+	Tips [][]msa.State
+	// Weights[pattern] is the column multiplicity.
+	Weights []int32
+	// Names are the taxon labels (dataset order).
+	Names []string
+}
+
+// NewData flattens a compressed dataset for parsimony use.
+func NewData(d *msa.Dataset) *Data {
+	n := d.NTaxa()
+	out := &Data{Names: d.Names, Tips: make([][]msa.State, n)}
+	for _, p := range d.Parts {
+		for i := 0; i < n; i++ {
+			out.Tips[i] = append(out.Tips[i], p.Tips[i]...)
+		}
+		for _, w := range p.Weights {
+			out.Weights = append(out.Weights, int32(w))
+		}
+	}
+	return out
+}
+
+// NPatterns returns the number of flattened patterns.
+func (d *Data) NPatterns() int { return len(d.Weights) }
+
+// Score computes the weighted Fitch parsimony score of the tree: the
+// minimum number of state changes over all sites, with a virtual root on
+// the edge next to taxon 0. The score is root-invariant.
+func Score(t *tree.Tree, d *Data) int64 {
+	np := d.NPatterns()
+	// Per inner vertex, the downward Fitch set per pattern.
+	sets := make([][]msa.State, t.NInner())
+	var mutations int64
+
+	var down func(n *tree.Node) []msa.State
+	down = func(n *tree.Node) []msa.State {
+		if n.IsTip() {
+			return d.Tips[n.TaxonID]
+		}
+		slot := n.VertexID - t.NTaxa()
+		a := down(n.Next.Back)
+		b := down(n.Next.Next.Back)
+		out := sets[slot]
+		if out == nil {
+			out = make([]msa.State, np)
+			sets[slot] = out
+		}
+		for i := 0; i < np; i++ {
+			inter := a[i] & b[i]
+			if inter == 0 {
+				out[i] = a[i] | b[i]
+				mutations += int64(d.Weights[i])
+			} else {
+				out[i] = inter
+			}
+		}
+		return out
+	}
+
+	root := t.Tip(0)
+	up := down(root.Back)
+	tipSets := d.Tips[root.TaxonID]
+	for i := 0; i < np; i++ {
+		if up[i]&tipSets[i] == 0 {
+			mutations += int64(d.Weights[i])
+		}
+	}
+	return mutations
+}
+
+// Builder incrementally constructs and refines trees by parsimony.
+type Builder struct {
+	data *Data
+	rng  *rand.Rand
+	// blClasses configures the branch-length classes of produced trees.
+	blClasses int
+}
+
+// NewBuilder prepares a builder over the dataset.
+func NewBuilder(d *msa.Dataset, blClasses int, seed int64) (*Builder, error) {
+	if d.NTaxa() < 3 {
+		return nil, fmt.Errorf("parsimony: need at least 3 taxa")
+	}
+	if blClasses < 1 {
+		return nil, fmt.Errorf("parsimony: blClasses = %d", blClasses)
+	}
+	return &Builder{data: NewData(d), rng: rand.New(rand.NewSource(seed)), blClasses: blClasses}, nil
+}
+
+// Stepwise builds a tree by randomized stepwise addition: taxa are added
+// in random order, each at the edge that minimizes the Fitch score.
+// Deterministic given the builder's seed.
+func (b *Builder) Stepwise() *tree.Tree {
+	n := len(b.data.Names)
+	order := b.rng.Perm(n)
+
+	t := tree.New(b.data.Names, b.blClasses)
+	ring := t.InnerRing(0)
+	t.Connect(ring, t.Tip(order[0]), tree.DefaultBranchLength)
+	t.Connect(ring.Next, t.Tip(order[1]), tree.DefaultBranchLength)
+	t.Connect(ring.Next.Next, t.Tip(order[2]), tree.DefaultBranchLength)
+
+	// Incremental construction on a *growing* tree: the tree package
+	// pre-allocates all vertices, so we track which edges are live.
+	live := []*tree.Node{ring, ring.Next, ring.Next.Next}
+
+	for k := 3; k < n; k++ {
+		taxon := order[k]
+		v := t.InnerRing(k - 2)
+		bestScore := int64(-1)
+		bestEdge := -1
+		for ei, e := range live {
+			// Try inserting at edge e.
+			a, bb := e, e.Back
+			br := tree.Disconnect(a)
+			t.ConnectBranch(a, v.Next, br)
+			t.Connect(v.Next.Next, bb, tree.DefaultBranchLength)
+			t.Connect(v, t.Tip(taxon), tree.DefaultBranchLength)
+
+			s := b.scorePartial(t, taxon)
+			if bestScore < 0 || s < bestScore {
+				bestScore = s
+				bestEdge = ei
+			}
+
+			// Undo.
+			tree.Disconnect(v)
+			tree.Disconnect(v.Next.Next)
+			br2 := tree.Disconnect(v.Next)
+			t.ConnectBranch(a, bb, br2)
+		}
+		// Apply the best insertion permanently.
+		e := live[bestEdge]
+		a, bb := e, e.Back
+		br := tree.Disconnect(a)
+		t.ConnectBranch(a, v.Next, br)
+		t.Connect(v.Next.Next, bb, tree.DefaultBranchLength)
+		t.Connect(v, t.Tip(taxon), tree.DefaultBranchLength)
+		live = append(live, v, v.Next.Next)
+	}
+	return t
+}
+
+// scorePartial scores the partially built tree (taxa not yet attached are
+// simply absent from it): a full Fitch pass rooted next to the just-added
+// taxon.
+func (b *Builder) scorePartial(t *tree.Tree, rootTaxon int) int64 {
+	np := b.data.NPatterns()
+	var mutations int64
+	var down func(n *tree.Node) []msa.State
+	down = func(n *tree.Node) []msa.State {
+		if n.IsTip() {
+			return b.data.Tips[n.TaxonID]
+		}
+		a := down(n.Next.Back)
+		bb := down(n.Next.Next.Back)
+		out := make([]msa.State, np)
+		for i := 0; i < np; i++ {
+			inter := a[i] & bb[i]
+			if inter == 0 {
+				out[i] = a[i] | bb[i]
+				mutations += int64(b.data.Weights[i])
+			} else {
+				out[i] = inter
+			}
+		}
+		return out
+	}
+	root := t.Tip(rootTaxon)
+	up := down(root.Back)
+	tips := b.data.Tips[rootTaxon]
+	for i := 0; i < np; i++ {
+		if up[i]&tips[i] == 0 {
+			mutations += int64(b.data.Weights[i])
+		}
+	}
+	return mutations
+}
+
+// SPRRounds hill-climbs the tree with parsimony-scored SPR moves until no
+// move within the radius improves the score or maxRounds is exhausted.
+// Returns the final score.
+func (b *Builder) SPRRounds(t *tree.Tree, radius, maxRounds int) int64 {
+	cur := Score(t, b.data)
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		for v := 0; v < t.NInner(); v++ {
+			for _, p := range t.InnerRing(v).Ring() {
+				ps, err := t.Prune(p)
+				if err != nil {
+					continue
+				}
+				candidates := ps.CandidateEdges(1, radius)
+				bestScore := cur
+				bestIdx := -1
+				for i, e := range candidates {
+					if err := t.Regraft(ps, e); err != nil {
+						panic(fmt.Sprintf("parsimony: regraft: %v", err))
+					}
+					s := Score(t, b.data)
+					if s < bestScore {
+						bestScore = s
+						bestIdx = i
+					}
+					if err := t.RemoveRegraft(ps); err != nil {
+						panic(fmt.Sprintf("parsimony: remove: %v", err))
+					}
+				}
+				if bestIdx >= 0 {
+					if err := t.Regraft(ps, candidates[bestIdx]); err != nil {
+						panic(fmt.Sprintf("parsimony: apply: %v", err))
+					}
+					cur = bestScore
+					improved = true
+				} else if err := t.Restore(ps); err != nil {
+					panic(fmt.Sprintf("parsimony: restore: %v", err))
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// Build produces a refined parsimony starting tree: randomized stepwise
+// addition followed by SPR hill climbing, exactly the Parsimonator recipe.
+func Build(d *msa.Dataset, blClasses int, seed int64) (*tree.Tree, int64, error) {
+	b, err := NewBuilder(d, blClasses, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	t := b.Stepwise()
+	score := b.SPRRounds(t, 5, 3)
+	if err := t.Check(); err != nil {
+		return nil, 0, fmt.Errorf("parsimony: built tree invalid: %w", err)
+	}
+	return t, score, nil
+}

@@ -1,0 +1,56 @@
+// Package search implements the RAxML-style maximum-likelihood tree search
+// — branch-length smoothing with Newton–Raphson, lockstep Brent
+// optimization of per-partition model parameters, PSR per-site rate
+// optimization, and lazy-SPR topology rearrangements — written once
+// against the Engine interface.
+//
+// This single-source property is the paper's "exactly the same tree search
+// algorithm" guarantee: the fork-join engine runs this code on the master
+// only and ships commands to workers; the de-centralized engine runs it as
+// a consistent replica on every rank. Both produce bit-identical
+// trajectories because the reductions they use are bit-deterministic.
+package search
+
+import "repro/internal/traversal"
+
+// Engine is the distributed likelihood backend. Every method corresponds
+// to one (or a fixed number of) parallel regions. Implementations:
+// decentral.Engine, forkjoin.Engine, and the single-process sequential
+// engine used as ground truth in tests.
+type Engine interface {
+	// NPartitions returns the number of dataset partitions.
+	NPartitions() int
+
+	// BLClasses returns the number of branch-length linkage classes
+	// (1, or NPartitions under per-partition branch lengths).
+	BLClasses() int
+
+	// Traverse executes the descriptor's CLV schedule on all data.
+	Traverse(d *traversal.Descriptor)
+
+	// Evaluate executes the descriptor and returns the global
+	// per-partition log likelihoods at its virtual root edge.
+	Evaluate(d *traversal.Descriptor) []float64
+
+	// PrepareBranch executes the descriptor and builds the derivative
+	// sum tables for its edge.
+	PrepareBranch(d *traversal.Descriptor)
+
+	// BranchDerivatives returns the global (d lnL/dt, d² lnL/dt²) sums
+	// per linkage class, evaluated at the trial lengths ts (one per
+	// class), for the edge prepared by PrepareBranch.
+	BranchDerivatives(ts []float64) (d1, d2 []float64)
+
+	// SetShared applies per-partition shared parameters (α + GTR rates,
+	// model.SharedLen doubles per partition) to all ranks' kernels.
+	SetShared(params [][]float64)
+
+	// OptimizeSiteRates runs the PSR per-site-rate pipeline using the
+	// given full-tree descriptor and returns the per-linkage-class
+	// branch-length scale factors that compensate the global rate
+	// normalization (all 1 when nothing changed). No-op under Γ.
+	OptimizeSiteRates(d *traversal.Descriptor) []float64
+
+	// Close releases engine resources (stops worker loops).
+	Close()
+}

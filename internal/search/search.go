@@ -1,0 +1,658 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/checkpoint"
+	"repro/internal/likelihood"
+	"repro/internal/model"
+	"repro/internal/msa"
+	"repro/internal/parsimony"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+// Config controls the search.
+type Config struct {
+	// Het selects Γ or PSR rate heterogeneity.
+	Het model.Heterogeneity
+	// Subst constrains the GTR exchangeabilities to a named sub-model
+	// (JC, K80, HKY); the zero value is full GTR, the paper's setting.
+	Subst model.SubstModel
+	// PerPartitionBranches enables individual per-partition branch
+	// lengths (the paper's -M option).
+	PerPartitionBranches bool
+	// Epsilon is the log-likelihood improvement threshold below which the
+	// search stops (RAxML default 0.1).
+	Epsilon float64
+	// SPRRadius is the lazy-SPR rearrangement radius (default 5).
+	SPRRadius int
+	// MaxIterations caps the outer search loop (default 50).
+	MaxIterations int
+	// SmoothPasses is the number of branch-length smoothing sweeps per
+	// round (default 2).
+	SmoothPasses int
+	// NewtonIterations caps Newton steps per branch visit (default 8).
+	NewtonIterations int
+	// Seed drives the starting topology.
+	Seed int64
+	// StartTree, when non-empty, is a Newick starting tree overriding the
+	// random start.
+	StartTree string
+	// ParsimonyStart builds the starting tree by randomized
+	// stepwise-addition parsimony with SPR refinement (the Parsimonator
+	// recipe production ExaML runs use) instead of a random topology.
+	// Ignored when StartTree or Restore is set.
+	ParsimonyStart bool
+	// ModelOptRounds is the number of α/GTR (or PSR-rate) optimization
+	// rounds per iteration (default 1).
+	ModelOptRounds int
+	// SkipTopology disables SPR moves (branch lengths + model only).
+	SkipTopology bool
+	// Restore resumes from a checkpoint: the tree, parameters, and
+	// iteration counter are taken from the state instead of a fresh
+	// start. PSR per-site rates are re-derived in the first iteration.
+	Restore *checkpoint.State
+	// OnIteration, when set, is invoked after every completed outer
+	// iteration with the searcher, the 1-based iteration number (counting
+	// restored iterations), and the current log likelihood — the hook
+	// checkpointing and progress reporting attach to. It runs on every
+	// replica under the de-centralized scheme; callers that write files
+	// must restrict themselves to one rank.
+	OnIteration func(s *Searcher, iteration int, lnL float64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.1
+	}
+	if c.SPRRadius <= 0 {
+		c.SPRRadius = 5
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 50
+	}
+	if c.SmoothPasses <= 0 {
+		c.SmoothPasses = 2
+	}
+	if c.NewtonIterations <= 0 {
+		c.NewtonIterations = 8
+	}
+	if c.ModelOptRounds <= 0 {
+		c.ModelOptRounds = 1
+	}
+	return c
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Tree is the final topology with optimized branch lengths.
+	Tree *tree.Tree
+	// LnL is the final total log likelihood.
+	LnL float64
+	// PerPartitionLnL is the final per-partition breakdown.
+	PerPartitionLnL []float64
+	// Iterations is the number of outer search iterations executed until
+	// convergence (the paper's 23-vs-17 observation is about this count).
+	Iterations int
+	// Shared is the final per-partition (α + GTR) parameter matrix.
+	Shared [][]float64
+}
+
+// Searcher drives the search over an Engine. In the de-centralized scheme
+// one Searcher runs per rank (consistent replicas); in the fork-join
+// scheme a single Searcher runs on the master.
+type Searcher struct {
+	Tree *tree.Tree
+	eng  Engine
+	cfg  Config
+
+	nPart          int
+	shared         []*model.Params // authoritative α/GTR per partition
+	lnL            float64
+	perPart        []float64
+	startIteration int
+}
+
+// NewSearcher builds the search state: the starting tree (deterministic
+// from cfg.Seed or parsed from cfg.StartTree) and default parameters. The
+// taxa and empirical frequencies come from the dataset; every replica
+// constructs identical state.
+func NewSearcher(eng Engine, d *msa.Dataset, cfg Config) (*Searcher, error) {
+	cfg = cfg.withDefaults()
+	classes := 1
+	if cfg.PerPartitionBranches {
+		classes = d.NPartitions()
+	}
+	var tr *tree.Tree
+	var err error
+	if cfg.Restore != nil {
+		tr, err = cfg.Restore.BuildTree()
+		if err != nil {
+			return nil, fmt.Errorf("search: restore: %w", err)
+		}
+		if tr.BLClasses != classes {
+			return nil, fmt.Errorf("search: checkpoint has %d branch classes, config needs %d", tr.BLClasses, classes)
+		}
+		if len(tr.Taxa) != len(d.Names) {
+			return nil, fmt.Errorf("search: checkpoint has %d taxa, dataset %d", len(tr.Taxa), len(d.Names))
+		}
+		for i := range tr.Taxa {
+			if tr.Taxa[i] != d.Names[i] {
+				return nil, fmt.Errorf("search: checkpoint taxon %q != dataset %q", tr.Taxa[i], d.Names[i])
+			}
+		}
+	} else if cfg.StartTree != "" {
+		tr, err = tree.ParseNewick(cfg.StartTree, classes)
+		if err != nil {
+			return nil, fmt.Errorf("search: start tree: %w", err)
+		}
+		if len(tr.Taxa) != len(d.Names) {
+			return nil, fmt.Errorf("search: start tree has %d taxa, dataset %d", len(tr.Taxa), len(d.Names))
+		}
+		for i := range tr.Taxa {
+			if tr.Taxa[i] != d.Names[i] {
+				return nil, fmt.Errorf("search: start tree taxon %q != dataset %q", tr.Taxa[i], d.Names[i])
+			}
+		}
+	} else if cfg.ParsimonyStart {
+		tr, _, err = parsimony.Build(d, classes, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("search: parsimony start: %w", err)
+		}
+		tr.SetAllLengths(tree.DefaultBranchLength)
+	} else {
+		tr = tree.NewRandom(d.Names, classes, rand.New(rand.NewSource(cfg.Seed)))
+	}
+	s := &Searcher{Tree: tr, eng: eng, cfg: cfg, nPart: d.NPartitions()}
+	for pi := 0; pi < s.nPart; pi++ {
+		par, err := model.NewParams(cfg.Het, cfg.Subst.InitialFreqs(d.Parts[pi].Freqs), 0)
+		if err != nil {
+			return nil, err
+		}
+		s.shared = append(s.shared, par)
+	}
+	if cfg.Restore != nil {
+		if len(cfg.Restore.Shared) != s.nPart {
+			return nil, fmt.Errorf("search: checkpoint has %d partitions, dataset %d", len(cfg.Restore.Shared), s.nPart)
+		}
+		for pi, row := range cfg.Restore.Shared {
+			if err := s.shared[pi].DecodeShared(row); err != nil {
+				return nil, fmt.Errorf("search: restore partition %d: %w", pi, err)
+			}
+		}
+		s.startIteration = cfg.Restore.Iteration
+	}
+	return s, nil
+}
+
+// Snapshot captures the current replicated search state for
+// checkpointing. iteration is the number of completed outer iterations.
+func (s *Searcher) Snapshot(iteration int) *checkpoint.State {
+	return &checkpoint.State{
+		Iteration: iteration,
+		LnL:       s.lnL,
+		Taxa:      append([]string(nil), s.Tree.Taxa...),
+		BLClasses: s.Tree.BLClasses,
+		Edges:     checkpoint.FromTree(s.Tree),
+		Shared:    s.sharedMatrix(),
+	}
+}
+
+// sharedMatrix flattens the authoritative parameters for SetShared.
+func (s *Searcher) sharedMatrix() [][]float64 {
+	out := make([][]float64, s.nPart)
+	for i, p := range s.shared {
+		out[i] = p.EncodeShared()
+	}
+	return out
+}
+
+// pushShared ships the current parameters to the engine.
+func (s *Searcher) pushShared() { s.eng.SetShared(s.sharedMatrix()) }
+
+// evaluateFull performs a forced full traversal + evaluation at the edge
+// next to taxon 0 and refreshes the cached likelihoods.
+func (s *Searcher) evaluateFull() float64 {
+	d := traversal.Build(s.Tree, s.Tree.Tip(0), true)
+	s.perPart = s.eng.Evaluate(d)
+	s.lnL = sum(s.perPart)
+	return s.lnL
+}
+
+// evaluateAt evaluates with a partial traversal at the given edge.
+func (s *Searcher) evaluateAt(p *tree.Node) float64 {
+	d := traversal.Build(s.Tree, p, false)
+	s.perPart = s.eng.Evaluate(d)
+	s.lnL = sum(s.perPart)
+	return s.lnL
+}
+
+func sum(v []float64) float64 {
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// Run executes the full search and returns the result.
+func (s *Searcher) Run() (*Result, error) {
+	s.pushShared()
+	best := s.evaluateFull()
+
+	iterations := s.startIteration
+	for iterations < s.cfg.MaxIterations {
+		iterations++
+
+		for r := 0; r < s.cfg.ModelOptRounds; r++ {
+			s.optimizeModel()
+		}
+		s.smoothAll(s.cfg.SmoothPasses)
+		cur := s.evaluateFull()
+
+		if !s.cfg.SkipTopology {
+			cur = s.sprRound(s.cfg.SPRRadius)
+		}
+
+		if s.cfg.OnIteration != nil {
+			s.cfg.OnIteration(s, iterations, cur)
+		}
+		if cur < best+s.cfg.Epsilon {
+			best = math.Max(best, cur)
+			break
+		}
+		best = cur
+	}
+	// Final polish: one more smoothing sweep and an exact evaluation.
+	s.smoothAll(1)
+	final := s.evaluateFull()
+	return &Result{
+		Tree:            s.Tree,
+		LnL:             final,
+		PerPartitionLnL: append([]float64(nil), s.perPart...),
+		Iterations:      iterations,
+		Shared:          s.sharedMatrix(),
+	}, nil
+}
+
+// Close shuts the engine down.
+func (s *Searcher) Close() { s.eng.Close() }
+
+// ---------- branch-length optimization ----------
+
+// updateBranch Newton-optimizes the branch at p, one linkage class at a
+// time in lockstep: every iteration triggers exactly one parallel region
+// carrying 2·classes doubles — the coordinated-proposal pattern the paper
+// requires for partitioned analyses.
+func (s *Searcher) updateBranch(p *tree.Node) {
+	d := traversal.Build(s.Tree, p, false)
+	s.eng.PrepareBranch(d)
+
+	classes := s.Tree.BLClasses
+	ts := make([]float64, classes)
+	lo := make([]float64, classes)
+	hi := make([]float64, classes)
+	done := make([]bool, classes)
+	for c := 0; c < classes; c++ {
+		ts[c] = p.Length(c)
+		lo[c] = tree.MinBranchLength
+		hi[c] = tree.MaxBranchLength
+	}
+	for iter := 0; iter < s.cfg.NewtonIterations; iter++ {
+		d1, d2 := s.eng.BranchDerivatives(ts)
+		allDone := true
+		for c := 0; c < classes; c++ {
+			if done[c] {
+				continue
+			}
+			// Maintain the bracket on the sign of d1.
+			if d1[c] > 0 {
+				lo[c] = ts[c]
+			} else {
+				hi[c] = ts[c]
+			}
+			var next float64
+			if d2[c] < 0 {
+				next = ts[c] - d1[c]/d2[c]
+			} else {
+				next = 0.5 * (lo[c] + hi[c])
+			}
+			if !(next > lo[c] && next < hi[c]) || math.IsNaN(next) {
+				next = 0.5 * (lo[c] + hi[c])
+			}
+			if math.Abs(next-ts[c]) < 1e-8 {
+				done[c] = true
+			} else {
+				allDone = false
+			}
+			ts[c] = next
+		}
+		if allDone {
+			break
+		}
+	}
+	for c := 0; c < classes; c++ {
+		p.SetLength(c, clampBL(ts[c]))
+	}
+}
+
+func clampBL(t float64) float64 {
+	if t < tree.MinBranchLength {
+		return tree.MinBranchLength
+	}
+	if t > tree.MaxBranchLength {
+		return tree.MaxBranchLength
+	}
+	return t
+}
+
+// forcedNewview recomputes the CLV at q's vertex oriented along q's own
+// edge (children taken from q's ring), regardless of X bits — used after
+// the branches beneath q changed.
+func (s *Searcher) forcedNewview(q *tree.Node) {
+	if q.IsTip() {
+		return
+	}
+	tree.OrientX(q)
+	d := &traversal.Descriptor{
+		P: traversal.Ref(s.Tree, q),
+		Q: traversal.Ref(s.Tree, q.Back),
+		T: make([]float64, s.Tree.BLClasses),
+	}
+	d.Steps = make([][]likelihood.Step, s.Tree.BLClasses)
+	for c := 0; c < s.Tree.BLClasses; c++ {
+		d.T[c] = q.Length(c)
+		d.Steps[c] = []likelihood.Step{{
+			Dst: traversal.Slot(s.Tree, q),
+			A:   traversal.Ref(s.Tree, q.Next.Back),
+			B:   traversal.Ref(s.Tree, q.Next.Next.Back),
+			TA:  q.Next.Length(c),
+			TB:  q.Next.Next.Length(c),
+		}}
+	}
+	s.eng.Traverse(d)
+}
+
+// smoothFrom optimizes the branch at p and, recursively, every branch in
+// the subtree behind p.Back, refreshing CLVs on the way back up (the
+// RAxML smooth() traversal pattern).
+func (s *Searcher) smoothFrom(p *tree.Node) {
+	s.updateBranch(p)
+	q := p.Back
+	if !q.IsTip() {
+		s.smoothFrom(q.Next)
+		s.smoothFrom(q.Next.Next)
+		s.forcedNewview(q)
+	}
+}
+
+// smoothAll runs full branch-length smoothing sweeps over the tree.
+func (s *Searcher) smoothAll(passes int) {
+	for i := 0; i < passes; i++ {
+		s.smoothFrom(s.Tree.Tip(0))
+	}
+}
+
+// ---------- model parameter optimization ----------
+
+// optimizeModel optimizes the rate-heterogeneity parameters and the GTR
+// exchangeabilities of all partitions simultaneously (coordinated
+// proposals: one parallel region evaluates one candidate vector for every
+// partition at once, the design the paper's reference [23] mandates for
+// partitioned parallel efficiency).
+func (s *Searcher) optimizeModel() {
+	if s.cfg.Het == model.Gamma {
+		s.optimizeSharedScalar(
+			func(p *model.Params) float64 { return p.Alpha },
+			func(p *model.Params, v float64) { p.Alpha = v },
+			model.MinAlpha, model.MaxAlpha,
+		)
+	} else {
+		d := traversal.Build(s.Tree, s.Tree.Tip(0), true)
+		scales := s.eng.OptimizeSiteRates(d)
+		for c, f := range scales {
+			if f > 0 && f != 1 {
+				for _, e := range s.Tree.Edges() {
+					e.SetLength(c, clampBL(e.Length(c)*f))
+				}
+			}
+		}
+	}
+	// Exchangeabilities: one free rate group at a time (5 singletons for
+	// GTR, a single tied transition group for K80/HKY, none for JC), all
+	// partitions in lockstep.
+	for _, group := range s.cfg.Subst.FreeRateGroups() {
+		g := group
+		s.optimizeSharedScalar(
+			func(p *model.Params) float64 { return p.Rates[g[0]] },
+			func(p *model.Params, v float64) {
+				for _, ri := range g {
+					p.Rates[ri] = v
+				}
+			},
+			model.MinRate, model.MaxRate,
+		)
+	}
+}
+
+// optimizeSharedScalar runs a lockstep golden-section/Brent-style search
+// over one scalar parameter of every partition simultaneously. Each probe
+// of the objective costs exactly one full traversal plus one evaluation
+// region returning per-partition likelihoods.
+func (s *Searcher) optimizeSharedScalar(get func(*model.Params) float64, set func(*model.Params, float64), lo, hi float64) {
+	const probes = 12 // golden-section iterations; deterministic count
+	invPhi := (math.Sqrt(5) - 1) / 2
+
+	a := make([]float64, s.nPart)
+	b := make([]float64, s.nPart)
+	x1 := make([]float64, s.nPart)
+	x2 := make([]float64, s.nPart)
+	for i, p := range s.shared {
+		cur := get(p)
+		// Local bracket around the current value, clipped to bounds.
+		a[i] = math.Max(lo, cur*0.2)
+		b[i] = math.Min(hi, math.Max(cur*5, cur+1))
+		x1[i] = b[i] - invPhi*(b[i]-a[i])
+		x2[i] = a[i] + invPhi*(b[i]-a[i])
+	}
+	f1 := s.probeShared(set, x1)
+	f2 := s.probeShared(set, x2)
+	for it := 0; it < probes; it++ {
+		for i := range s.shared {
+			if f1[i] >= f2[i] { // maximize
+				b[i] = x2[i]
+				x2[i] = x1[i]
+				x1[i] = b[i] - invPhi*(b[i]-a[i])
+			} else {
+				a[i] = x1[i]
+				x1[i] = x2[i]
+				x2[i] = a[i] + invPhi*(b[i]-a[i])
+			}
+		}
+		// Re-probe both points (2 regions per iteration, vectors of p
+		// values each — coordinated across partitions).
+		f1 = s.probeShared(set, x1)
+		f2 = s.probeShared(set, x2)
+	}
+	best := make([]float64, s.nPart)
+	for i := range s.shared {
+		if f1[i] >= f2[i] {
+			best[i] = x1[i]
+		} else {
+			best[i] = x2[i]
+		}
+	}
+	// Keep the new value only where it actually improves on the current
+	// one (final verification probe).
+	fBest := s.probeShared(set, best)
+	cur := make([]float64, s.nPart)
+	for i, p := range s.shared {
+		cur[i] = get(p)
+	}
+	fCur := s.probeShared(set, cur)
+	for i, p := range s.shared {
+		if fBest[i] > fCur[i] {
+			set(p, best[i])
+		}
+		if err := p.Rebuild(); err != nil {
+			panic(fmt.Sprintf("search: rebuild params: %v", err))
+		}
+	}
+	s.pushShared()
+	s.evaluateFull()
+}
+
+// probeShared evaluates the per-partition lnL with candidate values
+// applied to every partition: one SetShared broadcast + one full traversal
+// + one evaluation region.
+func (s *Searcher) probeShared(set func(*model.Params, float64), xs []float64) []float64 {
+	saved := make([]float64, 0, s.nPart*model.SharedLen)
+	for _, p := range s.shared {
+		saved = append(saved, p.EncodeShared()...)
+	}
+	for i, p := range s.shared {
+		set(p, xs[i])
+		if err := p.Rebuild(); err != nil {
+			panic(fmt.Sprintf("search: rebuild params: %v", err))
+		}
+	}
+	s.pushShared()
+	d := traversal.Build(s.Tree, s.Tree.Tip(0), true)
+	out := s.eng.Evaluate(d)
+	// Restore the authoritative copies (the engine's kernels are updated
+	// again on the next push).
+	for i, p := range s.shared {
+		if err := p.DecodeShared(saved[i*model.SharedLen : (i+1)*model.SharedLen]); err != nil {
+			panic(fmt.Sprintf("search: restore params: %v", err))
+		}
+	}
+	return out
+}
+
+// ---------- SPR topology moves ----------
+
+// sprRound performs one lazy-SPR sweep: every inner vertex's subtree is
+// pruned, reinserted into every edge within the radius, trial-scored with
+// one evaluation region each, and the best trial per prune point is
+// verified exactly (local branch optimization + full evaluation) and kept
+// if it improves the current score. Returns the final lnL.
+func (s *Searcher) sprRound(radius int) float64 {
+	cur := s.evaluateFull()
+	for v := 0; v < s.Tree.NInner(); v++ {
+		for _, pruneAt := range s.Tree.InnerRing(v).Ring() {
+			improved, newLnL := s.tryPrunePoint(pruneAt, radius, cur)
+			if improved {
+				cur = newLnL
+			}
+		}
+	}
+	return cur
+}
+
+// tryPrunePoint evaluates all insertions of the subtree pruned at p.
+func (s *Searcher) tryPrunePoint(p *tree.Node, radius int, cur float64) (bool, float64) {
+	ps, err := s.Tree.Prune(p)
+	if err != nil {
+		return false, cur
+	}
+	candidates := ps.CandidateEdges(1, radius)
+	if len(candidates) == 0 {
+		if err := s.Tree.Restore(ps); err != nil {
+			panic(fmt.Sprintf("search: restore: %v", err))
+		}
+		return false, cur
+	}
+	bestTrial := math.Inf(-1)
+	bestIdx := -1
+	for i, e := range candidates {
+		if err := s.Tree.Regraft(ps, e); err != nil {
+			panic(fmt.Sprintf("search: regraft: %v", err))
+		}
+		trial := s.trialScore(p)
+		if trial > bestTrial {
+			bestTrial = trial
+			bestIdx = i
+		}
+		if err := s.Tree.RemoveRegraft(ps); err != nil {
+			panic(fmt.Sprintf("search: remove regraft: %v", err))
+		}
+	}
+	// Verify the best trial exactly if it is promising.
+	if bestIdx >= 0 && bestTrial > cur-1.0 {
+		if err := s.Tree.Regraft(ps, candidates[bestIdx]); err != nil {
+			panic(fmt.Sprintf("search: regraft best: %v", err))
+		}
+		// The subtree's attachment edge (p, p.Back) survives a later
+		// Restore, so save its lengths before optimizing them.
+		savedAttach := append([]float64(nil), p.Branch.Lengths...)
+		// Locally optimize the three branches around the insertion point.
+		s.updateBranch(p)
+		s.updateBranch(p.Next)
+		s.updateBranch(p.Next.Next)
+		exact := s.evaluateFullAt(p)
+		if exact > cur+1e-9 {
+			return true, exact
+		}
+		copy(p.Branch.Lengths, savedAttach)
+		if err := s.Tree.RemoveRegraft(ps); err != nil {
+			panic(fmt.Sprintf("search: undo best: %v", err))
+		}
+	}
+	if err := s.Tree.Restore(ps); err != nil {
+		panic(fmt.Sprintf("search: restore: %v", err))
+	}
+	// CLVs touched during trials are stale for the restored topology;
+	// they will be recomputed by forced traversals at the next exact
+	// evaluation. Return the unchanged score.
+	return false, cur
+}
+
+// trialScore computes the lazy (approximate) score of the current
+// insertion of p: orient the insertion-edge endpoints, force-recompute p's
+// vertex, and evaluate across the edge to the pruned subtree.
+func (s *Searcher) trialScore(p *tree.Node) float64 {
+	classes := s.Tree.BLClasses
+	d := &traversal.Descriptor{
+		P: traversal.Ref(s.Tree, p),
+		Q: traversal.Ref(s.Tree, p.Back),
+		T: make([]float64, classes),
+	}
+	d.Steps = make([][]likelihood.Step, classes)
+	base := traversal.Orient(s.Tree, p.Next.Back, 0, false, nil)
+	base = traversal.Orient(s.Tree, p.Next.Next.Back, 0, false, base)
+	base = traversal.Orient(s.Tree, p.Back, 0, false, base)
+	tree.OrientX(p)
+	base = append(base, likelihood.Step{
+		Dst: traversal.Slot(s.Tree, p),
+		A:   traversal.Ref(s.Tree, p.Next.Back),
+		B:   traversal.Ref(s.Tree, p.Next.Next.Back),
+		TA:  p.Next.Length(0),
+		TB:  p.Next.Next.Length(0),
+	})
+	d.Steps[0] = base
+	d.T[0] = p.Length(0)
+	for c := 1; c < classes; c++ {
+		cs := make([]likelihood.Step, len(base))
+		copy(cs, base)
+		for i := range cs {
+			v := s.Tree.HalfNodes[s.Tree.NTaxa()+3*int(cs[i].Dst)]
+			x := tree.XNode(v)
+			cs[i].TA = x.Next.Length(c)
+			cs[i].TB = x.Next.Next.Length(c)
+		}
+		d.Steps[c] = cs
+		d.T[c] = p.Length(c)
+	}
+	return sum(s.eng.Evaluate(d))
+}
+
+// evaluateFullAt forces a full traversal rooted at the given edge.
+func (s *Searcher) evaluateFullAt(p *tree.Node) float64 {
+	d := traversal.Build(s.Tree, p, true)
+	s.perPart = s.eng.Evaluate(d)
+	s.lnL = sum(s.perPart)
+	return s.lnL
+}

@@ -1,0 +1,152 @@
+package traversal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/likelihood"
+	"repro/internal/tree"
+)
+
+func taxa(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	return out
+}
+
+func TestFullTraversalCoversAllInner(t *testing.T) {
+	tr := tree.NewRandom(taxa(15), 1, rand.New(rand.NewSource(1)))
+	steps := ForEdge(tr, tr.Tip(0), 0, true)
+	if len(steps) != tr.NInner() {
+		t.Fatalf("%d steps, want %d", len(steps), tr.NInner())
+	}
+	seen := map[int32]bool{}
+	for _, s := range steps {
+		if seen[s.Dst] {
+			t.Fatalf("vertex %d computed twice", s.Dst)
+		}
+		seen[s.Dst] = true
+	}
+}
+
+func TestTraversalPostOrder(t *testing.T) {
+	// Every inner operand of a step must have been computed earlier.
+	tr := tree.NewRandom(taxa(20), 1, rand.New(rand.NewSource(2)))
+	steps := ForEdge(tr, tr.InnerRing(3), 0, true)
+	done := map[int32]bool{}
+	for i, s := range steps {
+		for _, op := range []likelihood.NodeRef{s.A, s.B} {
+			if !op.Tip && !done[op.Idx] {
+				t.Fatalf("step %d consumes uncomputed CLV %d", i, op.Idx)
+			}
+		}
+		done[s.Dst] = true
+	}
+}
+
+func TestPartialTraversalEmptyWhenOriented(t *testing.T) {
+	tr := tree.NewRandom(taxa(10), 1, rand.New(rand.NewSource(3)))
+	p := tr.Tip(0)
+	ForEdge(tr, p, 0, true)
+	// Second call without force: everything already oriented.
+	steps := ForEdge(tr, p, 0, false)
+	if len(steps) != 0 {
+		t.Fatalf("re-orientation produced %d steps, want 0", len(steps))
+	}
+}
+
+func TestBuildMultiClassLengths(t *testing.T) {
+	tr := tree.NewRandom(taxa(8), 3, rand.New(rand.NewSource(4)))
+	for _, e := range tr.Edges() {
+		for c := 0; c < 3; c++ {
+			e.SetLength(c, 0.1*float64(c+1)+0.01*float64(e.ID))
+		}
+	}
+	d := Build(tr, tr.Tip(2), true)
+	if len(d.Steps) != 3 {
+		t.Fatalf("%d classes", len(d.Steps))
+	}
+	if len(d.Steps[0]) != tr.NInner() {
+		t.Fatalf("%d steps", len(d.Steps[0]))
+	}
+	for c := 1; c < 3; c++ {
+		if len(d.Steps[c]) != len(d.Steps[0]) {
+			t.Fatal("class schedules differ in length")
+		}
+		for i := range d.Steps[c] {
+			if d.Steps[c][i].Dst != d.Steps[0][i].Dst {
+				t.Fatal("class schedules differ in structure")
+			}
+			// Lengths must come from the right class: our construction
+			// sets class lengths to distinct ranges.
+			if d.Steps[c][i].TA == d.Steps[0][i].TA && d.Steps[c][i].TB == d.Steps[0][i].TB {
+				t.Fatalf("class %d step %d has class-0 lengths", c, i)
+			}
+		}
+		if d.T[c] == d.T[0] {
+			t.Fatal("root edge lengths identical across classes")
+		}
+	}
+}
+
+func TestDescriptorEncodeDecode(t *testing.T) {
+	tr := tree.NewRandom(taxa(12), 2, rand.New(rand.NewSource(5)))
+	for _, e := range tr.Edges() {
+		e.SetLength(0, 0.05+0.001*float64(e.ID))
+		e.SetLength(1, 0.5+0.001*float64(e.ID))
+	}
+	d := Build(tr, tr.InnerRing(1), true)
+	buf := d.Encode()
+	if len(buf) != d.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(buf), d.WireSize())
+	}
+	back, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.P != d.P || back.Q != d.Q {
+		t.Fatal("edge refs changed")
+	}
+	if len(back.Steps) != len(d.Steps) || len(back.T) != len(d.T) {
+		t.Fatal("shape changed")
+	}
+	for c := range d.Steps {
+		if back.T[c] != d.T[c] {
+			t.Fatal("root length changed")
+		}
+		for i := range d.Steps[c] {
+			if back.Steps[c][i] != d.Steps[c][i] {
+				t.Fatalf("step (%d,%d) changed: %+v vs %+v", c, i, back.Steps[c][i], d.Steps[c][i])
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	tr := tree.NewRandom(taxa(6), 1, rand.New(rand.NewSource(6)))
+	d := Build(tr, tr.Tip(0), true)
+	buf := d.Encode()
+	if _, err := Decode(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated descriptor accepted")
+	}
+	if _, err := Decode(append(buf, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty descriptor accepted")
+	}
+}
+
+func TestWireSizeGrowsWithClasses(t *testing.T) {
+	// The -M (per-partition branch lengths) descriptor must be
+	// substantially larger — the effect Table I measures.
+	tr1 := tree.NewRandom(taxa(52), 1, rand.New(rand.NewSource(7)))
+	size1 := Build(tr1, tr1.Tip(0), true).WireSize()
+	tr10 := tree.NewRandom(taxa(52), 10, rand.New(rand.NewSource(7)))
+	size10 := Build(tr10, tr10.Tip(0), true).WireSize()
+	if size10 < 4*size1 {
+		t.Fatalf("10-class descriptor (%d B) not much larger than 1-class (%d B)", size10, size1)
+	}
+}

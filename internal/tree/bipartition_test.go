@@ -1,0 +1,111 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBipartitionCount(t *testing.T) {
+	for _, n := range []int{4, 8, 33, 70} {
+		tr := NewRandom(taxaNames(n), 1, rand.New(rand.NewSource(int64(n))))
+		got := len(tr.Bipartitions())
+		if got != n-3 {
+			t.Fatalf("n=%d: %d non-trivial bipartitions, want %d", n, got, n-3)
+		}
+	}
+}
+
+func TestBipartitionNormalization(t *testing.T) {
+	tr := NewRandom(taxaNames(10), 1, rand.New(rand.NewSource(4)))
+	for _, bp := range tr.Bipartitions() {
+		if bp.words[0]&1 != 0 {
+			t.Fatal("taxon 0 must always be on the zero side")
+		}
+		s := bp.Size()
+		if s < 2 || s > 8 {
+			t.Fatalf("non-trivial split has side size %d", s)
+		}
+	}
+}
+
+func TestRobinsonFouldsSelf(t *testing.T) {
+	tr := NewRandom(taxaNames(20), 1, rand.New(rand.NewSource(5)))
+	d, err := RobinsonFoulds(tr, tr.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestRobinsonFouldsSymmetric(t *testing.T) {
+	a := NewRandom(taxaNames(16), 1, rand.New(rand.NewSource(6)))
+	b := NewRandom(taxaNames(16), 1, rand.New(rand.NewSource(7)))
+	d1, err := RobinsonFoulds(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := RobinsonFoulds(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("asymmetric RF: %d vs %d", d1, d2)
+	}
+	if d1 == 0 {
+		t.Fatal("two random 16-taxon trees should differ")
+	}
+	if max := 2 * (16 - 3); d1 > max {
+		t.Fatalf("RF %d exceeds maximum %d", d1, max)
+	}
+}
+
+func TestRobinsonFouldsCombVsBalanced(t *testing.T) {
+	comb := NewComb(taxaNames(8), 1)
+	other := NewComb(taxaNames(8), 1)
+	d, err := RobinsonFoulds(comb, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("identical comb trees have RF %d", d)
+	}
+}
+
+func TestRobinsonFouldsErrors(t *testing.T) {
+	a := NewComb(taxaNames(6), 1)
+	b := NewComb(taxaNames(7), 1)
+	if _, err := RobinsonFoulds(a, b); err == nil {
+		t.Error("size mismatch not detected")
+	}
+	c := NewComb([]string{"X", "Y", "Z", "W", "V", "U"}, 1)
+	if _, err := RobinsonFoulds(a, c); err == nil {
+		t.Error("label mismatch not detected")
+	}
+}
+
+func TestSameTopologyDetectsSPR(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tr := NewRandom(taxaNames(14), 1, rng)
+	moved := tr.Clone()
+	// Apply one far SPR; topology should change with high probability.
+	p := pickPrunable(moved, rng)
+	ps, err := moved.Prune(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := ps.CandidateEdges(3, 10)
+	if len(targets) == 0 {
+		t.Skip("no distant targets on this draw")
+	}
+	if err := moved.Regraft(ps, targets[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !SameTopology(tr, tr.Clone()) {
+		t.Fatal("clone must preserve topology")
+	}
+	if SameTopology(tr, moved) {
+		t.Log("distant SPR produced an equivalent topology (rare draw); not failing")
+	}
+}

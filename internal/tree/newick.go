@@ -1,0 +1,268 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Newick serializes the tree in Newick format using joint (class 0) branch
+// lengths, rooted as a trifurcation at the inner vertex adjacent to taxon 0
+// — the convention the RAxML family uses for unrooted trees.
+func (t *Tree) Newick() string {
+	var b strings.Builder
+	root := t.Tip(0).Back // inner vertex next to taxon 0
+	b.WriteByte('(')
+	writeSubtree(&b, t, t.Tip(0), t.Tip(0).Length(0))
+	for _, r := range []*Node{root.Next, root.Next.Next} {
+		b.WriteByte(',')
+		writeSubtree(&b, t, r.Back, r.Length(0))
+	}
+	b.WriteString(");")
+	return b.String()
+}
+
+// writeSubtree emits the subtree hanging at n away from its Back edge.
+func writeSubtree(b *strings.Builder, t *Tree, n *Node, length float64) {
+	if n.IsTip() {
+		b.WriteString(escapeNewickLabel(t.Taxa[n.TaxonID]))
+	} else {
+		b.WriteByte('(')
+		writeSubtree(b, t, n.Next.Back, n.Next.Length(0))
+		b.WriteByte(',')
+		writeSubtree(b, t, n.Next.Next.Back, n.Next.Next.Length(0))
+		b.WriteByte(')')
+	}
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatFloat(length, 'g', -1, 64))
+}
+
+func escapeNewickLabel(s string) string {
+	if strings.ContainsAny(s, " \t(),:;'") {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return s
+}
+
+// newickNode is the intermediate parse tree.
+type newickNode struct {
+	label    string
+	length   float64
+	children []*newickNode
+}
+
+// ParseNewick parses a Newick string into a Tree with the given number of
+// branch-length linkage classes (every class is initialized to the parsed
+// length). The tree must be binary; a bifurcating (rooted) top level is
+// accepted and collapsed into the unrooted representation. Taxon order in
+// the resulting tree is the sorted order of leaf labels, so that trees for
+// the same taxon set are comparable regardless of notation order.
+func ParseNewick(s string, blClasses int) (*Tree, error) {
+	p := &newickParser{src: s}
+	root, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+
+	// Collapse a bifurcating root: attach the second child's subtree
+	// directly, merging the two root-adjacent branch lengths.
+	if len(root.children) == 2 {
+		a, b := root.children[0], root.children[1]
+		if len(b.children) == 2 {
+			b.children = append(b.children, a)
+			a.length += b.length
+			root = b
+		} else if len(a.children) == 2 {
+			a.children = append(a.children, b)
+			b.length += a.length
+			root = a
+		} else {
+			return nil, fmt.Errorf("tree: cannot unroot a 2-taxon tree")
+		}
+	}
+	if len(root.children) != 3 {
+		return nil, fmt.Errorf("tree: root must have 2 or 3 children, has %d", len(root.children))
+	}
+
+	var labels []string
+	var collect func(n *newickNode) error
+	collect = func(n *newickNode) error {
+		if len(n.children) == 0 {
+			if n.label == "" {
+				return fmt.Errorf("tree: unlabeled leaf")
+			}
+			labels = append(labels, n.label)
+			return nil
+		}
+		if len(n.children) != 2 && n != root {
+			return fmt.Errorf("tree: non-binary inner node with %d children", len(n.children))
+		}
+		for _, c := range n.children {
+			if err := collect(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := collect(root); err != nil {
+		return nil, err
+	}
+	sort.Strings(labels)
+	for i := 1; i < len(labels); i++ {
+		if labels[i] == labels[i-1] {
+			return nil, fmt.Errorf("tree: duplicate taxon %q", labels[i])
+		}
+	}
+	taxonIdx := make(map[string]int, len(labels))
+	for i, l := range labels {
+		taxonIdx[l] = i
+	}
+
+	t := New(labels, blClasses)
+	nextInner := 0
+	// build wires the subtree for n and returns the half-node that should
+	// face the parent.
+	var build func(n *newickNode) (*Node, error)
+	build = func(n *newickNode) (*Node, error) {
+		if len(n.children) == 0 {
+			return t.Tip(taxonIdx[n.label]), nil
+		}
+		ring := t.InnerRing(nextInner)
+		nextInner++
+		for i, c := range n.children {
+			child, err := build(c)
+			if err != nil {
+				return nil, err
+			}
+			slot := ring.Next
+			if i == 1 {
+				slot = ring.Next.Next
+			}
+			t.Connect(slot, child, c.length)
+		}
+		return ring, nil
+	}
+
+	ring := t.InnerRing(nextInner)
+	nextInner++
+	slots := []*Node{ring, ring.Next, ring.Next.Next}
+	for i, c := range root.children {
+		child, err := build(c)
+		if err != nil {
+			return nil, err
+		}
+		t.Connect(slots[i], child, c.length)
+	}
+	if err := t.Check(); err != nil {
+		return nil, fmt.Errorf("tree: parsed tree invalid: %w", err)
+	}
+	return t, nil
+}
+
+type newickParser struct {
+	src string
+	pos int
+}
+
+func (p *newickParser) parse() (*newickNode, error) {
+	p.skipSpace()
+	n, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != ';' {
+		return nil, fmt.Errorf("tree: newick missing terminating ';' at offset %d", p.pos)
+	}
+	return n, nil
+}
+
+func (p *newickParser) parseNode() (*newickNode, error) {
+	p.skipSpace()
+	n := &newickNode{length: DefaultBranchLength}
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			child, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, child)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("tree: unterminated '(' in newick")
+			}
+			if p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				break
+			}
+			return nil, fmt.Errorf("tree: unexpected %q at offset %d", p.src[p.pos], p.pos)
+		}
+	}
+	p.skipSpace()
+	n.label = p.parseLabel()
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == ':' {
+		p.pos++
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.src) && isNumChar(p.src[p.pos]) {
+			p.pos++
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tree: bad branch length at offset %d: %v", start, err)
+		}
+		if v < 0 {
+			v = 0
+		}
+		n.length = v
+	}
+	return n, nil
+}
+
+func (p *newickParser) parseLabel() string {
+	if p.pos < len(p.src) && p.src[p.pos] == '\'' {
+		p.pos++
+		var b strings.Builder
+		for p.pos < len(p.src) {
+			if p.src[p.pos] == '\'' {
+				if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\'' {
+					b.WriteByte('\'')
+					p.pos += 2
+					continue
+				}
+				p.pos++
+				break
+			}
+			b.WriteByte(p.src[p.pos])
+			p.pos++
+		}
+		return b.String()
+	}
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune("(),:;' \t\n\r", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *newickParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'
+}

@@ -1,0 +1,54 @@
+package tree
+
+import "math/rand"
+
+// NewRandom builds a uniformly random unrooted binary topology over the
+// taxa by random stepwise addition, with every branch set to
+// DefaultBranchLength. The construction is deterministic given the rng
+// state, which is what lets every rank of the de-centralized engine build
+// an identical starting tree from a shared seed.
+func NewRandom(taxa []string, blClasses int, rng *rand.Rand) *Tree {
+	t := New(taxa, blClasses)
+	n := len(taxa)
+
+	// Start with the 3-taxon star at inner vertex 0.
+	ring := t.InnerRing(0)
+	t.Connect(ring, t.Tip(0), DefaultBranchLength)
+	t.Connect(ring.Next, t.Tip(1), DefaultBranchLength)
+	t.Connect(ring.Next.Next, t.Tip(2), DefaultBranchLength)
+
+	// Each further taxon is attached to a uniformly chosen existing edge
+	// by splicing in the next unused inner vertex.
+	edges := []*Node{ring, ring.Next, ring.Next.Next}
+	for i := 3; i < n; i++ {
+		e := edges[rng.Intn(len(edges))]
+		v := t.InnerRing(i - 2)
+		a, b := e, e.Back
+		br := Disconnect(a)
+		t.ConnectBranch(a, v.Next, br)
+		t.Connect(v.Next.Next, b, DefaultBranchLength)
+		t.Connect(v, t.Tip(i), DefaultBranchLength)
+		edges = append(edges, v, v.Next.Next)
+	}
+	return t
+}
+
+// NewComb builds the fully unbalanced ("caterpillar") topology
+// (((...(t0,t1),t2),...),tn-1). Useful as a deterministic worst case in
+// tests and benchmarks.
+func NewComb(taxa []string, blClasses int) *Tree {
+	t := New(taxa, blClasses)
+	n := len(taxa)
+	ring := t.InnerRing(0)
+	t.Connect(ring, t.Tip(0), DefaultBranchLength)
+	t.Connect(ring.Next, t.Tip(1), DefaultBranchLength)
+	prev := ring.Next.Next
+	for i := 2; i < n-1; i++ {
+		v := t.InnerRing(i - 1)
+		t.Connect(prev, v, DefaultBranchLength)
+		t.Connect(v.Next, t.Tip(i), DefaultBranchLength)
+		prev = v.Next.Next
+	}
+	t.Connect(prev, t.Tip(n-1), DefaultBranchLength)
+	return t
+}

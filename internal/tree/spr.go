@@ -1,0 +1,179 @@
+package tree
+
+import "fmt"
+
+// PrunedSubtree is the record returned by Prune, carrying everything
+// needed to undo the move or to regraft elsewhere.
+type PrunedSubtree struct {
+	// Root is the pruning point: the inner half-node whose Back edge
+	// leads into the pruned subtree.
+	Root *Node
+	// origLeft and origRight are the half-nodes (in the remaining tree)
+	// that Root's two sibling ring members were attached to; the merged
+	// edge now runs between them.
+	origLeft, origRight *Node
+	// leftBranch and rightBranch are the original branch records, kept so
+	// Restore can reinstate the exact original lengths.
+	leftBranch, rightBranch *Branch
+	// mergedBranch is the branch record of the (origLeft, origRight) edge
+	// created by the prune.
+	mergedBranch *Branch
+	// insertBranch is the original branch record of the edge split by the
+	// most recent Regraft, so RemoveRegraft can reinstate it exactly.
+	insertBranch *Branch
+}
+
+// Prune removes the subtree hanging at p's Back edge. p must be an inner
+// half-node whose two ring neighbors connect to the remaining tree; after
+// the call those two neighbor subtrees are joined by a single merged edge
+// (lengths = sum of the two originals, clamped to MaxBranchLength), and
+// p's vertex dangles from the pruned subtree.
+//
+// The move mirrors removeNodeBIG in the RAxML family and is the first half
+// of an SPR (subtree pruning and regrafting) rearrangement.
+func (t *Tree) Prune(p *Node) (*PrunedSubtree, error) {
+	if p.IsTip() {
+		return nil, fmt.Errorf("tree: cannot prune at a tip half-node")
+	}
+	q := p.Next.Back
+	r := p.Next.Next.Back
+	if q == nil || r == nil {
+		return nil, fmt.Errorf("tree: prune point already detached")
+	}
+	ps := &PrunedSubtree{
+		Root:        p,
+		origLeft:    q,
+		origRight:   r,
+		leftBranch:  p.Next.Branch,
+		rightBranch: p.Next.Next.Branch,
+	}
+	merged := make([]float64, t.BLClasses)
+	for c := 0; c < t.BLClasses; c++ {
+		v := ps.leftBranch.Lengths[c] + ps.rightBranch.Lengths[c]
+		if v > MaxBranchLength {
+			v = MaxBranchLength
+		}
+		merged[c] = v
+	}
+	Disconnect(p.Next)
+	Disconnect(p.Next.Next)
+	ps.mergedBranch = &Branch{Lengths: merged}
+	t.ConnectBranch(q, r, ps.mergedBranch)
+	return ps, nil
+}
+
+// Regraft inserts the pruned subtree into the edge at e (between e and
+// e.Back), splitting that edge's lengths in half on both sides. e must not
+// be inside the pruned subtree.
+func (t *Tree) Regraft(ps *PrunedSubtree, e *Node) error {
+	p := ps.Root
+	if p.Next.Back != nil || p.Next.Next.Back != nil {
+		return fmt.Errorf("tree: subtree is not pruned")
+	}
+	f := e.Back
+	if f == nil {
+		return fmt.Errorf("tree: regraft edge is detached")
+	}
+	old := Disconnect(e)
+	ps.insertBranch = old
+	left := make([]float64, t.BLClasses)
+	right := make([]float64, t.BLClasses)
+	for c := range old.Lengths {
+		h := old.Lengths[c] / 2
+		if h < MinBranchLength {
+			h = MinBranchLength
+		}
+		left[c], right[c] = h, h
+	}
+	t.ConnectBranch(e, p.Next, &Branch{Lengths: left})
+	t.ConnectBranch(f, p.Next.Next, &Branch{Lengths: right})
+	return nil
+}
+
+// Restore undoes a Prune, reattaching the subtree exactly where it was
+// with its original branch records. The merged edge created by Prune (and
+// any insertion performed since) must first be cleared by the caller via
+// RemoveRegraft, unless the subtree is still detached.
+func (t *Tree) Restore(ps *PrunedSubtree) error {
+	p := ps.Root
+	if p.Next.Back != nil || p.Next.Next.Back != nil {
+		return fmt.Errorf("tree: subtree still attached; call RemoveRegraft first")
+	}
+	// The merged edge between origLeft and origRight must still exist.
+	if ps.origLeft.Back != ps.origRight {
+		return fmt.Errorf("tree: original neighbors no longer adjacent")
+	}
+	Disconnect(ps.origLeft)
+	t.ConnectBranch(p.Next, ps.origLeft, ps.leftBranch)
+	t.ConnectBranch(p.Next.Next, ps.origRight, ps.rightBranch)
+	return nil
+}
+
+// RemoveRegraft undoes the most recent Regraft: the subtree is detached
+// again and the edge that Regraft split is re-wired with its original
+// branch record, returning the tree to the post-Prune state.
+func (t *Tree) RemoveRegraft(ps *PrunedSubtree) error {
+	p := ps.Root
+	q := p.Next.Back
+	r := p.Next.Next.Back
+	if q == nil || r == nil {
+		return fmt.Errorf("tree: subtree not attached")
+	}
+	if ps.insertBranch == nil {
+		return fmt.Errorf("tree: no regraft to remove")
+	}
+	Disconnect(p.Next)
+	Disconnect(p.Next.Next)
+	t.ConnectBranch(q, r, ps.insertBranch)
+	ps.insertBranch = nil
+	return nil
+}
+
+// CandidateEdges enumerates the insertion edges of a lazy SPR: one
+// half-node per edge of the *remaining* tree within the given topological
+// radius of the original attachment point, excluding the merged edge itself
+// (re-inserting there recreates the pre-prune topology). minRadius edges
+// closer than minRadius (1-based distance from the merged edge) are also
+// skipped, mirroring the RAxML search's minimum rearrangement setting.
+func (ps *PrunedSubtree) CandidateEdges(minRadius, radius int) []*Node {
+	var out []*Node
+	var collect func(m *Node, depth int)
+	collect = func(m *Node, depth int) {
+		if depth > radius {
+			return
+		}
+		if depth >= minRadius {
+			out = append(out, m)
+		}
+		b := m.Back
+		if !b.IsTip() {
+			collect(b.Next, depth+1)
+			collect(b.Next.Next, depth+1)
+		}
+	}
+	for _, side := range []*Node{ps.origLeft, ps.origRight} {
+		if !side.IsTip() {
+			collect(side.Next, 1)
+			collect(side.Next.Next, 1)
+		}
+	}
+	return out
+}
+
+// SubtreeTaxa returns the taxon IDs in the subtree seen from n through its
+// Back edge (i.e. on the far side of n's edge), in ascending order of
+// discovery.
+func SubtreeTaxa(n *Node) []int {
+	var out []int
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		if m.IsTip() {
+			out = append(out, m.TaxonID)
+			return
+		}
+		walk(m.Next.Back)
+		walk(m.Next.Next.Back)
+	}
+	walk(n.Back)
+	return out
+}

@@ -1,0 +1,327 @@
+// Package tree implements the unrooted, strictly bifurcating phylogenetic
+// tree that the likelihood machinery and the search algorithm operate on.
+//
+// The representation follows the RAxML family: every inner vertex is a ring
+// of three half-nodes (connected via Next), and every half-node points across
+// its incident edge via Back. A tip is a single half-node with a nil Next.
+// Branch data (the branch length, or one length per linkage class when
+// branch lengths are estimated per partition) is shared between the two
+// half-nodes of an edge so the two directions can never fall out of sync.
+package tree
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultBranchLength is the length assigned to newly created branches
+// before optimization, measured in expected substitutions per site.
+const DefaultBranchLength = 0.1
+
+// MinBranchLength and MaxBranchLength bound branch-length optimization;
+// the values match the RAxML family's zmin/zmax-derived bounds.
+const (
+	MinBranchLength = 1e-8
+	MaxBranchLength = 15.0
+)
+
+// Branch holds the data shared by the two half-nodes of one edge.
+type Branch struct {
+	// Lengths has one entry per branch-length linkage class: a single
+	// entry when branch lengths are estimated jointly across partitions,
+	// or one entry per partition under per-partition estimation (the
+	// paper's -M option).
+	Lengths []float64
+}
+
+// Node is one half-node. Inner vertices consist of three Nodes linked in a
+// ring through Next; tips are single Nodes with Next == nil.
+type Node struct {
+	// ID is the index of this half-node in Tree.HalfNodes; it is stable
+	// across topology moves and is what traversal descriptors reference.
+	ID int
+	// VertexID identifies the vertex this half-node belongs to: taxon
+	// index for tips (0..n-1), n..2n-3 for inner vertices. All three ring
+	// members of an inner vertex share the VertexID.
+	VertexID int
+	// TaxonID is the taxon index for tips and -1 for inner half-nodes.
+	TaxonID int
+	// Next links the ring of an inner vertex (nil for tips).
+	Next *Node
+	// Back is the half-node at the other end of this node's edge (nil
+	// while detached during SPR surgery).
+	Back *Node
+	// Branch is the edge data shared with Back.
+	Branch *Branch
+	// X marks the ring member toward which this inner vertex's
+	// conditional likelihood vector (CLV) is oriented: when X is true the
+	// CLV summarizes the subtree seen through Next.Back and
+	// Next.Next.Back, i.e. it is valid for a virtual root placed on this
+	// node's own edge. Exactly one ring member of each inner vertex has
+	// X set. Always false on tips (tip data never changes).
+	X bool
+}
+
+// IsTip reports whether n is a leaf half-node.
+func (n *Node) IsTip() bool { return n.Next == nil }
+
+// Length returns the branch length of class c on n's edge.
+func (n *Node) Length(c int) float64 { return n.Branch.Lengths[c] }
+
+// SetLength sets the branch length of class c on n's edge.
+func (n *Node) SetLength(c int, v float64) { n.Branch.Lengths[c] = v }
+
+// Ring returns the three ring members of an inner vertex starting at n,
+// or just n itself for a tip.
+func (n *Node) Ring() []*Node {
+	if n.IsTip() {
+		return []*Node{n}
+	}
+	return []*Node{n, n.Next, n.Next.Next}
+}
+
+// Tree is an unrooted, strictly bifurcating phylogeny over a fixed taxon
+// set. With n taxa it has n-2 inner vertices and 2n-3 edges.
+type Tree struct {
+	// Taxa are the leaf names; taxon i corresponds to Tip(i).
+	Taxa []string
+	// BLClasses is the number of branch-length linkage classes (1 for
+	// joint estimation, #partitions under per-partition estimation).
+	BLClasses int
+	// HalfNodes lists every half-node; index == Node.ID. Tips occupy
+	// [0,n), inner ring members occupy [n, n+3(n-2)).
+	HalfNodes []*Node
+
+	tips []*Node
+}
+
+// New allocates a tree skeleton over the given taxa with all half-nodes
+// created but no edges wired. Callers (the parser, the random builder)
+// connect nodes with Connect. blClasses must be ≥ 1.
+func New(taxa []string, blClasses int) *Tree {
+	n := len(taxa)
+	if n < 3 {
+		panic(fmt.Sprintf("tree: need at least 3 taxa, got %d", n))
+	}
+	if blClasses < 1 {
+		panic("tree: blClasses must be >= 1")
+	}
+	t := &Tree{
+		Taxa:      append([]string(nil), taxa...),
+		BLClasses: blClasses,
+	}
+	t.HalfNodes = make([]*Node, n+3*(n-2))
+	t.tips = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nd := &Node{ID: i, VertexID: i, TaxonID: i}
+		t.HalfNodes[i] = nd
+		t.tips[i] = nd
+	}
+	for v := 0; v < n-2; v++ {
+		base := n + 3*v
+		a := &Node{ID: base, VertexID: n + v, TaxonID: -1}
+		b := &Node{ID: base + 1, VertexID: n + v, TaxonID: -1}
+		c := &Node{ID: base + 2, VertexID: n + v, TaxonID: -1}
+		a.Next, b.Next, c.Next = b, c, a
+		a.X = true // arbitrary initial orientation
+		t.HalfNodes[base], t.HalfNodes[base+1], t.HalfNodes[base+2] = a, b, c
+	}
+	return t
+}
+
+// NTaxa returns the number of leaves.
+func (t *Tree) NTaxa() int { return len(t.Taxa) }
+
+// NInner returns the number of inner vertices (n-2).
+func (t *Tree) NInner() int { return len(t.Taxa) - 2 }
+
+// NBranches returns the number of edges (2n-3).
+func (t *Tree) NBranches() int { return 2*len(t.Taxa) - 3 }
+
+// Tip returns the half-node of taxon i.
+func (t *Tree) Tip(i int) *Node { return t.tips[i] }
+
+// InnerRing returns the first ring member of inner vertex v (0-based among
+// inner vertices).
+func (t *Tree) InnerRing(v int) *Node { return t.HalfNodes[len(t.Taxa)+3*v] }
+
+// Node returns the half-node with the given ID.
+func (t *Tree) Node(id int) *Node { return t.HalfNodes[id] }
+
+// Connect wires an edge between half-nodes a and b with every linkage
+// class set to length. Both must currently be detached in that direction.
+func (t *Tree) Connect(a, b *Node, length float64) {
+	lengths := make([]float64, t.BLClasses)
+	for i := range lengths {
+		lengths[i] = length
+	}
+	t.ConnectBranch(a, b, &Branch{Lengths: lengths})
+}
+
+// ConnectBranch wires an edge between a and b using the given shared
+// branch record.
+func (t *Tree) ConnectBranch(a, b *Node, br *Branch) {
+	if len(br.Lengths) != t.BLClasses {
+		panic(fmt.Sprintf("tree: branch has %d length classes, tree has %d", len(br.Lengths), t.BLClasses))
+	}
+	a.Back, b.Back = b, a
+	a.Branch, b.Branch = br, br
+}
+
+// Disconnect severs the edge at a, clearing Back and Branch on both ends,
+// and returns the branch record (useful for re-wiring during SPR).
+func Disconnect(a *Node) *Branch {
+	br := a.Branch
+	b := a.Back
+	a.Back, a.Branch = nil, nil
+	if b != nil {
+		b.Back, b.Branch = nil, nil
+	}
+	return br
+}
+
+// Edges returns one representative half-node per edge, in a deterministic
+// order (the endpoint with the smaller half-node ID).
+func (t *Tree) Edges() []*Node {
+	out := make([]*Node, 0, t.NBranches())
+	for _, n := range t.HalfNodes {
+		if n.Back != nil && n.ID < n.Back.ID {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Check validates the structural invariants: ring integrity, mutual Back
+// pointers, shared branch records, positive finite branch lengths, exactly
+// one X orientation bit per inner vertex, and full connectivity over all
+// 2n-2 vertices. It is used heavily by property tests that hammer the
+// topology with random SPR moves.
+func (t *Tree) Check() error {
+	n := t.NTaxa()
+	for i, tip := range t.tips {
+		if tip.TaxonID != i || tip.Next != nil {
+			return fmt.Errorf("tree: tip %d corrupted", i)
+		}
+		if tip.Back == nil {
+			return fmt.Errorf("tree: tip %d disconnected", i)
+		}
+	}
+	for v := 0; v < t.NInner(); v++ {
+		a := t.InnerRing(v)
+		if a.Next == nil || a.Next.Next == nil || a.Next.Next.Next != a {
+			return fmt.Errorf("tree: inner vertex %d ring broken", v)
+		}
+		xCount := 0
+		for _, r := range a.Ring() {
+			if r.X {
+				xCount++
+			}
+			if r.VertexID != n+v {
+				return fmt.Errorf("tree: inner vertex %d has ring member with VertexID %d", v, r.VertexID)
+			}
+			if r.Back == nil {
+				return fmt.Errorf("tree: inner vertex %d has dangling ring member %d", v, r.ID)
+			}
+		}
+		if xCount != 1 {
+			return fmt.Errorf("tree: inner vertex %d has %d X bits, want 1", v, xCount)
+		}
+	}
+	for _, h := range t.HalfNodes {
+		if h.Back == nil {
+			continue
+		}
+		if h.Back.Back != h {
+			return fmt.Errorf("tree: half-node %d: Back not mutual", h.ID)
+		}
+		if h.Branch == nil || h.Back.Branch != h.Branch {
+			return fmt.Errorf("tree: half-node %d: branch not shared", h.ID)
+		}
+		if len(h.Branch.Lengths) != t.BLClasses {
+			return fmt.Errorf("tree: half-node %d: %d length classes, want %d", h.ID, len(h.Branch.Lengths), t.BLClasses)
+		}
+		for c, l := range h.Branch.Lengths {
+			if math.IsNaN(l) || l < 0 || math.IsInf(l, 0) {
+				return fmt.Errorf("tree: half-node %d class %d: invalid length %g", h.ID, c, l)
+			}
+		}
+	}
+	// Connectivity: BFS over vertices from tip 0.
+	seen := make(map[int]bool)
+	queue := []*Node{t.tips[0]}
+	seen[t.tips[0].VertexID] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, r := range cur.Ring() {
+			nb := r.Back
+			if nb == nil {
+				continue
+			}
+			if !seen[nb.VertexID] {
+				seen[nb.VertexID] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if len(seen) != 2*n-2 {
+		return fmt.Errorf("tree: reachable vertices %d, want %d", len(seen), 2*n-2)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the tree (topology, branch lengths,
+// orientation bits). Taxa strings are shared.
+func (t *Tree) Clone() *Tree {
+	c := New(t.Taxa, t.BLClasses)
+	// Map branches once so shared records stay shared.
+	branchCopy := make(map[*Branch]*Branch)
+	for _, h := range t.HalfNodes {
+		ch := c.HalfNodes[h.ID]
+		ch.X = h.X
+		if h.Back != nil {
+			cb, ok := branchCopy[h.Branch]
+			if !ok {
+				cb = &Branch{Lengths: append([]float64(nil), h.Branch.Lengths...)}
+				branchCopy[h.Branch] = cb
+			}
+			ch.Back = c.HalfNodes[h.Back.ID]
+			ch.Branch = cb
+		}
+	}
+	return c
+}
+
+// SetAllLengths assigns length to every linkage class of every branch.
+func (t *Tree) SetAllLengths(length float64) {
+	for _, e := range t.Edges() {
+		for c := range e.Branch.Lengths {
+			e.Branch.Lengths[c] = length
+		}
+	}
+}
+
+// OrientX rotates the X bit of n's vertex so that the CLV orientation
+// points along n's own edge (no-op for tips). The caller is responsible
+// for recomputing the CLV afterwards if the bit moved.
+func OrientX(n *Node) (moved bool) {
+	if n.IsTip() || n.X {
+		return false
+	}
+	for _, r := range n.Ring() {
+		r.X = r == n
+	}
+	return true
+}
+
+// XNode returns the ring member of n's vertex that currently holds the X
+// bit (n itself for tips).
+func XNode(n *Node) *Node {
+	for _, r := range n.Ring() {
+		if r.X {
+			return r
+		}
+	}
+	return n
+}

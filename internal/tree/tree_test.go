@@ -1,0 +1,247 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func taxaNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("T%03d", i)
+	}
+	return out
+}
+
+func TestNewAllocatesStructure(t *testing.T) {
+	tr := New(taxaNames(8), 1)
+	if tr.NTaxa() != 8 || tr.NInner() != 6 || tr.NBranches() != 13 {
+		t.Fatalf("counts: taxa=%d inner=%d branches=%d", tr.NTaxa(), tr.NInner(), tr.NBranches())
+	}
+	if len(tr.HalfNodes) != 8+3*6 {
+		t.Fatalf("half nodes = %d", len(tr.HalfNodes))
+	}
+	for v := 0; v < tr.NInner(); v++ {
+		r := tr.InnerRing(v)
+		if r.Next.Next.Next != r {
+			t.Fatalf("inner %d ring broken", v)
+		}
+	}
+}
+
+func TestNewPanicsOnTooFewTaxa(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 2 taxa")
+		}
+	}()
+	New(taxaNames(2), 1)
+}
+
+func TestNewRandomIsValid(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 10, 25, 52} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		tr := NewRandom(taxaNames(n), 1, rng)
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestNewRandomDeterministic(t *testing.T) {
+	a := NewRandom(taxaNames(20), 1, rand.New(rand.NewSource(99)))
+	b := NewRandom(taxaNames(20), 1, rand.New(rand.NewSource(99)))
+	if a.Newick() != b.Newick() {
+		t.Fatal("same seed must give identical trees")
+	}
+	c := NewRandom(taxaNames(20), 1, rand.New(rand.NewSource(100)))
+	if a.Newick() == c.Newick() {
+		t.Fatal("different seeds should (almost surely) give different trees")
+	}
+}
+
+func TestNewCombIsValid(t *testing.T) {
+	for _, n := range []int{3, 4, 7, 30} {
+		tr := NewComb(taxaNames(n), 2)
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := NewRandom(taxaNames(12), 3, rand.New(rand.NewSource(5)))
+	cl := tr.Clone()
+	if err := cl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Newick() != cl.Newick() {
+		t.Fatal("clone differs from original")
+	}
+	// Mutating the clone must not affect the original.
+	cl.SetAllLengths(1.5)
+	if tr.Tip(0).Length(0) == 1.5 {
+		t.Fatal("clone shares branch storage with original")
+	}
+	// Clone preserves all length classes.
+	tr.Edges()[0].SetLength(2, 0.77)
+	cl2 := tr.Clone()
+	if cl2.Edges()[0].Length(2) != 0.77 {
+		t.Fatal("clone lost per-class branch length")
+	}
+}
+
+func TestNewickRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := NewRandom(taxaNames(15), 1, rand.New(rand.NewSource(seed)))
+		tr.SetAllLengths(0.05)
+		s := tr.Newick()
+		back, err := ParseNewick(s, 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !SameTopology(tr, back) {
+			t.Fatalf("seed %d: round trip changed topology\nin:  %s\nout: %s", seed, s, back.Newick())
+		}
+	}
+}
+
+func TestParseNewickRootedInput(t *testing.T) {
+	// Rooted (bifurcating top level) newick must be collapsed.
+	tr, err := ParseNewick("((A:0.1,B:0.2):0.05,(C:0.3,D:0.4):0.05);", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NTaxa() != 4 {
+		t.Fatalf("taxa = %d", tr.NTaxa())
+	}
+}
+
+func TestParseNewickQuotedLabels(t *testing.T) {
+	tr, err := ParseNewick("('taxon one':0.1,'it''s':0.2,(C:0.3,D:0.4):0.05);", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, name := range tr.Taxa {
+		found[name] = true
+	}
+	if !found["taxon one"] || !found["it's"] {
+		t.Fatalf("taxa = %v", tr.Taxa)
+	}
+	// Labels must survive a round trip through the writer.
+	back, err := ParseNewick(tr.Newick(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameTopology(tr, back) {
+		t.Fatal("quoted-label round trip changed topology")
+	}
+}
+
+func TestParseNewickErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(A:0.1,B:0.2);",                   // 2-taxon, cannot unroot
+		"(A,B,C",                           // unterminated
+		"(A,B,C)",                          // missing ;
+		"(A,B,(C,D,E));",                   // non-binary inner node
+		"(A,B,A);",                         // duplicate taxon
+		"(A,B,(,D));",                      // unlabeled leaf
+		"(A:x,B:0.1,C:0.1);",               // bad branch length
+		"(A:0.1,B:0.2,C:0.3,D:0.4,E:0.5);", // 5-way root
+	}
+	for _, s := range bad {
+		if _, err := ParseNewick(s, 1); err == nil {
+			t.Errorf("ParseNewick(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseNewickNegativeLengthClamped(t *testing.T) {
+	tr, err := ParseNewick("(A:-0.5,B:0.2,C:0.3);", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientX(t *testing.T) {
+	tr := NewComb(taxaNames(5), 1)
+	inner := tr.InnerRing(0)
+	target := inner.Next
+	if !OrientX(target) {
+		t.Fatal("expected the X bit to move")
+	}
+	if !target.X || inner.X || inner.Next.Next.X {
+		t.Fatal("X bit in wrong place")
+	}
+	if OrientX(target) {
+		t.Fatal("second OrientX should be a no-op")
+	}
+	if XNode(inner) != target {
+		t.Fatal("XNode disagrees")
+	}
+	// Tips never move.
+	if OrientX(tr.Tip(0)) {
+		t.Fatal("OrientX on tip must be a no-op")
+	}
+}
+
+func TestEdgesCount(t *testing.T) {
+	for _, n := range []int{3, 6, 20} {
+		tr := NewRandom(taxaNames(n), 1, rand.New(rand.NewSource(1)))
+		if got := len(tr.Edges()); got != 2*n-3 {
+			t.Fatalf("n=%d: %d edges, want %d", n, got, 2*n-3)
+		}
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	tr := NewRandom(taxaNames(6), 1, rand.New(rand.NewSource(2)))
+	// Break a Back pointer.
+	bad := tr.Clone()
+	bad.InnerRing(0).Back = bad.InnerRing(1)
+	if bad.Check() == nil {
+		t.Error("Check missed non-mutual Back pointer")
+	}
+	// Two X bits on one vertex.
+	bad2 := tr.Clone()
+	bad2.InnerRing(0).Next.X = true
+	bad2.InnerRing(0).X = true
+	if bad2.Check() == nil {
+		t.Error("Check missed duplicate X bit")
+	}
+	// Negative branch length.
+	bad3 := tr.Clone()
+	bad3.Edges()[0].Branch.Lengths[0] = -1
+	if bad3.Check() == nil {
+		t.Error("Check missed negative branch length")
+	}
+}
+
+func TestSubtreeTaxaPartition(t *testing.T) {
+	tr := NewRandom(taxaNames(10), 1, rand.New(rand.NewSource(3)))
+	for _, e := range tr.Edges() {
+		far := SubtreeTaxa(e)
+		near := SubtreeTaxa(e.Back)
+		if len(far)+len(near) != tr.NTaxa() {
+			t.Fatalf("split sizes %d+%d != %d", len(far), len(near), tr.NTaxa())
+		}
+		seen := map[int]bool{}
+		for _, x := range far {
+			seen[x] = true
+		}
+		for _, x := range near {
+			if seen[x] {
+				t.Fatalf("taxon %d on both sides", x)
+			}
+		}
+	}
+}
