@@ -1,0 +1,38 @@
+# Standard checks for the examl-go reproduction. `make ci` is the full
+# gate: vet + build + tests + a race-detector pass over every package
+# that spawns goroutines (the §V hybrid thread pool and both engines).
+
+GO ?= go
+
+# Packages with real concurrency: the worker pool, the threaded kernels,
+# both engines, the message-passing runtime, and the public API.
+RACE_PKGS = ./internal/threadpool/... \
+            ./internal/likelihood/... \
+            ./internal/decentral/... \
+            ./internal/forkjoin/... \
+            ./internal/mpi/... \
+            .
+
+.PHONY: all vet build test race bench ci clean
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+ci: vet build test race
+
+clean:
+	$(GO) clean ./...

@@ -8,6 +8,7 @@ package examl
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/parsimony"
 	"repro/internal/search"
 	"repro/internal/seqgen"
+	"repro/internal/threadpool"
 	"repro/internal/traversal"
 	"repro/internal/tree"
 )
@@ -276,6 +278,62 @@ func BenchmarkKernelDerivativesGamma(b *testing.B) {
 	b.ResetTimer()
 	for b.Loop() {
 		k.Derivatives(0.1)
+	}
+}
+
+// ---------- §V hybrid: intra-rank kernel threading ----------
+
+// BenchmarkKernelThreadsGamma measures the Γ kernels (full traversal +
+// evaluation) at increasing intra-rank thread counts — the single-rank
+// speedup axis of the §V hybrid scheme. Results are bit-identical across
+// the sub-benchmarks; only wall clock changes. Speedup tracks physical
+// core count, so it is only visible on multi-core hardware.
+func BenchmarkKernelThreadsGamma(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("T=%d", threads), func(b *testing.B) {
+			k, tr, steps := benchKernel(b, model.Gamma)
+			pool := threadpool.New(threads)
+			defer pool.Close()
+			k.SetPool(pool)
+			p := traversal.Ref(tr, tr.Tip(0))
+			q := traversal.Ref(tr, tr.Tip(0).Back)
+			b.ResetTimer()
+			for b.Loop() {
+				k.Traverse(steps)
+				k.Evaluate(p, q, 0.1)
+			}
+			b.ReportMetric(float64(threads), "threads")
+		})
+	}
+}
+
+// BenchmarkHybridGrid sweeps the full §V configuration space — ranks ×
+// threads-per-rank with node-grouped hierarchical Allreduce — on one
+// decentralized search iteration. This is the reproduction recipe for
+// the paper's hybrid experiment (EXPERIMENTS.md).
+func BenchmarkHybridGrid(b *testing.B) {
+	d := benchDataset(b, 12, 2, 1500)
+	cfg := search.Config{Het: model.Gamma, Seed: 1, MaxIterations: 1}
+	for _, ranks := range []int{1, 2, 4} {
+		for _, threads := range []int{1, 2, 4} {
+			name := fmt.Sprintf("ranks=%d/T=%d", ranks, threads)
+			b.Run(name, func(b *testing.B) {
+				rc := decentral.RunConfig{
+					Search:  cfg,
+					Ranks:   ranks,
+					Threads: threads,
+				}
+				if ranks > 1 {
+					rc.HybridRanksPerNode = 2
+				}
+				for b.Loop() {
+					if _, _, err := decentral.Run(d, rc); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(ranks*threads), "total_workers")
+			})
+		}
 	}
 }
 

@@ -8,12 +8,15 @@
 //	-Q  monolithic per-partition data distribution (MPS)
 //	-M  individual per-partition branch lengths
 //	-np number of simulated MPI ranks
+//	-T  worker threads per rank (§V hybrid scheme; results are
+//	    bit-identical at any thread count)
+//	-ranks-per-node  hierarchical Allreduce node grouping (hybrid)
 //	-t  starting tree (Newick file; random if absent)
 //	-c  checkpoint file (written per iteration; use -r to restore)
 //
 // Example:
 //
-//	examl -s data.phy -q parts.txt -m GAMMA -np 8 -n run1
+//	examl -s data.phy -q parts.txt -m GAMMA -np 8 -T 4 -n run1
 package main
 
 import (

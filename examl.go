@@ -228,6 +228,16 @@ type Config struct {
 	Scheme Scheme
 	// Ranks is the number of simulated MPI ranks (default 1).
 	Ranks int
+	// Threads is the intra-rank worker count per rank — the
+	// shared-memory axis of the paper's §V hybrid MPI/PThreads scheme.
+	// ≤ 1 runs every kernel serially. Results are bit-identical at
+	// every thread count (docs/DETERMINISM.md).
+	Threads int
+	// HybridRanksPerNode, when > 1, groups ranks into nodes and routes
+	// the Allreduce call sites through the hierarchical (intra-node
+	// first) algorithm — the cross-rank half of the §V hybrid scheme.
+	// Decentralized only; composes with Threads.
+	HybridRanksPerNode int
 	// RateModel selects Γ or PSR.
 	RateModel RateModel
 	// Substitution selects GTR (default) or a constrained sub-model.
@@ -422,7 +432,13 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 	switch cfg.Scheme {
 	case Decentralized:
 		var stats *decentral.RunStats
-		res, stats, err = decentral.Run(d.d, decentral.RunConfig{Search: scfg, Ranks: cfg.Ranks, Strategy: strategy})
+		res, stats, err = decentral.Run(d.d, decentral.RunConfig{
+			Search:             scfg,
+			Ranks:              cfg.Ranks,
+			Strategy:           strategy,
+			HybridRanksPerNode: cfg.HybridRanksPerNode,
+			Threads:            cfg.Threads,
+		})
 		if err == nil {
 			comm, wall = stats.Comm, stats.Wall.Seconds()
 			trace = cluster.Trace{
@@ -435,7 +451,12 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 		}
 	case ForkJoin:
 		var stats *forkjoin.RunStats
-		res, stats, err = forkjoin.Run(d.d, forkjoin.RunConfig{Search: scfg, Ranks: cfg.Ranks, Strategy: strategy})
+		res, stats, err = forkjoin.Run(d.d, forkjoin.RunConfig{
+			Search:   scfg,
+			Ranks:    cfg.Ranks,
+			Strategy: strategy,
+			Threads:  cfg.Threads,
+		})
 		if err == nil {
 			comm, wall = stats.Comm, stats.Wall.Seconds()
 			trace = cluster.Trace{

@@ -83,6 +83,37 @@ func TestSchemesAgreeViaPublicAPI(t *testing.T) {
 	}
 }
 
+func TestThreadsViaPublicAPI(t *testing.T) {
+	// Intra-rank threading (Config.Threads) must be invisible in the
+	// results: bit-identical likelihood and topology under both schemes.
+	// (Composition with HybridRanksPerNode is covered in the decentral
+	// package; the hierarchical Allreduce itself re-associates the
+	// cross-rank sum, so it cannot sit inside a bitwise comparison
+	// against a flat-Allreduce reference.)
+	d, err := Simulate(10, 2, 700, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{Decentralized, ForkJoin} {
+		cfg := Config{Scheme: scheme, Ranks: 2, MaxIterations: 1, Seed: 9}
+		ref, err := Infer(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Threads = 4
+		got, err := Infer(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.LogLikelihood) != math.Float64bits(ref.LogLikelihood) {
+			t.Errorf("%v: threaded lnL %.17g != serial %.17g", scheme, got.LogLikelihood, ref.LogLikelihood)
+		}
+		if got.Tree != ref.Tree {
+			t.Errorf("%v: threaded topology differs from serial", scheme)
+		}
+	}
+}
+
 func TestBinaryRoundTripViaPublicAPI(t *testing.T) {
 	d, err := Simulate(6, 2, 40, 3)
 	if err != nil {

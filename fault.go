@@ -57,6 +57,7 @@ func InferWithFailures(d *Dataset, cfg Config, plan FailurePlan) (*Result, *Reco
 		FailRanks:          plan.FailRanks,
 		FailAfterIteration: plan.FailAfterIteration,
 		Strategy:           strategy,
+		Threads:            cfg.Threads,
 		Search: search.Config{
 			Het:                  het,
 			Subst:                substOf(cfg.Substitution),

@@ -17,7 +17,7 @@ import (
 type Args struct {
 	AlignPath, PartPath, ModelName, SubstName, TreePath, Ckpt, Restore, Name string
 	Binary, MPS, PerPart, Parsimony                                          bool
-	Ranks, MaxIter                                                           int
+	Ranks, Threads, RanksPerNode, MaxIter                                    int
 	Seed                                                                     int64
 	Scheme                                                                   examl.Scheme
 }
@@ -32,6 +32,8 @@ func Register(a *Args) {
 	flag.BoolVar(&a.MPS, "Q", false, "monolithic per-partition data distribution (MPS)")
 	flag.BoolVar(&a.PerPart, "M", false, "individual per-partition branch lengths")
 	flag.IntVar(&a.Ranks, "np", 1, "number of simulated MPI ranks")
+	flag.IntVar(&a.Threads, "T", 1, "worker threads per rank (hybrid scheme; results are bit-identical at any value)")
+	flag.IntVar(&a.RanksPerNode, "ranks-per-node", 0, "group ranks into nodes of this size for hierarchical Allreduce (decentralized scheme)")
 	flag.StringVar(&a.TreePath, "t", "", "starting tree file (Newick)")
 	flag.BoolVar(&a.Parsimony, "y", false, "build the starting tree by stepwise-addition parsimony")
 	flag.Int64Var(&a.Seed, "p", 12345, "random seed for the starting tree")
@@ -104,11 +106,13 @@ func Run(a Args) (*examl.Result, error) {
 	}
 	fmt.Printf("dataset: %d taxa, %d partitions, %d sites (%d patterns)\n",
 		d.NTaxa(), d.NPartitions(), d.Sites(), d.Patterns())
-	fmt.Printf("scheme: %s, %d ranks, %s, %s distribution\n",
-		a.Scheme, a.Ranks, rateModel, dist)
+	fmt.Printf("scheme: %s, %d ranks x %d threads, %s, %s distribution\n",
+		a.Scheme, a.Ranks, max(a.Threads, 1), rateModel, dist)
 	return examl.Infer(d, examl.Config{
 		Scheme:                    a.Scheme,
 		Ranks:                     a.Ranks,
+		Threads:                   a.Threads,
+		HybridRanksPerNode:        a.RanksPerNode,
 		RateModel:                 rateModel,
 		Substitution:              subst,
 		PerPartitionBranchLengths: a.PerPart,

@@ -33,6 +33,11 @@ type EngineConfig struct {
 	// through the hierarchical (intra-node first) algorithm — the §V
 	// hybrid MPI/PThreads idea. 0 or 1 selects the flat Allreduce.
 	HybridRanksPerNode int
+	// Threads, when > 1, splits every kernel invocation across an
+	// intra-rank worker pool — the shared-memory axis of the §V hybrid
+	// scheme. Results are bit-identical at every thread count
+	// (docs/DETERMINISM.md).
+	Threads int
 }
 
 // Engine is one rank's view of the de-centralized backend. It implements
@@ -58,7 +63,7 @@ var _ search.Engine = (*Engine)(nil)
 // kernels. The assignment is computed by the caller (identically on every
 // rank — it is a pure function of the pattern counts).
 func NewEngine(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg EngineConfig) (*Engine, error) {
-	local, err := enginecore.NewLocal(d, a, comm.Rank(), cfg.Het, cfg.Subst, cfg.PerPartitionBranches)
+	local, err := enginecore.NewLocal(d, a, comm.Rank(), cfg.Het, cfg.Subst, cfg.PerPartitionBranches, cfg.Threads)
 	if err != nil {
 		return nil, err
 	}
@@ -134,8 +139,9 @@ func (e *Engine) OptimizeSiteRates(d *traversal.Descriptor) []float64 {
 	return res.Scale
 }
 
-// Close implements search.Engine (no resources to release).
-func (e *Engine) Close() {}
+// Close implements search.Engine: releases the rank's intra-rank worker
+// pool.
+func (e *Engine) Close() { e.local.Close() }
 
 // Stats reports this rank's kernel work and CLV footprint for the cluster
 // cost model.

@@ -23,6 +23,9 @@ type RunConfig struct {
 	// HybridRanksPerNode enables hierarchical Allreduce (see
 	// EngineConfig.HybridRanksPerNode).
 	HybridRanksPerNode int
+	// Threads is the intra-rank worker count per rank (see
+	// EngineConfig.Threads); ≤ 1 runs the kernels serially.
+	Threads int
 }
 
 // RunStats captures the measured execution profile for the cost model and
@@ -71,8 +74,10 @@ func Run(d *msa.Dataset, cfg RunConfig) (*search.Result, *RunStats, error) {
 			Subst:                cfg.Search.Subst,
 			PerPartitionBranches: cfg.Search.PerPartitionBranches,
 			HybridRanksPerNode:   cfg.HybridRanksPerNode,
+			Threads:              cfg.Threads,
 		})
 		if err == nil {
+			defer eng.Close()
 			var s *search.Searcher
 			s, err = search.NewSearcher(eng, d, cfg.Search)
 			if err == nil {

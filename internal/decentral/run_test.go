@@ -210,3 +210,54 @@ func TestHybridAllreduceMatchesFlat(t *testing.T) {
 		t.Fatalf("hybrid lnL %.9f far from flat %.9f", hybrid.LnL, flat.LnL)
 	}
 }
+
+func TestThreadedSearchMatchesSerial(t *testing.T) {
+	// Intra-rank threading must not move a single bit of the search
+	// outcome: unlike changing the rank count (which re-associates the
+	// cross-rank Allreduce), the per-block ordered reduction is exactly
+	// the serial summation — so the whole search trajectory, final
+	// likelihood, and topology are bitwise equal at every thread count.
+	// 2×800 sites keep each rank's partition share above one block, so
+	// the threaded (multi-block) kernel path actually runs.
+	d := makeDataset(t, 10, 2, 800, 9)
+	cfg := search.Config{Het: model.Gamma, Seed: 4, MaxIterations: 2}
+	ref, _, err := Run(d, RunConfig{Search: cfg, Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refNewick := ref.Tree.Newick()
+	for _, threads := range []int{2, 4} {
+		got, _, err := Run(d, RunConfig{Search: cfg, Ranks: 2, Threads: threads})
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if math.Float64bits(got.LnL) != math.Float64bits(ref.LnL) {
+			t.Errorf("threads=%d: lnL %.17g not bit-identical to serial %.17g", threads, got.LnL, ref.LnL)
+		}
+		if got.Tree.Newick() != refNewick {
+			t.Errorf("threads=%d: topology differs from serial run", threads)
+		}
+	}
+}
+
+func TestThreadedHybridSearch(t *testing.T) {
+	// Threads compose with the hierarchical Allreduce: the full §V hybrid
+	// configuration (nodes × ranks-per-node × threads) must be bitwise
+	// equal to the same rank layout with serial kernels.
+	d := makeDataset(t, 9, 2, 600, 10)
+	cfg := search.Config{Het: model.PSR, Seed: 8, MaxIterations: 2}
+	ref, _, err := Run(d, RunConfig{Search: cfg, Ranks: 4, HybridRanksPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Run(d, RunConfig{Search: cfg, Ranks: 4, HybridRanksPerNode: 2, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.LnL) != math.Float64bits(ref.LnL) {
+		t.Errorf("hybrid+threads lnL %.17g not bit-identical to hybrid serial %.17g", got.LnL, ref.LnL)
+	}
+	if got.Tree.Newick() != ref.Tree.Newick() {
+		t.Error("hybrid+threads topology differs from hybrid serial run")
+	}
+}

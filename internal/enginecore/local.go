@@ -14,6 +14,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/msa"
 	"repro/internal/numutil"
+	"repro/internal/threadpool"
 	"repro/internal/traversal"
 )
 
@@ -31,16 +32,24 @@ type Local struct {
 	Kernels []*likelihood.Kernel
 	// PartIdx maps local kernel index → global partition index.
 	PartIdx []int
+	// pool is the rank's intra-rank worker pool (§V hybrid scheme),
+	// shared by all local kernels; nil when threads ≤ 1.
+	pool *threadpool.Pool
 }
 
 // NewLocal materializes rank's shares and builds kernels. subst decides
 // the stationary frequencies (uniform for JC/K80, empirical otherwise).
-func NewLocal(d *msa.Dataset, a *distrib.Assignment, rank int, het model.Heterogeneity, subst model.SubstModel, perPart bool) (*Local, error) {
+// threads > 1 attaches a shared-memory worker pool to every kernel; the
+// pool lives until Close.
+func NewLocal(d *msa.Dataset, a *distrib.Assignment, rank int, het model.Heterogeneity, subst model.SubstModel, perPart bool, threads int) (*Local, error) {
 	l := &Local{
 		NPart:           d.NPartitions(),
 		NInner:          d.NTaxa() - 2,
 		Het:             het,
 		PerPartBranches: perPart,
+	}
+	if threads > 1 {
+		l.pool = threadpool.New(threads)
 	}
 	parts, partIdx := a.Materialize(d, rank)
 	for i, pd := range parts {
@@ -52,11 +61,19 @@ func NewLocal(d *msa.Dataset, a *distrib.Assignment, rank int, het model.Heterog
 		if err != nil {
 			return nil, err
 		}
+		k.SetPool(l.pool)
 		l.Kernels = append(l.Kernels, k)
 		l.PartIdx = append(l.PartIdx, partIdx[i])
 	}
 	return l, nil
 }
+
+// Threads reports the rank's intra-rank concurrency.
+func (l *Local) Threads() int { return l.pool.Threads() }
+
+// Close releases the rank's worker pool (no-op for serial ranks).
+// Idempotent; the kernels must not be used afterwards.
+func (l *Local) Close() { l.pool.Close() }
 
 // BLClasses returns the linkage-class count.
 func (l *Local) BLClasses() int {

@@ -29,7 +29,7 @@ func makeLocal(t *testing.T, nTaxa, nParts, geneLen int, het model.Heterogeneity
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := NewLocal(d, assign, rank, het, model.GTR, perPart)
+	l, err := NewLocal(d, assign, rank, het, model.GTR, perPart, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,8 @@ type Plan struct {
 	FailAfterIteration int
 	// Strategy is the data-distribution strategy (re-run on recovery).
 	Strategy distrib.Strategy
+	// Threads is the intra-rank worker count per rank (both phases).
+	Threads int
 	// Search is the search configuration.
 	Search search.Config
 }
@@ -102,6 +104,7 @@ func Run(d *msa.Dataset, plan Plan) (*search.Result, *Report, error) {
 		Search:   phase1,
 		Ranks:    plan.Ranks,
 		Strategy: plan.Strategy,
+		Threads:  plan.Threads,
 	}); err != nil {
 		return nil, nil, fmt.Errorf("fault: phase 1: %w", err)
 	}
@@ -117,6 +120,7 @@ func Run(d *msa.Dataset, plan Plan) (*search.Result, *Report, error) {
 		Search:   phase2,
 		Ranks:    survivorRank,
 		Strategy: plan.Strategy,
+		Threads:  plan.Threads,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("fault: phase 2 (recovery): %w", err)

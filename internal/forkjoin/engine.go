@@ -47,6 +47,10 @@ type EngineConfig struct {
 	Subst model.SubstModel
 	// PerPartitionBranches mirrors search.Config.PerPartitionBranches.
 	PerPartitionBranches bool
+	// Threads is the intra-rank worker count per rank (master and
+	// workers alike); ≤ 1 runs the kernels serially. Results are
+	// bit-identical at every thread count (docs/DETERMINISM.md).
+	Threads int
 }
 
 // Engine is the master-side search.Engine. It owns rank 0's data share
@@ -64,7 +68,7 @@ func NewMaster(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg Engine
 	if comm.Rank() != 0 {
 		return nil, fmt.Errorf("forkjoin: master must be rank 0, got %d", comm.Rank())
 	}
-	local, err := enginecore.NewLocal(d, a, 0, cfg.Het, cfg.Subst, cfg.PerPartitionBranches)
+	local, err := enginecore.NewLocal(d, a, 0, cfg.Het, cfg.Subst, cfg.PerPartitionBranches, cfg.Threads)
 	if err != nil {
 		return nil, err
 	}
@@ -213,9 +217,11 @@ func (e *Engine) OptimizeSiteRates(d *traversal.Descriptor) []float64 {
 	return res.Scale
 }
 
-// Close implements search.Engine: shuts the worker loops down.
+// Close implements search.Engine: shuts the worker loops down and
+// releases the master's intra-rank worker pool.
 func (e *Engine) Close() {
 	e.command(opShutdown)
+	e.local.Close()
 }
 
 // Stats reports the master's local kernel work and CLV footprint.
@@ -309,10 +315,11 @@ type WorkerStats struct {
 
 // RunWorkerWithStats is RunWorker plus a stats readout on return.
 func RunWorkerWithStats(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg EngineConfig) (*WorkerStats, error) {
-	local, err := enginecore.NewLocal(d, a, comm.Rank(), cfg.Het, cfg.Subst, cfg.PerPartitionBranches)
+	local, err := enginecore.NewLocal(d, a, comm.Rank(), cfg.Het, cfg.Subst, cfg.PerPartitionBranches, cfg.Threads)
 	if err != nil {
 		return nil, err
 	}
+	defer local.Close()
 	if err := runWorkerLoop(comm, local); err != nil {
 		return nil, err
 	}

@@ -19,6 +19,9 @@ type RunConfig struct {
 	Ranks int
 	// Strategy selects cyclic or MPS data distribution.
 	Strategy distrib.Strategy
+	// Threads is the intra-rank worker count per rank (see
+	// EngineConfig.Threads); ≤ 1 runs the kernels serially.
+	Threads int
 }
 
 // RunStats mirrors decentral.RunStats for apples-to-apples comparisons.
@@ -50,7 +53,7 @@ func Run(d *msa.Dataset, cfg RunConfig) (*search.Result, *RunStats, error) {
 		return nil, nil, err
 	}
 	world := mpi.NewWorld(cfg.Ranks)
-	engCfg := EngineConfig{Het: cfg.Search.Het, Subst: cfg.Search.Subst, PerPartitionBranches: cfg.Search.PerPartitionBranches}
+	engCfg := EngineConfig{Het: cfg.Search.Het, Subst: cfg.Search.Subst, PerPartitionBranches: cfg.Search.PerPartitionBranches, Threads: cfg.Threads}
 
 	var result *search.Result
 	columns := make([]int64, cfg.Ranks)

@@ -4,42 +4,39 @@ import (
 	"math"
 
 	"repro/internal/model"
-	"repro/internal/msa"
 )
 
 // gammaCats is a local alias for the fixed discrete-Γ category count.
 const gammaCats = model.GammaCategories
 
 // newviewGamma computes the CLV at inner slot dst from children a and b
-// across branch lengths ta and tb under the Γ model.
+// across branch lengths ta and tb under the Γ model. Pattern blocks run
+// on the kernel's pool; each block writes a disjoint CLV range, so the
+// result is identical at every thread count.
 func (k *Kernel) newviewGamma(dst int32, a, b NodeRef, ta, tb float64) {
 	var pa, pb [gammaCats][ns * ns]float64
 	k.probMatrices(ta, pa[:])
 	k.probMatrices(tb, pb[:])
 
 	dclv, dscale := k.slot(dst)
+	oa, ob := k.operand(a), k.operand(b)
+	parts := k.blocks()
+	k.pool.Run(k.nPat, func(blk, lo, hi int) {
+		k.newviewGammaBlock(dclv, dscale, oa, ob, &pa, &pb, lo, hi)
+		parts[blk].cols = int64(hi-lo) * gammaCats
+	})
+	k.flops.Newview += joinCols(parts)
+}
 
-	var aclv, bclv []float64
-	var ascale, bscale []int32
-	var atips, btips []msa.State
-	if a.Tip {
-		atips = k.data.Tips[a.Idx]
-	} else {
-		aclv, ascale = k.clv[a.Idx], k.scale[a.Idx]
-	}
-	if b.Tip {
-		btips = k.data.Tips[b.Idx]
-	} else {
-		bclv, bscale = k.clv[b.Idx], k.scale[b.Idx]
-	}
-
-	for i := 0; i < k.nPat; i++ {
+// newviewGammaBlock is the per-block worker of newviewGamma.
+func (k *Kernel) newviewGammaBlock(dclv []float64, dscale []int32, oa, ob operand, pa, pb *[gammaCats][ns * ns]float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var sc int32
-		if ascale != nil {
-			sc += ascale[i]
+		if oa.scale != nil {
+			sc += oa.scale[i]
 		}
-		if bscale != nil {
-			sc += bscale[i]
+		if ob.scale != nil {
+			sc += ob.scale[i]
 		}
 		needScale := true
 		base := i * gammaCats * ns
@@ -48,17 +45,17 @@ func (k *Kernel) newviewGamma(dst int32, a, b NodeRef, ta, tb float64) {
 			pcb := &pb[c]
 			// Gather child likelihood columns for this category.
 			var va, vb [ns]float64
-			if atips != nil {
-				va = k.tipVec[atips[i]]
+			if oa.tips != nil {
+				va = k.tipVec[oa.tips[i]]
 			} else {
 				off := base + c*ns
-				va[0], va[1], va[2], va[3] = aclv[off], aclv[off+1], aclv[off+2], aclv[off+3]
+				va[0], va[1], va[2], va[3] = oa.clv[off], oa.clv[off+1], oa.clv[off+2], oa.clv[off+3]
 			}
-			if btips != nil {
-				vb = k.tipVec[btips[i]]
+			if ob.tips != nil {
+				vb = k.tipVec[ob.tips[i]]
 			} else {
 				off := base + c*ns
-				vb[0], vb[1], vb[2], vb[3] = bclv[off], bclv[off+1], bclv[off+2], bclv[off+3]
+				vb[0], vb[1], vb[2], vb[3] = ob.clv[off], ob.clv[off+1], ob.clv[off+2], ob.clv[off+3]
 			}
 			off := base + c*ns
 			for x := 0; x < ns; x++ {
@@ -79,49 +76,52 @@ func (k *Kernel) newviewGamma(dst int32, a, b NodeRef, ta, tb float64) {
 		}
 		dscale[i] = sc
 	}
-	k.flops.Newview += int64(k.nPat * gammaCats)
 }
 
 // evaluateGamma returns the weighted log likelihood summed over the local
-// patterns for a virtual root on the edge (p, q) of length t.
+// patterns for a virtual root on the edge (p, q) of length t. Per-block
+// partial sums are combined in block-index order after the join, so the
+// total is bit-identical to the serial kernel at every thread count.
 func (k *Kernel) evaluateGamma(p, q NodeRef, t float64) float64 {
 	var pm [gammaCats][ns * ns]float64
 	k.probMatrices(t, pm[:])
-	freqs := &k.par.Freqs
 	catW := k.par.CatWeight()
 
-	var pclv, qclv []float64
-	var pscale, qscale []int32
-	var ptips, qtips []msa.State
-	if p.Tip {
-		ptips = k.data.Tips[p.Idx]
-	} else {
-		pclv, pscale = k.clv[p.Idx], k.scale[p.Idx]
-	}
-	if q.Tip {
-		qtips = k.data.Tips[q.Idx]
-	} else {
-		qclv, qscale = k.clv[q.Idx], k.scale[q.Idx]
-	}
-
+	op, oq := k.operand(p), k.operand(q)
+	parts := k.blocks()
+	k.pool.Run(k.nPat, func(blk, lo, hi int) {
+		parts[blk].lnL = k.evaluateGammaBlock(op, oq, &pm, catW, lo, hi)
+		parts[blk].cols = int64(hi-lo) * gammaCats
+	})
 	total := 0.0
-	for i := 0; i < k.nPat; i++ {
+	for b := range parts {
+		total += parts[b].lnL
+	}
+	k.flops.Evaluate += joinCols(parts)
+	return total
+}
+
+// evaluateGammaBlock is the per-block worker of evaluateGamma.
+func (k *Kernel) evaluateGammaBlock(op, oq operand, pm *[gammaCats][ns * ns]float64, catW float64, lo, hi int) float64 {
+	freqs := &k.par.Freqs
+	total := 0.0
+	for i := lo; i < hi; i++ {
 		site := 0.0
 		base := i * gammaCats * ns
 		for c := 0; c < gammaCats; c++ {
 			pc := &pm[c]
 			var vp, vq [ns]float64
-			if ptips != nil {
-				vp = k.tipVec[ptips[i]]
+			if op.tips != nil {
+				vp = k.tipVec[op.tips[i]]
 			} else {
 				off := base + c*ns
-				vp[0], vp[1], vp[2], vp[3] = pclv[off], pclv[off+1], pclv[off+2], pclv[off+3]
+				vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
 			}
-			if qtips != nil {
-				vq = k.tipVec[qtips[i]]
+			if oq.tips != nil {
+				vq = k.tipVec[oq.tips[i]]
 			} else {
 				off := base + c*ns
-				vq[0], vq[1], vq[2], vq[3] = qclv[off], qclv[off+1], qclv[off+2], qclv[off+3]
+				vq[0], vq[1], vq[2], vq[3] = oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
 			}
 			for x := 0; x < ns; x++ {
 				right := pc[x*ns]*vq[0] + pc[x*ns+1]*vq[1] + pc[x*ns+2]*vq[2] + pc[x*ns+3]*vq[3]
@@ -129,58 +129,57 @@ func (k *Kernel) evaluateGamma(p, q NodeRef, t float64) float64 {
 			}
 		}
 		var sc int32
-		if pscale != nil {
-			sc += pscale[i]
+		if op.scale != nil {
+			sc += op.scale[i]
 		}
-		if qscale != nil {
-			sc += qscale[i]
+		if oq.scale != nil {
+			sc += oq.scale[i]
 		}
 		lnl := math.Log(site) + float64(sc)*LogScaleStep
 		total += float64(k.data.Weights[i]) * lnl
 	}
-	k.flops.Evaluate += int64(k.nPat * gammaCats)
 	return total
 }
 
 // prepareDerivativesGamma fills the sum table for the edge (p, q):
 // sumTab[((i·C)+c)·4+k] = (Σ_x π_x clvP_x U_{xk}) · (Σ_y U⁻¹_{ky} clvQ_y).
+// Blocks write disjoint sum-table ranges.
 func (k *Kernel) prepareDerivativesGamma(p, q NodeRef) {
 	need := k.nPat * gammaCats * ns
 	if cap(k.sumTab) < need {
 		k.sumTab = make([]float64, need)
 	}
 	k.sumTab = k.sumTab[:need]
+
+	op, oq := k.operand(p), k.operand(q)
+	parts := k.blocks()
+	k.pool.Run(k.nPat, func(blk, lo, hi int) {
+		k.prepareGammaBlock(op, oq, lo, hi)
+		parts[blk].cols = int64(hi-lo) * gammaCats
+	})
+	k.prepared = true
+	k.flops.Derivative += joinCols(parts)
+}
+
+// prepareGammaBlock is the per-block worker of prepareDerivativesGamma.
+func (k *Kernel) prepareGammaBlock(op, oq operand, lo, hi int) {
 	e := k.par.Eigen
 	freqs := &k.par.Freqs
-
-	var pclv, qclv []float64
-	var ptips, qtips []msa.State
-	if p.Tip {
-		ptips = k.data.Tips[p.Idx]
-	} else {
-		pclv = k.clv[p.Idx]
-	}
-	if q.Tip {
-		qtips = k.data.Tips[q.Idx]
-	} else {
-		qclv = k.clv[q.Idx]
-	}
-
-	for i := 0; i < k.nPat; i++ {
+	for i := lo; i < hi; i++ {
 		base := i * gammaCats * ns
 		for c := 0; c < gammaCats; c++ {
 			var vp, vq [ns]float64
-			if ptips != nil {
-				vp = k.tipVec[ptips[i]]
+			if op.tips != nil {
+				vp = k.tipVec[op.tips[i]]
 			} else {
 				off := base + c*ns
-				vp[0], vp[1], vp[2], vp[3] = pclv[off], pclv[off+1], pclv[off+2], pclv[off+3]
+				vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
 			}
-			if qtips != nil {
-				vq = k.tipVec[qtips[i]]
+			if oq.tips != nil {
+				vq = k.tipVec[oq.tips[i]]
 			} else {
 				off := base + c*ns
-				vq[0], vq[1], vq[2], vq[3] = qclv[off], qclv[off+1], qclv[off+2], qclv[off+3]
+				vq[0], vq[1], vq[2], vq[3] = oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
 			}
 			off := base + c*ns
 			for kk := 0; kk < ns; kk++ {
@@ -192,12 +191,11 @@ func (k *Kernel) prepareDerivativesGamma(p, q NodeRef) {
 			}
 		}
 	}
-	k.prepared = true
-	k.flops.Derivative += int64(k.nPat * gammaCats)
 }
 
 // derivativesGamma evaluates d lnL/dt and d² lnL/dt² at branch length t
-// from the prepared sum table.
+// from the prepared sum table. Per-block (d1, d2) partials combine in
+// block-index order.
 func (k *Kernel) derivativesGamma(t float64) (d1, d2 float64) {
 	e := k.par.Eigen
 	catW := k.par.CatWeight()
@@ -210,7 +208,22 @@ func (k *Kernel) derivativesGamma(t float64) (d1, d2 float64) {
 			ex[c][kk] = math.Exp(l * t)
 		}
 	}
-	for i := 0; i < k.nPat; i++ {
+	parts := k.blocks()
+	k.pool.Run(k.nPat, func(blk, lo, hi int) {
+		parts[blk].d1, parts[blk].d2 = k.derivativesGammaBlock(&ex, &lam, catW, lo, hi)
+		parts[blk].cols = int64(hi-lo) * gammaCats
+	})
+	for b := range parts {
+		d1 += parts[b].d1
+		d2 += parts[b].d2
+	}
+	k.flops.Derivative += joinCols(parts)
+	return d1, d2
+}
+
+// derivativesGammaBlock is the per-block worker of derivativesGamma.
+func (k *Kernel) derivativesGammaBlock(ex, lam *[gammaCats][ns]float64, catW float64, lo, hi int) (d1, d2 float64) {
+	for i := lo; i < hi; i++ {
 		var f, fp, fpp float64
 		base := i * gammaCats * ns
 		for c := 0; c < gammaCats; c++ {
@@ -237,6 +250,5 @@ func (k *Kernel) derivativesGamma(t float64) (d1, d2 float64) {
 		d1 += w * ratio
 		d2 += w * (fpp/f - ratio*ratio)
 	}
-	k.flops.Derivative += int64(k.nPat * gammaCats)
 	return d1, d2
 }

@@ -14,6 +14,14 @@
 // kernel is deliberately tree-agnostic: it executes numbered operations on
 // CLV slots and tip indices, the same contract a fork-join worker gets
 // from a traversal descriptor.
+//
+// Every kernel optionally splits its pattern range into fixed-size
+// contiguous blocks executed by an intra-rank worker pool (SetPool) — the
+// shared-memory axis of the paper's §V hybrid MPI/PThreads scheme.
+// Threading never changes a single bit of any result: Newview and the
+// sum-table fill write disjoint per-block ranges, and Evaluate/Derivatives
+// combine per-block partial sums in block-index order after the join
+// (docs/DETERMINISM.md documents the repo-wide contract).
 package likelihood
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/msa"
+	"repro/internal/threadpool"
 )
 
 // Numerical scaling constants (RAxML's minlikelihood convention): a CLV
@@ -80,7 +89,75 @@ type Kernel struct {
 	// PrepareDerivatives call.
 	prepared bool
 
+	// pool is the rank's shared-memory worker pool (§V hybrid scheme);
+	// nil runs every kernel serially over the same block structure.
+	pool *threadpool.Pool
+	// blockAcc is the fixed-size per-block partial-result slot array,
+	// reused across calls (kernel calls within a rank are serial).
+	blockAcc []blockPartial
+
 	flops FlopCount
+}
+
+// SetPool attaches the rank's worker pool, splitting every subsequent
+// kernel invocation into contiguous pattern blocks executed by up to
+// pool.Threads() goroutines. Block boundaries and reduction order are
+// independent of the thread count, so results are byte-for-byte
+// identical to the serial (nil-pool) kernel — the intra-rank half of the
+// determinism contract in docs/DETERMINISM.md.
+func (k *Kernel) SetPool(p *threadpool.Pool) { k.pool = p }
+
+// Threads reports the kernel's intra-rank concurrency.
+func (k *Kernel) Threads() int { return k.pool.Threads() }
+
+// operand is a resolved kernel argument: tips for a tip reference,
+// clv (+scale) for an inner CLV slot. Workers only read operands.
+type operand struct {
+	tips  []msa.State
+	clv   []float64
+	scale []int32
+}
+
+// operand resolves a NodeRef against the kernel's state.
+func (k *Kernel) operand(r NodeRef) operand {
+	if r.Tip {
+		return operand{tips: k.data.Tips[r.Idx]}
+	}
+	return operand{clv: k.clv[r.Idx], scale: k.scale[r.Idx]}
+}
+
+// blockPartial is one pattern block's contribution to a kernel call.
+// Each worker writes only its own block's slot; the caller combines the
+// slots in block-index order after the join, which keeps every reduction
+// bit-identical regardless of how blocks were scheduled onto threads.
+type blockPartial struct {
+	// lnL is an Evaluate block's partial log likelihood.
+	lnL float64
+	// d1, d2 are a Derivatives block's partial sums.
+	d1, d2 float64
+	// cols is the block's column-update count (summed into FlopCount at
+	// the join — never touched concurrently).
+	cols int64
+}
+
+// blocks returns the per-block slot array sized for the kernel's pattern
+// range.
+func (k *Kernel) blocks() []blockPartial {
+	if n := threadpool.NumBlocks(k.nPat); len(k.blockAcc) != n {
+		k.blockAcc = make([]blockPartial, n)
+	}
+	return k.blockAcc
+}
+
+// joinCols sums the per-block column counts after a join — the race-free
+// FlopCount accumulation path (workers count into their own slot; only
+// the caller's goroutine touches the shared counter).
+func joinCols(parts []blockPartial) int64 {
+	var t int64
+	for i := range parts {
+		t += parts[i].cols
+	}
+	return t
 }
 
 // NewKernel builds a kernel for one partition slice. nInner is the number

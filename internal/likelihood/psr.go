@@ -2,13 +2,15 @@ package likelihood
 
 import (
 	"math"
-
-	"repro/internal/msa"
 )
 
 // PSR kernels: one rate category per site, CLVs hold a single 4-vector per
 // pattern (the 4× memory saving over Γ the paper highlights). The per-site
 // category index selects which P matrix a site uses.
+//
+// Like the Γ kernels, every PSR kernel executes its pattern range in
+// fixed-size blocks on the kernel's pool; writes are block-disjoint and
+// reductions combine per-block partials in block-index order.
 
 func (k *Kernel) psrMatrices(t float64) [][ns * ns]float64 {
 	ps := make([][ns * ns]float64, len(k.par.CatRates))
@@ -20,46 +22,42 @@ func (k *Kernel) psrMatrices(t float64) [][ns * ns]float64 {
 func (k *Kernel) newviewPSR(dst int32, a, b NodeRef, ta, tb float64) {
 	pa := k.psrMatrices(ta)
 	pb := k.psrMatrices(tb)
-	cats := k.par.SiteCats
 
 	dclv, dscale := k.slot(dst)
+	oa, ob := k.operand(a), k.operand(b)
+	parts := k.blocks()
+	k.pool.Run(k.nPat, func(blk, lo, hi int) {
+		k.newviewPSRBlock(dclv, dscale, oa, ob, pa, pb, lo, hi)
+		parts[blk].cols = int64(hi - lo)
+	})
+	k.flops.Newview += joinCols(parts)
+}
 
-	var aclv, bclv []float64
-	var ascale, bscale []int32
-	var atips, btips []msa.State
-	if a.Tip {
-		atips = k.data.Tips[a.Idx]
-	} else {
-		aclv, ascale = k.clv[a.Idx], k.scale[a.Idx]
-	}
-	if b.Tip {
-		btips = k.data.Tips[b.Idx]
-	} else {
-		bclv, bscale = k.clv[b.Idx], k.scale[b.Idx]
-	}
-
-	for i := 0; i < k.nPat; i++ {
+// newviewPSRBlock is the per-block worker of newviewPSR.
+func (k *Kernel) newviewPSRBlock(dclv []float64, dscale []int32, oa, ob operand, pa, pb [][ns * ns]float64, lo, hi int) {
+	cats := k.par.SiteCats
+	for i := lo; i < hi; i++ {
 		var sc int32
-		if ascale != nil {
-			sc += ascale[i]
+		if oa.scale != nil {
+			sc += oa.scale[i]
 		}
-		if bscale != nil {
-			sc += bscale[i]
+		if ob.scale != nil {
+			sc += ob.scale[i]
 		}
 		c := cats[i]
 		pca := &pa[c]
 		pcb := &pb[c]
 		var va, vb [ns]float64
 		off := i * ns
-		if atips != nil {
-			va = k.tipVec[atips[i]]
+		if oa.tips != nil {
+			va = k.tipVec[oa.tips[i]]
 		} else {
-			va[0], va[1], va[2], va[3] = aclv[off], aclv[off+1], aclv[off+2], aclv[off+3]
+			va[0], va[1], va[2], va[3] = oa.clv[off], oa.clv[off+1], oa.clv[off+2], oa.clv[off+3]
 		}
-		if btips != nil {
-			vb = k.tipVec[btips[i]]
+		if ob.tips != nil {
+			vb = k.tipVec[ob.tips[i]]
 		} else {
-			vb[0], vb[1], vb[2], vb[3] = bclv[off], bclv[off+1], bclv[off+2], bclv[off+3]
+			vb[0], vb[1], vb[2], vb[3] = ob.clv[off], ob.clv[off+1], ob.clv[off+2], ob.clv[off+3]
 		}
 		needScale := true
 		for x := 0; x < ns; x++ {
@@ -79,44 +77,45 @@ func (k *Kernel) newviewPSR(dst int32, a, b NodeRef, ta, tb float64) {
 		}
 		dscale[i] = sc
 	}
-	k.flops.Newview += int64(k.nPat)
 }
 
 // evaluatePSR returns the weighted log likelihood for a virtual root on
 // (p, q) with branch length t.
 func (k *Kernel) evaluatePSR(p, q NodeRef, t float64) float64 {
 	pm := k.psrMatrices(t)
+
+	op, oq := k.operand(p), k.operand(q)
+	parts := k.blocks()
+	k.pool.Run(k.nPat, func(blk, lo, hi int) {
+		parts[blk].lnL = k.evaluatePSRBlock(op, oq, pm, lo, hi)
+		parts[blk].cols = int64(hi - lo)
+	})
+	total := 0.0
+	for b := range parts {
+		total += parts[b].lnL
+	}
+	k.flops.Evaluate += joinCols(parts)
+	return total
+}
+
+// evaluatePSRBlock is the per-block worker of evaluatePSR.
+func (k *Kernel) evaluatePSRBlock(op, oq operand, pm [][ns * ns]float64, lo, hi int) float64 {
 	cats := k.par.SiteCats
 	freqs := &k.par.Freqs
-
-	var pclv, qclv []float64
-	var pscale, qscale []int32
-	var ptips, qtips []msa.State
-	if p.Tip {
-		ptips = k.data.Tips[p.Idx]
-	} else {
-		pclv, pscale = k.clv[p.Idx], k.scale[p.Idx]
-	}
-	if q.Tip {
-		qtips = k.data.Tips[q.Idx]
-	} else {
-		qclv, qscale = k.clv[q.Idx], k.scale[q.Idx]
-	}
-
 	total := 0.0
-	for i := 0; i < k.nPat; i++ {
+	for i := lo; i < hi; i++ {
 		pc := &pm[cats[i]]
 		var vp, vq [ns]float64
 		off := i * ns
-		if ptips != nil {
-			vp = k.tipVec[ptips[i]]
+		if op.tips != nil {
+			vp = k.tipVec[op.tips[i]]
 		} else {
-			vp[0], vp[1], vp[2], vp[3] = pclv[off], pclv[off+1], pclv[off+2], pclv[off+3]
+			vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
 		}
-		if qtips != nil {
-			vq = k.tipVec[qtips[i]]
+		if oq.tips != nil {
+			vq = k.tipVec[oq.tips[i]]
 		} else {
-			vq[0], vq[1], vq[2], vq[3] = qclv[off], qclv[off+1], qclv[off+2], qclv[off+3]
+			vq[0], vq[1], vq[2], vq[3] = oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
 		}
 		site := 0.0
 		for x := 0; x < ns; x++ {
@@ -124,15 +123,14 @@ func (k *Kernel) evaluatePSR(p, q NodeRef, t float64) float64 {
 			site += freqs[x] * vp[x] * right
 		}
 		var sc int32
-		if pscale != nil {
-			sc += pscale[i]
+		if op.scale != nil {
+			sc += op.scale[i]
 		}
-		if qscale != nil {
-			sc += qscale[i]
+		if oq.scale != nil {
+			sc += oq.scale[i]
 		}
 		total += float64(k.data.Weights[i]) * (math.Log(site) + float64(sc)*LogScaleStep)
 	}
-	k.flops.Evaluate += int64(k.nPat)
 	return total
 }
 
@@ -143,34 +141,33 @@ func (k *Kernel) prepareDerivativesPSR(p, q NodeRef) {
 		k.sumTab = make([]float64, need)
 	}
 	k.sumTab = k.sumTab[:need]
+
+	op, oq := k.operand(p), k.operand(q)
+	parts := k.blocks()
+	k.pool.Run(k.nPat, func(blk, lo, hi int) {
+		k.preparePSRBlock(op, oq, lo, hi)
+		parts[blk].cols = int64(hi - lo)
+	})
+	k.prepared = true
+	k.flops.Derivative += joinCols(parts)
+}
+
+// preparePSRBlock is the per-block worker of prepareDerivativesPSR.
+func (k *Kernel) preparePSRBlock(op, oq operand, lo, hi int) {
 	e := k.par.Eigen
 	freqs := &k.par.Freqs
-
-	var pclv, qclv []float64
-	var ptips, qtips []msa.State
-	if p.Tip {
-		ptips = k.data.Tips[p.Idx]
-	} else {
-		pclv = k.clv[p.Idx]
-	}
-	if q.Tip {
-		qtips = k.data.Tips[q.Idx]
-	} else {
-		qclv = k.clv[q.Idx]
-	}
-
-	for i := 0; i < k.nPat; i++ {
+	for i := lo; i < hi; i++ {
 		var vp, vq [ns]float64
 		off := i * ns
-		if ptips != nil {
-			vp = k.tipVec[ptips[i]]
+		if op.tips != nil {
+			vp = k.tipVec[op.tips[i]]
 		} else {
-			vp[0], vp[1], vp[2], vp[3] = pclv[off], pclv[off+1], pclv[off+2], pclv[off+3]
+			vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
 		}
-		if qtips != nil {
-			vq = k.tipVec[qtips[i]]
+		if oq.tips != nil {
+			vq = k.tipVec[oq.tips[i]]
 		} else {
-			vq[0], vq[1], vq[2], vq[3] = qclv[off], qclv[off+1], qclv[off+2], qclv[off+3]
+			vq[0], vq[1], vq[2], vq[3] = oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
 		}
 		for kk := 0; kk < ns; kk++ {
 			ap := freqs[0]*vp[0]*e.U[0*ns+kk] + freqs[1]*vp[1]*e.U[1*ns+kk] +
@@ -180,15 +177,12 @@ func (k *Kernel) prepareDerivativesPSR(p, q NodeRef) {
 			k.sumTab[off+kk] = ap * bq
 		}
 	}
-	k.prepared = true
-	k.flops.Derivative += int64(k.nPat)
 }
 
 // derivativesPSR evaluates (d1, d2) at branch length t from the PSR sum
 // table.
 func (k *Kernel) derivativesPSR(t float64) (d1, d2 float64) {
 	e := k.par.Eigen
-	cats := k.par.SiteCats
 	nc := len(k.par.CatRates)
 	ex := make([][ns]float64, nc)
 	lam := make([][ns]float64, nc)
@@ -199,7 +193,23 @@ func (k *Kernel) derivativesPSR(t float64) (d1, d2 float64) {
 			ex[c][kk] = math.Exp(l * t)
 		}
 	}
-	for i := 0; i < k.nPat; i++ {
+	parts := k.blocks()
+	k.pool.Run(k.nPat, func(blk, lo, hi int) {
+		parts[blk].d1, parts[blk].d2 = k.derivativesPSRBlock(ex, lam, lo, hi)
+		parts[blk].cols = int64(hi - lo)
+	})
+	for b := range parts {
+		d1 += parts[b].d1
+		d2 += parts[b].d2
+	}
+	k.flops.Derivative += joinCols(parts)
+	return d1, d2
+}
+
+// derivativesPSRBlock is the per-block worker of derivativesPSR.
+func (k *Kernel) derivativesPSRBlock(ex, lam [][ns]float64, lo, hi int) (d1, d2 float64) {
+	cats := k.par.SiteCats
+	for i := lo; i < hi; i++ {
 		c := cats[i]
 		off := i * ns
 		var f, fp, fpp float64
@@ -218,6 +228,5 @@ func (k *Kernel) derivativesPSR(t float64) (d1, d2 float64) {
 		d1 += w * ratio
 		d2 += w * (fpp/f - ratio*ratio)
 	}
-	k.flops.Derivative += int64(k.nPat)
 	return d1, d2
 }

@@ -1,0 +1,108 @@
+package likelihood_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/threadpool"
+	"repro/internal/traversal"
+)
+
+// threadedFixture rebuilds the same deterministic fixture and attaches a
+// pool of the given size (0 = serial nil pool). The fixture is large
+// enough that the pattern range spans many blocks.
+func threadedFixture(t *testing.T, het model.Heterogeneity, threads int) (*fixture, *threadpool.Pool) {
+	t.Helper()
+	f := makeFixture(t, 12, 2000, het, 7)
+	if nb := threadpool.NumBlocks(f.kern.NPatterns()); nb < 3 {
+		t.Fatalf("fixture spans only %d blocks; too small to exercise threading", nb)
+	}
+	var p *threadpool.Pool
+	if threads > 0 {
+		p = threadpool.New(threads)
+		f.kern.SetPool(p)
+	}
+	return f, p
+}
+
+// kernelTrace runs a fixed sequence of Newview/Evaluate/Derivatives calls
+// and captures every bit of observable kernel output: the log likelihood,
+// the derivative pair at several branch lengths, and the digest of every
+// inner CLV slot.
+type kernelTrace struct {
+	lnL     uint64
+	derivs  [6]uint64
+	digests []uint64
+}
+
+func traceKernel(f *fixture) kernelTrace {
+	var tr kernelTrace
+	p := f.tree.Tip(0)
+	tr.lnL = math.Float64bits(f.evalAt(p))
+	pRef := traversal.Ref(f.tree, p)
+	qRef := traversal.Ref(f.tree, p.Back)
+	f.kern.PrepareDerivatives(pRef, qRef)
+	for i, t0 := range []float64{0.05, 0.2, 0.7} {
+		d1, d2 := f.kern.Derivatives(t0)
+		tr.derivs[2*i] = math.Float64bits(d1)
+		tr.derivs[2*i+1] = math.Float64bits(d2)
+	}
+	for s := 0; s < f.tree.NInner(); s++ {
+		tr.digests = append(tr.digests, f.kern.CLVDigest(s))
+	}
+	return tr
+}
+
+// TestThreadedKernelsBitIdentical is the §V determinism contract: every
+// kernel output must be byte-for-byte equal to the serial kernel at any
+// thread count, for both rate models (docs/DETERMINISM.md).
+func TestThreadedKernelsBitIdentical(t *testing.T) {
+	for _, het := range []model.Heterogeneity{model.Gamma, model.PSR} {
+		serial, _ := threadedFixture(t, het, 0)
+		ref := traceKernel(serial)
+		for _, threads := range []int{1, 2, 3, 8} {
+			f, pool := threadedFixture(t, het, threads)
+			got := traceKernel(f)
+			pool.Close()
+			if got.lnL != ref.lnL {
+				t.Errorf("%v T=%d: lnL bits %x != serial %x (%g vs %g)",
+					het, threads, got.lnL, ref.lnL,
+					math.Float64frombits(got.lnL), math.Float64frombits(ref.lnL))
+			}
+			if got.derivs != ref.derivs {
+				t.Errorf("%v T=%d: derivative bits diverged: %x vs %x", het, threads, got.derivs, ref.derivs)
+			}
+			for s := range ref.digests {
+				if got.digests[s] != ref.digests[s] {
+					t.Errorf("%v T=%d: CLV slot %d digest %x != serial %x", het, threads, s, got.digests[s], ref.digests[s])
+				}
+			}
+		}
+	}
+}
+
+// TestThreadedKernelReuse moves the virtual root around with a pool
+// attached — many kernel invocations reusing the same block slot array —
+// and cross-checks each evaluation bitwise against a serial twin kernel
+// walking the same edges. Under -race this exercises the pool with a
+// realistic call pattern.
+func TestThreadedKernelReuse(t *testing.T) {
+	serial, _ := threadedFixture(t, model.Gamma, 0)
+	f, pool := threadedFixture(t, model.Gamma, 4)
+	defer pool.Close()
+	// Both fixtures are deterministic twins, so edge lists correspond
+	// index for index.
+	edges := f.tree.Edges()
+	refEdges := serial.tree.Edges()
+	if len(edges) > 8 {
+		edges, refEdges = edges[:8], refEdges[:8]
+	}
+	for i := range edges {
+		got := math.Float64bits(f.evalAt(edges[i]))
+		want := math.Float64bits(serial.evalAt(refEdges[i]))
+		if got != want {
+			t.Fatalf("edge %d: threaded lnL bits %x != serial %x", i, got, want)
+		}
+	}
+}

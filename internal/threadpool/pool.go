@@ -1,0 +1,148 @@
+// Package threadpool provides the intra-rank shared-memory worker pool of
+// the §V hybrid parallelization scheme: on top of the de-centralized
+// (or fork-join) distribution of patterns *across* ranks, each rank splits
+// every likelihood-kernel invocation over T worker goroutines *within* the
+// rank — the Go analogue of ExaML's MPI/PThreads hybrid.
+//
+// The pool's unit of work is a contiguous, fixed-size pattern block.
+// Block boundaries depend only on the item count, never on the thread
+// count or on scheduling, which is what lets callers keep the repo-wide
+// bit-identity contract (docs/DETERMINISM.md): workers either write
+// disjoint per-block ranges (Newview, sum-table fill) or deposit partial
+// results into a per-block slot array that the caller combines in
+// block-index order after Run returns. Under that discipline the result
+// is byte-for-byte identical for every T, including the serial T≤1 path.
+package threadpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BlockSize is the fixed number of items (site patterns) per block. It is
+// a determinism constant, not a tuning knob: changing it changes the
+// association order of block-combined reductions and therefore the bits
+// of every likelihood in the repo.
+const BlockSize = 256
+
+// NumBlocks returns the number of fixed-size blocks covering n items.
+func NumBlocks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + BlockSize - 1) / BlockSize
+}
+
+// blockBounds returns block b's half-open item range within n items.
+func blockBounds(b, n int) (lo, hi int) {
+	lo = b * BlockSize
+	hi = lo + BlockSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// job is one Run invocation's shared state. Workers pull block indices
+// from the atomic cursor, so block-to-worker assignment is dynamic (load
+// balanced) while the block structure itself stays fixed.
+type job struct {
+	fn   func(block, lo, hi int)
+	n    int          // item count
+	nb   int64        // block count
+	next *atomic.Int64
+	wg   *sync.WaitGroup
+}
+
+// run drains blocks until the cursor passes the block count.
+func (j job) run() {
+	for {
+		b := j.next.Add(1) - 1
+		if b >= j.nb {
+			return
+		}
+		lo, hi := blockBounds(int(b), j.n)
+		j.fn(int(b), lo, hi)
+	}
+}
+
+// Pool owns threads−1 persistent worker goroutines; the goroutine calling
+// Run participates as the T-th worker, so a pool of 1 has no workers and
+// executes everything inline. A nil *Pool is valid and also serial —
+// kernels constructed without a pool need no special casing.
+type Pool struct {
+	threads int
+	jobs    chan job
+	close   sync.Once
+}
+
+// New builds a pool executing up to threads blocks concurrently. Values
+// ≤ 1 yield a serial pool with no worker goroutines. Call Close to
+// release the workers.
+func New(threads int) *Pool {
+	p := &Pool{threads: threads}
+	if threads > 1 {
+		p.jobs = make(chan job)
+		for w := 0; w < threads-1; w++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+// worker is the persistent loop of one pool goroutine.
+func (p *Pool) worker() {
+	for j := range p.jobs {
+		j.run()
+		j.wg.Done()
+	}
+}
+
+// Threads reports the pool's concurrency (1 for a nil or serial pool).
+func (p *Pool) Threads() int {
+	if p == nil || p.threads < 1 {
+		return 1
+	}
+	return p.threads
+}
+
+// Run invokes fn once per fixed-size block of [0, n), distributing blocks
+// across the pool and the calling goroutine, and returns after every
+// block completed (the join). fn receives the block index and the block's
+// half-open item range; distinct calls never share a block. Safe for
+// concurrent use: each Run carries its own cursor and join state.
+func (p *Pool) Run(n int, fn func(block, lo, hi int)) {
+	nb := NumBlocks(n)
+	if nb == 0 {
+		return
+	}
+	if p == nil || p.threads <= 1 || nb == 1 {
+		for b := 0; b < nb; b++ {
+			lo, hi := blockBounds(b, n)
+			fn(b, lo, hi)
+		}
+		return
+	}
+	helpers := p.threads - 1
+	if helpers > nb-1 {
+		helpers = nb - 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	j := job{fn: fn, n: n, nb: int64(nb), next: &next, wg: &wg}
+	for w := 0; w < helpers; w++ {
+		p.jobs <- j
+	}
+	j.run() // the caller is the T-th worker
+	wg.Wait()
+}
+
+// Close shuts the worker goroutines down. Idempotent and nil-safe; the
+// pool must not be Run after Close.
+func (p *Pool) Close() {
+	if p == nil || p.jobs == nil {
+		return
+	}
+	p.close.Do(func() { close(p.jobs) })
+}

@@ -1,0 +1,133 @@
+package threadpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNumBlocks(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {-5, 0}, {1, 1}, {BlockSize - 1, 1}, {BlockSize, 1},
+		{BlockSize + 1, 2}, {4 * BlockSize, 4}, {4*BlockSize + 7, 5},
+	}
+	for _, c := range cases {
+		if got := NumBlocks(c.n); got != c.want {
+			t.Errorf("NumBlocks(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestRunCoversEveryItemOnce checks that every item index is visited by
+// exactly one block at every thread count, including the nil-pool and
+// serial paths.
+func TestRunCoversEveryItemOnce(t *testing.T) {
+	for _, threads := range []int{0, 1, 2, 3, 8, 17} {
+		for _, n := range []int{1, BlockSize, BlockSize + 1, 3*BlockSize + 5, 10 * BlockSize} {
+			var p *Pool
+			if threads > 0 {
+				p = New(threads)
+			}
+			visits := make([]int64, n)
+			p.Run(n, func(block, lo, hi int) {
+				if lo != block*BlockSize {
+					t.Errorf("block %d starts at %d", block, lo)
+				}
+				if hi-lo > BlockSize || hi <= lo || hi > n {
+					t.Errorf("block %d bounds [%d,%d) of %d", block, lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt64(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("threads=%d n=%d: item %d visited %d times", threads, n, i, v)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestOrderedCombineIsThreadCountInvariant exercises the determinism
+// discipline the kernels rely on: per-block partials deposited into a
+// slot array and combined in block-index order must give bit-identical
+// results at every thread count.
+func TestOrderedCombineIsThreadCountInvariant(t *testing.T) {
+	const n = 7*BlockSize + 13
+	vals := make([]float64, n)
+	for i := range vals {
+		// Wildly varying magnitudes so association order matters.
+		vals[i] = float64(i%97) * 1e-3 * float64(int64(1)<<uint(i%50))
+	}
+	sum := func(threads int) float64 {
+		p := New(threads)
+		defer p.Close()
+		parts := make([]float64, NumBlocks(n))
+		p.Run(n, func(block, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			parts[block] = s
+		})
+		total := 0.0
+		for _, s := range parts {
+			total += s
+		}
+		return total
+	}
+	ref := sum(1)
+	for _, threads := range []int{2, 3, 8} {
+		if got := sum(threads); got != ref {
+			t.Errorf("threads=%d: sum %x differs from serial %x", threads, got, ref)
+		}
+	}
+}
+
+func TestThreads(t *testing.T) {
+	if (*Pool)(nil).Threads() != 1 {
+		t.Error("nil pool Threads != 1")
+	}
+	if New(0).Threads() != 1 {
+		t.Error("New(0).Threads() != 1")
+	}
+	p := New(5)
+	defer p.Close()
+	if p.Threads() != 5 {
+		t.Error("Threads() != 5")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(4)
+	p.Run(1000, func(block, lo, hi int) {})
+	p.Close()
+	p.Close() // must not panic
+	var nilPool *Pool
+	nilPool.Close()
+	New(1).Close()
+}
+
+// TestConcurrentRuns verifies that independent Run calls can share one
+// pool (each carries its own cursor and join state).
+func TestConcurrentRuns(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 5 * BlockSize
+	done := make(chan int64, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var count int64
+			p.Run(n, func(block, lo, hi int) {
+				atomic.AddInt64(&count, int64(hi-lo))
+			})
+			done <- atomic.LoadInt64(&count)
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if got := <-done; got != n {
+			t.Fatalf("concurrent run covered %d of %d items", got, n)
+		}
+	}
+}
