@@ -1,21 +1,34 @@
 # Standard checks for the examl-go reproduction. `make ci` is the full
-# gate: vet + build + tests + a race-detector pass over every package
-# that spawns goroutines (the §V hybrid thread pool and both engines).
+# gate: gofmt + vet + build + tests + a race-detector pass over every
+# package that spawns goroutines (the §V hybrid thread pool, both
+# engines, and the telemetry bit-identity test in the root package).
 
 GO ?= go
+GOFMT ?= gofmt
 
 # Packages with real concurrency: the worker pool, the threaded kernels,
-# both engines, the message-passing runtime, and the public API.
+# both engines, the message-passing runtime, the telemetry collector,
+# and the public API (whose root tests include the telemetry
+# bit-identity check).
 RACE_PKGS = ./internal/threadpool/... \
             ./internal/likelihood/... \
             ./internal/decentral/... \
             ./internal/forkjoin/... \
             ./internal/mpi/... \
+            ./internal/telemetry/... \
             .
 
-.PHONY: all vet build test race bench ci clean
+.PHONY: all fmt vet build test race bench bench-json ci clean
 
 all: ci
+
+fmt:
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +45,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-ci: vet build test race
+# bench-json runs the kernel-threading and hybrid-grid benchmarks and
+# writes BENCH_kernels.json (name, ns/op, flops/s) for trend tracking.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernelThreadsGamma|BenchmarkHybridGrid' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernels.json
+
+ci: fmt vet build test race
 
 clean:
 	$(GO) clean ./...

@@ -283,6 +283,12 @@ func BenchmarkKernelDerivativesGamma(b *testing.B) {
 
 // ---------- §V hybrid: intra-rank kernel threading ----------
 
+// gammaFlopsPerColumn is the rough floating-point cost of one Γ CLV
+// column update (4 rates × 4 states × two length-4 dot products plus the
+// scaler product) — the estimate behind the flops/op benchmark metric
+// and the flops_per_sec column of BENCH_kernels.json.
+const gammaFlopsPerColumn = 4 * 4 * 15
+
 // BenchmarkKernelThreadsGamma measures the Γ kernels (full traversal +
 // evaluation) at increasing intra-rank thread counts — the single-rank
 // speedup axis of the §V hybrid scheme. Results are bit-identical across
@@ -303,6 +309,8 @@ func BenchmarkKernelThreadsGamma(b *testing.B) {
 				k.Evaluate(p, q, 0.1)
 			}
 			b.ReportMetric(float64(threads), "threads")
+			cols := k.NPatterns() * (len(steps) + 1) // traversal + evaluation columns
+			b.ReportMetric(float64(cols*gammaFlopsPerColumn), "flops/op")
 		})
 	}
 }
@@ -326,12 +334,16 @@ func BenchmarkHybridGrid(b *testing.B) {
 				if ranks > 1 {
 					rc.HybridRanksPerNode = 2
 				}
+				var cols int64
 				for b.Loop() {
-					if _, _, err := decentral.Run(d, rc); err != nil {
+					_, stats, err := decentral.Run(d, rc)
+					if err != nil {
 						b.Fatal(err)
 					}
+					cols = stats.TotalColumns
 				}
 				b.ReportMetric(float64(ranks*threads), "total_workers")
+				b.ReportMetric(float64(cols*gammaFlopsPerColumn), "flops/op")
 			})
 		}
 	}

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a machine-readable JSON benchmark record. It is the back
+// end of `make bench-json`, which runs the kernel/hybrid benchmarks and
+// writes BENCH_kernels.json for the experiments harness and CI trend
+// tracking.
+//
+// Each benchmark line becomes one record:
+//
+//	{"name": "KernelThreadsGamma/T=4", "ns_per_op": 123456,
+//	 "iterations": 100, "flops_per_sec": 1.2e9, "metrics": {...}}
+//
+// flops_per_sec is derived from the benchmark's reported flops/op metric
+// when present (0 otherwise).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result row.
+type Record struct {
+	// Name is the benchmark name without the "Benchmark" prefix or the
+	// GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// FlopsPerSec is derived from the flops/op metric (0 when the
+	// benchmark reports none).
+	FlopsPerSec float64 `json:"flops_per_sec"`
+	// Metrics holds every extra unit the benchmark reported
+	// (threads, columns/op, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "BENCH_kernels.json", "output JSON file")
+	flag.Parse()
+
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the log
+		if rec, ok := parseBenchLine(line); ok {
+			records = append(records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(records) == 0 {
+		log.Fatal("no benchmark lines found on stdin (pipe `go test -bench` output in)")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s\n", len(records), *out)
+}
+
+// parseBenchLine parses one "BenchmarkName-8  N  V unit  V unit ..."
+// line; ok is false for non-benchmark lines (headers, PASS, ok ...).
+func parseBenchLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix from the last path element.
+	if i := strings.LastIndex(name, "-"); i > strings.LastIndex(name, "/") {
+		name = name[:i]
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp = v
+		default:
+			rec.Metrics[unit] = v
+		}
+	}
+	if rec.NsPerOp <= 0 {
+		return Record{}, false
+	}
+	if flops, ok := rec.Metrics["flops/op"]; ok && flops > 0 {
+		rec.FlopsPerSec = flops / rec.NsPerOp * 1e9
+	}
+	if len(rec.Metrics) == 0 {
+		rec.Metrics = nil
+	}
+	return rec, true
+}

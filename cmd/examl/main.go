@@ -14,9 +14,16 @@
 //	-t  starting tree (Newick file; random if absent)
 //	-c  checkpoint file (written per iteration; use -r to restore)
 //
+// Observability (docs/OBSERVABILITY.md):
+//
+//	-stats            print the end-of-run telemetry report (kernel
+//	                  spans, collective timing, load imbalance)
+//	-stats-json FILE  write that report as JSON
+//	-trace FILE       stream a JSONL span-event trace
+//
 // Example:
 //
-//	examl -s data.phy -q parts.txt -m GAMMA -np 8 -T 4 -n run1
+//	examl -s data.phy -q parts.txt -m GAMMA -np 8 -T 4 -stats -n run1
 package main
 
 import (
@@ -38,5 +45,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cli.Report(args.Name, res)
+	cli.Report(args, res)
 }

@@ -26,5 +26,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cli.Report(args.Name, res)
+	cli.Report(args, res)
 }

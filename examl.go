@@ -32,6 +32,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/msa"
 	"repro/internal/search"
 	"repro/internal/seqgen"
+	"repro/internal/telemetry"
 	"repro/internal/tree"
 )
 
@@ -269,6 +271,16 @@ type Config struct {
 	CheckpointPath string
 	// RestorePath, when set, resumes from a checkpoint file.
 	RestorePath string
+	// Telemetry enables the out-of-band instrumentation layer: per-rank
+	// kernel/collective span timing, derived load-imbalance and
+	// comm-fraction metrics, and search-progress counters, returned in
+	// Result.Telemetry. Timing is observational only — results stay
+	// bit-identical to an uninstrumented run (docs/OBSERVABILITY.md).
+	Telemetry bool
+	// TraceWriter, when non-nil, additionally streams every recorded
+	// span as a JSONL event (implies Telemetry). The writer is shared by
+	// all ranks; writes are serialized internally.
+	TraceWriter io.Writer
 }
 
 // CommReport is the per-class communication accounting of a run — the
@@ -340,6 +352,9 @@ type Result struct {
 	WallSeconds float64
 	// Ranks echoes the rank count.
 	Ranks int
+	// Telemetry is the end-of-run instrumentation report; nil unless
+	// Config.Telemetry (or Config.TraceWriter) was set.
+	Telemetry *telemetry.Report
 
 	trace cluster.Trace
 }
@@ -422,12 +437,18 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 		}
 	}
 
+	var collector *telemetry.Collector
+	if cfg.Telemetry || cfg.TraceWriter != nil {
+		collector = telemetry.NewCollector(cfg.Ranks, int(mpi.NumCommClasses), cfg.TraceWriter)
+	}
+
 	var (
-		res   *search.Result
-		err   error
-		comm  mpi.Snapshot
-		wall  float64
-		trace cluster.Trace
+		res     *search.Result
+		err     error
+		comm    mpi.Snapshot
+		wall    float64
+		wallDur time.Duration
+		trace   cluster.Trace
 	)
 	switch cfg.Scheme {
 	case Decentralized:
@@ -438,9 +459,10 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 			Strategy:           strategy,
 			HybridRanksPerNode: cfg.HybridRanksPerNode,
 			Threads:            cfg.Threads,
+			Telemetry:          collector,
 		})
 		if err == nil {
-			comm, wall = stats.Comm, stats.Wall.Seconds()
+			comm, wall, wallDur = stats.Comm, stats.Wall.Seconds(), stats.Wall
 			trace = cluster.Trace{
 				Comm:           stats.Comm,
 				MaxRankColumns: stats.MaxRankColumns,
@@ -452,13 +474,14 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 	case ForkJoin:
 		var stats *forkjoin.RunStats
 		res, stats, err = forkjoin.Run(d.d, forkjoin.RunConfig{
-			Search:   scfg,
-			Ranks:    cfg.Ranks,
-			Strategy: strategy,
-			Threads:  cfg.Threads,
+			Search:    scfg,
+			Ranks:     cfg.Ranks,
+			Strategy:  strategy,
+			Threads:   cfg.Threads,
+			Telemetry: collector,
 		})
 		if err == nil {
-			comm, wall = stats.Comm, stats.Wall.Seconds()
+			comm, wall, wallDur = stats.Comm, stats.Wall.Seconds(), stats.Wall
 			trace = cluster.Trace{
 				Comm:           stats.Comm,
 				MaxRankColumns: stats.MaxRankColumns,
@@ -481,8 +504,25 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 		Comm:                      makeCommReport(comm),
 		WallSeconds:               wall,
 		Ranks:                     cfg.Ranks,
+		Telemetry:                 finalizeTelemetry(collector, wallDur, cfg.Threads, comm),
 		trace:                     trace,
 	}, nil
+}
+
+// finalizeTelemetry joins the span collector with the byte/op meters into
+// the end-of-run report. Returns nil when telemetry was disabled.
+func finalizeTelemetry(c *telemetry.Collector, wall time.Duration, threads int, comm mpi.Snapshot) *telemetry.Report {
+	if c == nil {
+		return nil
+	}
+	names := make([]string, mpi.NumCommClasses)
+	for cl := mpi.CommClass(0); cl < mpi.NumCommClasses; cl++ {
+		names[cl] = cl.String()
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return c.Finalize(wall, threads, names, comm.Ops[:], comm.Bytes[:])
 }
 
 // writeCheckpoint writes atomically via a temp file + rename.

@@ -5,6 +5,7 @@
 package cli
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,16 @@ type Args struct {
 	Ranks, Threads, RanksPerNode, MaxIter                                    int
 	Seed                                                                     int64
 	Scheme                                                                   examl.Scheme
+
+	// Stats prints the end-of-run telemetry report (kernel spans,
+	// collective timing, load imbalance; docs/OBSERVABILITY.md).
+	Stats bool
+	// StatsJSON, when non-empty, writes the telemetry report as JSON to
+	// the given file (implies telemetry collection).
+	StatsJSON string
+	// TracePath, when non-empty, streams a JSONL span-event trace to the
+	// given file (implies telemetry collection).
+	TracePath string
 }
 
 // Register installs the shared flags on the default FlagSet.
@@ -41,10 +52,46 @@ func Register(a *Args) {
 	flag.IntVar(&a.MaxIter, "iter", 0, "maximum search iterations (0 = default)")
 	flag.StringVar(&a.Ckpt, "c", "", "checkpoint file path")
 	flag.StringVar(&a.Restore, "r", "", "restore from checkpoint file")
+	flag.BoolVar(&a.Stats, "stats", false, "print the end-of-run telemetry report (kernel spans, collective timing, load imbalance)")
+	flag.StringVar(&a.StatsJSON, "stats-json", "", "write the telemetry report as JSON to this file")
+	flag.StringVar(&a.TracePath, "trace", "", "stream a JSONL telemetry event trace to this file")
+}
+
+// Validate rejects impossible or inconsistent flag combinations before
+// any work starts, so misconfigurations fail with a clear message
+// instead of a panic or a silently serial run.
+func Validate(a Args) error {
+	if a.Ranks < 1 {
+		return fmt.Errorf("-np must be >= 1 (got %d)", a.Ranks)
+	}
+	if a.Threads < 1 {
+		return fmt.Errorf("-T must be >= 1 (got %d)", a.Threads)
+	}
+	if a.RanksPerNode < 0 {
+		return fmt.Errorf("-ranks-per-node must be >= 0 (got %d)", a.RanksPerNode)
+	}
+	if a.RanksPerNode > 1 && a.Scheme == examl.ForkJoin {
+		return fmt.Errorf("-ranks-per-node applies to the decentralized scheme only (hierarchical Allreduce has no fork-join counterpart)")
+	}
+	if a.RanksPerNode > a.Ranks {
+		return fmt.Errorf("-ranks-per-node (%d) cannot exceed -np (%d)", a.RanksPerNode, a.Ranks)
+	}
+	if a.MaxIter < 0 {
+		return fmt.Errorf("-iter must be >= 0 (got %d)", a.MaxIter)
+	}
+	return nil
+}
+
+// telemetryRequested reports whether any telemetry sink is enabled.
+func (a Args) telemetryRequested() bool {
+	return a.Stats || a.StatsJSON != "" || a.TracePath != ""
 }
 
 // Run loads the dataset per the args and executes the inference.
 func Run(a Args) (*examl.Result, error) {
+	if err := Validate(a); err != nil {
+		return nil, err
+	}
 	if a.AlignPath == "" {
 		return nil, fmt.Errorf("an alignment is required (-s)")
 	}
@@ -104,11 +151,7 @@ func Run(a Args) (*examl.Result, error) {
 	if a.MPS {
 		dist = examl.MPS
 	}
-	fmt.Printf("dataset: %d taxa, %d partitions, %d sites (%d patterns)\n",
-		d.NTaxa(), d.NPartitions(), d.Sites(), d.Patterns())
-	fmt.Printf("scheme: %s, %d ranks x %d threads, %s, %s distribution\n",
-		a.Scheme, a.Ranks, max(a.Threads, 1), rateModel, dist)
-	return examl.Infer(d, examl.Config{
+	cfg := examl.Config{
 		Scheme:                    a.Scheme,
 		Ranks:                     a.Ranks,
 		Threads:                   a.Threads,
@@ -123,11 +166,39 @@ func Run(a Args) (*examl.Result, error) {
 		MaxIterations:             a.MaxIter,
 		CheckpointPath:            a.Ckpt,
 		RestorePath:               a.Restore,
-	})
+		Telemetry:                 a.telemetryRequested(),
+	}
+	var traceBuf *bufio.Writer
+	if a.TracePath != "" {
+		tf, err := os.Create(a.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("creating trace file: %w", err)
+		}
+		defer tf.Close()
+		traceBuf = bufio.NewWriter(tf)
+		defer traceBuf.Flush()
+		cfg.TraceWriter = traceBuf
+	}
+	fmt.Printf("dataset: %d taxa, %d partitions, %d sites (%d patterns)\n",
+		d.NTaxa(), d.NPartitions(), d.Sites(), d.Patterns())
+	fmt.Printf("scheme: %s, %d ranks x %d threads, %s, %s distribution\n",
+		a.Scheme, a.Ranks, max(a.Threads, 1), rateModel, dist)
+	res, err := examl.Infer(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if traceBuf != nil {
+		if err := traceBuf.Flush(); err != nil {
+			return nil, fmt.Errorf("writing trace file: %w", err)
+		}
+		fmt.Printf("telemetry trace written to %s\n", a.TracePath)
+	}
+	return res, nil
 }
 
-// Report prints the result summary and writes the best tree.
-func Report(name string, res *examl.Result) {
+// Report prints the result summary and writes the best tree, plus the
+// telemetry report when one was collected.
+func Report(a Args, res *examl.Result) {
 	fmt.Printf("\nfinal log likelihood: %.6f\n", res.LogLikelihood)
 	fmt.Printf("search iterations:    %d\n", res.Iterations)
 	fmt.Printf("wall time:            %.2fs\n", res.WallSeconds)
@@ -137,9 +208,34 @@ func Report(name string, res *examl.Result) {
 	}
 	fmt.Printf("  %-22s ops=%-9d bytes=%-12d regions=%d\n", "TOTAL", res.Comm.TotalOps, res.Comm.TotalBytes, res.Comm.TotalRegions)
 
-	treeFile := name + ".bestTree.nwk"
+	if res.Telemetry != nil {
+		if a.Stats {
+			fmt.Printf("\n%s", res.Telemetry.String())
+		}
+		if a.StatsJSON != "" {
+			if err := writeStatsJSON(a.StatsJSON, res); err != nil {
+				log.Fatalf("writing telemetry JSON: %v", err)
+			}
+			fmt.Printf("\ntelemetry report written to %s\n", a.StatsJSON)
+		}
+	}
+
+	treeFile := a.Name + ".bestTree.nwk"
 	if err := os.WriteFile(treeFile, []byte(res.Tree+"\n"), 0o644); err != nil {
 		log.Fatalf("writing tree: %v", err)
 	}
 	fmt.Printf("\nbest tree written to %s\n", treeFile)
+}
+
+// writeStatsJSON writes the telemetry report to path.
+func writeStatsJSON(path string, res *examl.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Telemetry.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

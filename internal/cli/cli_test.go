@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	a := Args{Ranks: 1, Threads: 1}
+	if err := Validate(a); err != nil {
+		t.Fatalf("default args rejected: %v", err)
+	}
+	a = Args{Ranks: 8, Threads: 4, RanksPerNode: 4, MaxIter: 10, Scheme: examl.Decentralized}
+	if err := Validate(a); err != nil {
+		t.Fatalf("hybrid args rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		name string
+		args Args
+		want string
+	}{
+		{"zero ranks", Args{Ranks: 0, Threads: 1}, "-np"},
+		{"negative ranks", Args{Ranks: -3, Threads: 1}, "-np"},
+		{"zero threads", Args{Ranks: 1, Threads: 0}, "-T"},
+		{"negative threads", Args{Ranks: 1, Threads: -2}, "-T"},
+		{"negative ranks-per-node", Args{Ranks: 4, Threads: 1, RanksPerNode: -1}, "-ranks-per-node"},
+		{"ranks-per-node exceeds ranks", Args{Ranks: 2, Threads: 1, RanksPerNode: 4}, "-ranks-per-node"},
+		{"ranks-per-node under fork-join", Args{Ranks: 4, Threads: 1, RanksPerNode: 2, Scheme: examl.ForkJoin}, "decentralized"},
+		{"negative iterations", Args{Ranks: 1, Threads: 1, MaxIter: -1}, "-iter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.args)
+			if err == nil {
+				t.Fatalf("Validate(%+v) accepted invalid args", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunRejectsInvalidArgsBeforeIO(t *testing.T) {
+	// Validation must fire before any file access: an invalid flag with a
+	// nonexistent alignment path should report the flag, not the file.
+	_, err := Run(Args{Ranks: 0, Threads: 1, AlignPath: "/nonexistent.phy"})
+	if err == nil || !strings.Contains(err.Error(), "-np") {
+		t.Fatalf("got %v, want -np validation error", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/msa"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 	"repro/internal/traversal"
 )
 
@@ -38,6 +39,10 @@ type EngineConfig struct {
 	// scheme. Results are bit-identical at every thread count
 	// (docs/DETERMINISM.md).
 	Threads int
+	// Recorder, when non-nil, receives this rank's telemetry spans
+	// (kernel and collective timing; docs/OBSERVABILITY.md). It never
+	// affects results.
+	Recorder *telemetry.Recorder
 }
 
 // Engine is one rank's view of the de-centralized backend. It implements
@@ -67,6 +72,8 @@ func NewEngine(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg Engine
 	if err != nil {
 		return nil, err
 	}
+	local.SetRecorder(cfg.Recorder)
+	comm.SetRecorder(cfg.Recorder)
 	return &Engine{comm: comm, local: local, hybrid: cfg.HybridRanksPerNode}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/msa"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 // RunConfig bundles everything a de-centralized inference needs.
@@ -26,6 +27,11 @@ type RunConfig struct {
 	// Threads is the intra-rank worker count per rank (see
 	// EngineConfig.Threads); ≤ 1 runs the kernels serially.
 	Threads int
+	// Telemetry, when non-nil, supplies one recorder per rank for
+	// kernel/collective span timing and search-progress counters
+	// (docs/OBSERVABILITY.md). The collector must have been built for
+	// at least Ranks ranks; nil disables instrumentation entirely.
+	Telemetry *telemetry.Collector
 }
 
 // RunStats captures the measured execution profile for the cost model and
@@ -69,17 +75,21 @@ func Run(d *msa.Dataset, cfg RunConfig) (*search.Result, *RunStats, error) {
 
 	start := time.Now()
 	world.Run(func(c *mpi.Comm) {
+		rec := cfg.Telemetry.Recorder(c.Rank())
 		eng, err := NewEngine(c, d, assign, EngineConfig{
 			Het:                  cfg.Search.Het,
 			Subst:                cfg.Search.Subst,
 			PerPartitionBranches: cfg.Search.PerPartitionBranches,
 			HybridRanksPerNode:   cfg.HybridRanksPerNode,
 			Threads:              cfg.Threads,
+			Recorder:             rec,
 		})
 		if err == nil {
 			defer eng.Close()
+			scfg := cfg.Search
+			scfg.Telemetry = rec
 			var s *search.Searcher
-			s, err = search.NewSearcher(eng, d, cfg.Search)
+			s, err = search.NewSearcher(eng, d, scfg)
 			if err == nil {
 				var res *search.Result
 				res, err = s.Run()

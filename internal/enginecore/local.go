@@ -14,6 +14,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/msa"
 	"repro/internal/numutil"
+	"repro/internal/telemetry"
 	"repro/internal/threadpool"
 	"repro/internal/traversal"
 )
@@ -35,6 +36,12 @@ type Local struct {
 	// pool is the rank's intra-rank worker pool (§V hybrid scheme),
 	// shared by all local kernels; nil when threads ≤ 1.
 	pool *threadpool.Pool
+	// rec is the rank's telemetry recorder; nil (the default) disables
+	// all span timing at nil-check cost. Telemetry is out-of-band: it
+	// never touches a value that feeds a likelihood.
+	rec *telemetry.Recorder
+	// poolStats counts pool activity while telemetry is attached.
+	poolStats *threadpool.Stats
 }
 
 // NewLocal materializes rank's shares and builds kernels. subst decides
@@ -71,9 +78,28 @@ func NewLocal(d *msa.Dataset, a *distrib.Assignment, rank int, het model.Heterog
 // Threads reports the rank's intra-rank concurrency.
 func (l *Local) Threads() int { return l.pool.Threads() }
 
-// Close releases the rank's worker pool (no-op for serial ranks).
+// SetRecorder attaches the rank's telemetry recorder: every subsequent
+// kernel operation is timed into per-class spans, and the worker pool
+// (when present) starts counting block utilization. A nil recorder
+// leaves the rank un-instrumented.
+func (l *Local) SetRecorder(r *telemetry.Recorder) {
+	l.rec = r
+	if r != nil && l.pool != nil && l.poolStats == nil {
+		l.poolStats = &threadpool.Stats{}
+		l.pool.SetStats(l.poolStats)
+	}
+}
+
+// Close releases the rank's worker pool (no-op for serial ranks) after
+// harvesting its utilization counters into the telemetry recorder.
 // Idempotent; the kernels must not be used afterwards.
-func (l *Local) Close() { l.pool.Close() }
+func (l *Local) Close() {
+	if l.rec != nil && l.poolStats != nil {
+		l.rec.SetPool(l.pool.Threads(), l.poolStats.Runs(), l.poolStats.Blocks())
+		l.poolStats = nil
+	}
+	l.pool.Close()
+}
 
 // BLClasses returns the linkage-class count.
 func (l *Local) BLClasses() int {
@@ -93,9 +119,11 @@ func (l *Local) ClassOf(part int) int {
 
 // Traverse executes the descriptor's schedules on the local kernels.
 func (l *Local) Traverse(d *traversal.Descriptor) {
+	t := l.rec.Begin()
 	for i, k := range l.Kernels {
 		k.Traverse(d.Steps[l.ClassOf(l.PartIdx[i])])
 	}
+	l.rec.EndKernel(telemetry.KernelNewview, t)
 }
 
 // EvaluateLocal traverses and evaluates, returning the local
@@ -104,8 +132,12 @@ func (l *Local) EvaluateLocal(d *traversal.Descriptor) []float64 {
 	vec := make([]float64, l.NPart)
 	for i, k := range l.Kernels {
 		cls := l.ClassOf(l.PartIdx[i])
+		t := l.rec.Begin()
 		k.Traverse(d.Steps[cls])
+		l.rec.EndKernel(telemetry.KernelNewview, t)
+		t = l.rec.Begin()
 		vec[l.PartIdx[i]] += k.Evaluate(d.P, d.Q, d.T[cls])
+		l.rec.EndKernel(telemetry.KernelEvaluate, t)
 	}
 	return vec
 }
@@ -114,14 +146,19 @@ func (l *Local) EvaluateLocal(d *traversal.Descriptor) []float64 {
 func (l *Local) PrepareLocal(d *traversal.Descriptor) {
 	for i, k := range l.Kernels {
 		cls := l.ClassOf(l.PartIdx[i])
+		t := l.rec.Begin()
 		k.Traverse(d.Steps[cls])
+		l.rec.EndKernel(telemetry.KernelNewview, t)
+		t = l.rec.Begin()
 		k.PrepareDerivatives(d.P, d.Q)
+		l.rec.EndKernel(telemetry.KernelDerivatives, t)
 	}
 }
 
 // DerivativesLocal returns the local per-class derivative sums packed as
 // [d1_0..d1_{C-1}, d2_0..d2_{C-1}].
 func (l *Local) DerivativesLocal(ts []float64) []float64 {
+	t := l.rec.Begin()
 	classes := l.BLClasses()
 	vec := make([]float64, 2*classes)
 	for i, k := range l.Kernels {
@@ -130,6 +167,7 @@ func (l *Local) DerivativesLocal(ts []float64) []float64 {
 		vec[cls] += a
 		vec[classes+cls] += b
 	}
+	l.rec.EndKernel(telemetry.KernelDerivatives, t)
 	return vec
 }
 
@@ -140,6 +178,7 @@ func (l *Local) DerivativesLocal(ts []float64) []float64 {
 // linkage classes), which is why fork-join branch traffic scales with the
 // partition count.
 func (l *Local) DerivativesPerPartition(ts []float64) []float64 {
+	t := l.rec.Begin()
 	vec := make([]float64, 2*l.NPart)
 	for i, k := range l.Kernels {
 		p := l.PartIdx[i]
@@ -147,6 +186,7 @@ func (l *Local) DerivativesPerPartition(ts []float64) []float64 {
 		vec[p] += a
 		vec[l.NPart+p] += b
 	}
+	l.rec.EndKernel(telemetry.KernelDerivatives, t)
 	return vec
 }
 
@@ -169,6 +209,8 @@ func SiteRateCells(nPart int) int { return 2 * model.MaxPSRCategories * nPart }
 // returns the local cell-statistics vector (2·cells doubles per
 // partition: rate·weight sums then weight sums).
 func (l *Local) OptimizeSiteRatesLocal(d *traversal.Descriptor) []float64 {
+	t := l.rec.Begin()
+	defer l.rec.EndKernel(telemetry.KernelSiteRates, t)
 	const cells = model.MaxPSRCategories
 	stats := make([]float64, SiteRateCells(l.NPart))
 	for i, k := range l.Kernels {

@@ -20,6 +20,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/decentral"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/msa"
 	"repro/internal/search"
 	"repro/internal/seqgen"
+	"repro/internal/telemetry"
 )
 
 // Scale parameterizes experiment size so the suite runs anywhere from CI
@@ -171,6 +173,22 @@ func runBoth(d *msa.Dataset, cfg search.Config, ranks int, strategy distrib.Stra
 		DecLnL: dres.LnL, FjLnL: fres.LnL,
 		DecIter: dres.Iterations,
 	}, nil
+}
+
+// newTelemetry builds a per-run span collector sized for the repo's
+// traffic classes.
+func newTelemetry(ranks int) *telemetry.Collector {
+	return telemetry.NewCollector(ranks, int(mpi.NumCommClasses), nil)
+}
+
+// finalizeTelemetry joins a run's collector with its comm snapshot into
+// the end-of-run report (see telemetry.Collector.Finalize).
+func finalizeTelemetry(col *telemetry.Collector, wall time.Duration, s mpi.Snapshot) *telemetry.Report {
+	names := make([]string, mpi.NumCommClasses)
+	for c := mpi.CommClass(0); c < mpi.NumCommClasses; c++ {
+		names[c] = c.String()
+	}
+	return col.Finalize(wall, 1, names, s.Ops[:], s.Bytes[:])
 }
 
 // hetOf maps a model flag to the search config value.

@@ -24,10 +24,24 @@ type Fig3Point struct {
 	ForkJoinSeconds float64
 }
 
+// Fig3Measured is the telemetry profile of one real (measured-scale)
+// decentral run backing the projections.
+type Fig3Measured struct {
+	// ImbalanceRatio is max/mean per-rank kernel time.
+	ImbalanceRatio float64
+	// CommFraction is collective time over collective+compute time.
+	CommFraction float64
+	// CommSeconds is the mean per-rank time spent inside collectives.
+	CommSeconds float64
+}
+
 // Fig3Result reproduces Figure 3.
 type Fig3Result struct {
 	// Gamma and PSR are the two curves.
 	Gamma, PSR []Fig3Point
+	// MeasuredGamma and MeasuredPSR are telemetry profiles of the real
+	// decentral runs (measured scale, not projected).
+	MeasuredGamma, MeasuredPSR Fig3Measured
 	// MeasuredWall are real wall-clock seconds of the scaled run at
 	// rank counts {1, 2, 4, Ranks} under Γ (sanity anchor).
 	MeasuredWall map[int]float64
@@ -75,9 +89,25 @@ func Fig3(sc Scale) (*Fig3Result, error) {
 
 	for _, psr := range []bool{false, true} {
 		cfg := search.Config{Het: hetOf(psr), Seed: sc.Seed, MaxIterations: sc.MaxIterations}
-		_, dstats, err := decentral.Run(d, decentral.RunConfig{Search: cfg, Ranks: sc.Ranks})
+		tcol := newTelemetry(sc.Ranks)
+		_, dstats, err := decentral.Run(d, decentral.RunConfig{Search: cfg, Ranks: sc.Ranks, Telemetry: tcol})
 		if err != nil {
 			return nil, fmt.Errorf("fig3 decentral psr=%v: %w", psr, err)
+		}
+		rep := finalizeTelemetry(tcol, dstats.Wall, dstats.Comm)
+		var commNS int64
+		for _, rs := range rep.PerRank {
+			commNS += rs.CommNS
+		}
+		measured := Fig3Measured{
+			ImbalanceRatio: rep.ImbalanceRatio,
+			CommFraction:   rep.CommFraction,
+			CommSeconds:    float64(commNS) / float64(sc.Ranks) / 1e9,
+		}
+		if psr {
+			out.MeasuredPSR = measured
+		} else {
+			out.MeasuredGamma = measured
 		}
 		_, fstats, err := forkjoin.Run(d, forkjoin.RunConfig{Search: cfg, Ranks: sc.Ranks})
 		if err != nil {
@@ -167,6 +197,9 @@ func (f *Fig3Result) Render() string {
 		fmt.Fprintf(&b, "%d ranks %.2fs  ", r, f.MeasuredWall[r])
 	}
 	b.WriteString("\n")
+	fmt.Fprintf(&b, "Measured telemetry (decentral, measured scale): Γ imbalance %.3f comm-frac %.3f comm-time %.3fs | PSR imbalance %.3f comm-frac %.3f comm-time %.3fs\n",
+		f.MeasuredGamma.ImbalanceRatio, f.MeasuredGamma.CommFraction, f.MeasuredGamma.CommSeconds,
+		f.MeasuredPSR.ImbalanceRatio, f.MeasuredPSR.CommFraction, f.MeasuredPSR.CommSeconds)
 	return b.String()
 }
 

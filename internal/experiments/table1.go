@@ -23,6 +23,10 @@ type Table1Column struct {
 	Regions int64
 	// TotalBytes is the total payload volume.
 	TotalBytes int64
+	// ImbalanceRatio is the measured per-rank load imbalance (max/mean
+	// kernel time) and CommFraction the measured collective share of the
+	// run — telemetry columns the paper reports qualitatively.
+	ImbalanceRatio, CommFraction float64
 	// PaperShare are the paper's percentages for the same configuration.
 	PaperShare [4]float64
 	// PaperRegionsM and PaperMB are the paper's absolute values
@@ -69,10 +73,12 @@ func Table1(sc Scale) (*Table1Result, error) {
 			Seed:                 sc.Seed,
 			MaxIterations:        sc.MaxIterations,
 		}
-		_, stats, err := forkjoin.Run(d, forkjoin.RunConfig{Search: cfg, Ranks: sc.Ranks})
+		tcol := newTelemetry(sc.Ranks)
+		_, stats, err := forkjoin.Run(d, forkjoin.RunConfig{Search: cfg, Ranks: sc.Ranks, Telemetry: tcol})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", ref.name, err)
 		}
+		rep := finalizeTelemetry(tcol, stats.Wall, stats.Comm)
 		s := stats.Comm
 		// Match the paper's accounting: only likelihood-relevant classes
 		// (exclude our control opcodes, which stand in for MPI tags).
@@ -87,14 +93,16 @@ func Table1(sc Scale) (*Table1Result, error) {
 			total += s.Bytes[c]
 		}
 		col := Table1Column{
-			Name:          ref.name,
-			PSR:           ref.psr,
-			PerPartition:  ref.perPart,
-			Regions:       s.TotalRegions(),
-			TotalBytes:    total,
-			PaperShare:    ref.share,
-			PaperRegionsM: ref.regionsM,
-			PaperMB:       ref.bytes,
+			Name:           ref.name,
+			PSR:            ref.psr,
+			PerPartition:   ref.perPart,
+			Regions:        s.TotalRegions(),
+			TotalBytes:     total,
+			ImbalanceRatio: rep.ImbalanceRatio,
+			CommFraction:   rep.CommFraction,
+			PaperShare:     ref.share,
+			PaperRegionsM:  ref.regionsM,
+			PaperMB:        ref.bytes,
 		}
 		for i, c := range classes {
 			if total > 0 {
@@ -138,6 +146,16 @@ func (t *Table1Result) Render() string {
 	fmt.Fprintf(&b, "%-42s", "# bytes communicated")
 	for _, c := range t.Columns {
 		fmt.Fprintf(&b, " | meas %7.2fMB paper %5.0fMB", float64(c.TotalBytes)/1e6, c.PaperMB)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-42s", "measured load imbalance (max/mean)")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " | %-28s", fmt.Sprintf("%.3f", c.ImbalanceRatio))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-42s", "measured comm fraction")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " | %-28s", fmt.Sprintf("%.3f", c.CommFraction))
 	}
 	b.WriteString("\n")
 	return b.String()

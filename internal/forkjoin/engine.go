@@ -25,6 +25,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/msa"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 	"repro/internal/traversal"
 )
 
@@ -51,6 +52,10 @@ type EngineConfig struct {
 	// workers alike); ≤ 1 runs the kernels serially. Results are
 	// bit-identical at every thread count (docs/DETERMINISM.md).
 	Threads int
+	// Recorder, when non-nil, receives this rank's telemetry spans
+	// (kernel and collective timing; docs/OBSERVABILITY.md). It never
+	// affects results.
+	Recorder *telemetry.Recorder
 }
 
 // Engine is the master-side search.Engine. It owns rank 0's data share
@@ -72,6 +77,8 @@ func NewMaster(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg Engine
 	if err != nil {
 		return nil, err
 	}
+	local.SetRecorder(cfg.Recorder)
+	comm.SetRecorder(cfg.Recorder)
 	return &Engine{comm: comm, local: local}, nil
 }
 
@@ -319,6 +326,8 @@ func RunWorkerWithStats(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, c
 	if err != nil {
 		return nil, err
 	}
+	local.SetRecorder(cfg.Recorder)
+	comm.SetRecorder(cfg.Recorder)
 	defer local.Close()
 	if err := runWorkerLoop(comm, local); err != nil {
 		return nil, err

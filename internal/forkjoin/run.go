@@ -9,6 +9,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/msa"
 	"repro/internal/search"
+	"repro/internal/telemetry"
 )
 
 // RunConfig bundles everything a fork-join inference needs.
@@ -22,6 +23,10 @@ type RunConfig struct {
 	// Threads is the intra-rank worker count per rank (see
 	// EngineConfig.Threads); ≤ 1 runs the kernels serially.
 	Threads int
+	// Telemetry, when non-nil, supplies one recorder per rank for
+	// kernel/collective span timing and search-progress counters
+	// (docs/OBSERVABILITY.md). nil disables instrumentation entirely.
+	Telemetry *telemetry.Collector
 }
 
 // RunStats mirrors decentral.RunStats for apples-to-apples comparisons.
@@ -63,11 +68,16 @@ func Run(d *msa.Dataset, cfg RunConfig) (*search.Result, *RunStats, error) {
 
 	start := time.Now()
 	world.Run(func(c *mpi.Comm) {
+		rec := cfg.Telemetry.Recorder(c.Rank())
+		ec := engCfg
+		ec.Recorder = rec
 		if c.Rank() == 0 {
-			eng, err := NewMaster(c, d, assign, engCfg)
+			eng, err := NewMaster(c, d, assign, ec)
 			if err == nil {
+				scfg := cfg.Search
+				scfg.Telemetry = rec
 				var s *search.Searcher
-				if s, err = search.NewSearcher(eng, d, cfg.Search); err == nil {
+				if s, err = search.NewSearcher(eng, d, scfg); err == nil {
 					var res *search.Result
 					res, err = s.Run()
 					cols, clv := eng.Stats()
@@ -88,7 +98,7 @@ func Run(d *msa.Dataset, cfg RunConfig) (*search.Result, *RunStats, error) {
 			}
 			return
 		}
-		ws, err := RunWorkerWithStats(c, d, assign, engCfg)
+		ws, err := RunWorkerWithStats(c, d, assign, ec)
 		mu.Lock()
 		if err != nil {
 			errs[c.Rank()] = err

@@ -23,6 +23,8 @@ func (c *Comm) AllreduceHierarchical(data []float64, op Op, class CommClass, ran
 	if ranksPerNode < 1 {
 		panic(fmt.Sprintf("mpi: ranksPerNode = %d", ranksPerNode))
 	}
+	t := c.rec.BeginCollective()
+	defer c.rec.EndCollective(int(class), t)
 	size := c.world.size
 	if ranksPerNode == 1 || size <= ranksPerNode {
 		return c.Allreduce(data, op, class)

@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// testRecorder pairs a single-rank collector with its recorder so tests
+// can read back the recorded span counts.
+type testRecorder struct {
+	col *telemetry.Collector
+	rec *telemetry.Recorder
+}
+
+func newTestRecorder() testRecorder {
+	col := telemetry.NewCollector(1, int(NumCommClasses), nil)
+	return testRecorder{col: col, rec: col.Recorder(0)}
+}
+
+// collectiveOps returns the number of collective spans recorded for the
+// given traffic class.
+func (t testRecorder) collectiveOps(class int) int64 {
+	rep := t.col.Finalize(time.Second, 1, nil, nil, nil)
+	return rep.PerRank[0].CollectiveOps[class]
+}
+
+// TestMeterParityFlatVsHierarchical verifies the Table-I accounting
+// convention: a logical Allreduce is metered as one op carrying the
+// payload once, regardless of the algorithm executing it. The flat and
+// hierarchical variants must therefore leave identical per-class byte
+// and op meters for the same logical traffic.
+func TestMeterParityFlatVsHierarchical(t *testing.T) {
+	const size, perNode, vecLen, rounds = 8, 4, 37, 5
+
+	run := func(hier bool) Snapshot {
+		w := NewWorld(size)
+		w.Run(func(c *Comm) {
+			for i := 0; i < rounds; i++ {
+				vec := make([]float64, vecLen)
+				for j := range vec {
+					vec[j] = float64(c.Rank()*vecLen + j)
+				}
+				if hier {
+					c.AllreduceHierarchical(vec, OpSum, ClassLikelihoodEval, perNode)
+				} else {
+					c.Allreduce(vec, OpSum, ClassLikelihoodEval)
+				}
+				// A second class so per-class separation is exercised too.
+				if hier {
+					c.AllreduceHierarchical(vec[:2], OpSum, ClassBranchLength, perNode)
+				} else {
+					c.Allreduce(vec[:2], OpSum, ClassBranchLength)
+				}
+			}
+		})
+		return w.Meter().Snapshot()
+	}
+
+	flat := run(false)
+	hier := run(true)
+	for c := CommClass(0); c < NumCommClasses; c++ {
+		if flat.Ops[c] != hier.Ops[c] {
+			t.Errorf("class %s: ops flat=%d hierarchical=%d", c, flat.Ops[c], hier.Ops[c])
+		}
+		if flat.Bytes[c] != hier.Bytes[c] {
+			t.Errorf("class %s: bytes flat=%d hierarchical=%d", c, flat.Bytes[c], hier.Bytes[c])
+		}
+	}
+	if flat.Ops[ClassLikelihoodEval] != rounds {
+		t.Errorf("likelihood-eval ops = %d, want %d (one per logical collective)", flat.Ops[ClassLikelihoodEval], rounds)
+	}
+	if flat.Bytes[ClassLikelihoodEval] != rounds*vecLen*8 {
+		t.Errorf("likelihood-eval bytes = %d, want %d", flat.Bytes[ClassLikelihoodEval], rounds*vecLen*8)
+	}
+}
+
+// TestMeterParityWithRecorder re-runs the parity check with telemetry
+// recorders attached, proving recording is purely observational: the
+// meters (which feed Table I) are unchanged, and each variant records
+// exactly one collective span per logical Allreduce (the hierarchical
+// algorithm's internal fallback and phases must not double-count).
+func TestMeterParityWithRecorder(t *testing.T) {
+	const size, perNode, rounds = 6, 2, 4
+
+	run := func(hier bool) (Snapshot, []int64) {
+		w := NewWorld(size)
+		ops := make([]int64, size)
+		var mu sync.Mutex
+		w.Run(func(c *Comm) {
+			rec := newTestRecorder()
+			c.SetRecorder(rec.rec)
+			for i := 0; i < rounds; i++ {
+				vec := []float64{float64(c.Rank()), 1}
+				if hier {
+					c.AllreduceHierarchical(vec, OpSum, ClassLikelihoodEval, perNode)
+				} else {
+					c.Allreduce(vec, OpSum, ClassLikelihoodEval)
+				}
+			}
+			mu.Lock()
+			ops[c.Rank()] = rec.collectiveOps(int(ClassLikelihoodEval))
+			mu.Unlock()
+		})
+		return w.Meter().Snapshot(), ops
+	}
+
+	flatSnap, flatOps := run(false)
+	hierSnap, hierOps := run(true)
+	for c := CommClass(0); c < NumCommClasses; c++ {
+		if flatSnap.Ops[c] != hierSnap.Ops[c] || flatSnap.Bytes[c] != hierSnap.Bytes[c] {
+			t.Errorf("class %s: meters diverge with recorder attached: flat={%d ops %d B} hier={%d ops %d B}",
+				c, flatSnap.Ops[c], flatSnap.Bytes[c], hierSnap.Ops[c], hierSnap.Bytes[c])
+		}
+	}
+	for r := 0; r < size; r++ {
+		if flatOps[r] != rounds {
+			t.Errorf("flat: rank %d recorded %d collective spans, want %d", r, flatOps[r], rounds)
+		}
+		if hierOps[r] != rounds {
+			t.Errorf("hierarchical: rank %d recorded %d collective spans, want %d (nested phases must not double-count)", r, hierOps[r], rounds)
+		}
+	}
+}

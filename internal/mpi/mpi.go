@@ -22,6 +22,8 @@ package mpi
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // CommClass labels the purpose of a collective for Table-I style
@@ -174,7 +176,15 @@ type Comm struct {
 	world *World
 	rank  int
 	seq   uint64
+	rec   *telemetry.Recorder
 }
+
+// SetRecorder attaches a telemetry recorder; every subsequent collective
+// is wall-clock timed into it (once per logical collective — the
+// broadcast leg of an Allreduce is inside the same span). A nil recorder
+// (the default) disables timing at nil-check cost. Telemetry is
+// out-of-band: payloads, ordering, and the byte/op meters are untouched.
+func (c *Comm) SetRecorder(r *telemetry.Recorder) { c.rec = r }
 
 // Rank returns this endpoint's rank.
 func (c *Comm) Rank() int { return c.rank }
@@ -221,6 +231,8 @@ func unvrank(v, root, size int) int  { return (v + root) % size }
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier(class CommClass) {
+	t := c.rec.BeginCollective()
+	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	size := c.world.size
 	if size == 1 {
@@ -276,6 +288,8 @@ func (c *Comm) bcastTree(seq uint64, root int, m message, out *message) {
 
 // Bcast broadcasts data from root; every rank returns the root's payload.
 func (c *Comm) Bcast(root int, data []float64, class CommClass) []float64 {
+	t := c.rec.BeginCollective()
+	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	if c.rank == root {
 		c.world.meter.addOp(class, 8*len(data))
@@ -290,6 +304,8 @@ func (c *Comm) Bcast(root int, data []float64, class CommClass) []float64 {
 
 // BcastBytes broadcasts a byte payload from root.
 func (c *Comm) BcastBytes(root int, data []byte, class CommClass) []byte {
+	t := c.rec.BeginCollective()
+	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	if c.rank == root {
 		c.world.meter.addOp(class, len(data))
@@ -306,6 +322,8 @@ func (c *Comm) BcastBytes(root int, data []byte, class CommClass) []byte {
 // other ranks receive nil. The combination order is the fixed binomial
 // tree order — independent of goroutine scheduling.
 func (c *Comm) Reduce(root int, data []float64, op Op, class CommClass) []float64 {
+	t := c.rec.BeginCollective()
+	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	if c.rank == root {
 		c.world.meter.addOp(class, 8*len(data))
@@ -338,6 +356,8 @@ func (c *Comm) Reduce(root int, data []float64, op Op, class CommClass) []float6
 // results. Implemented as Reduce-to-0 + Bcast, the composition that
 // guarantees the replica-consistency property of §III-B.
 func (c *Comm) Allreduce(data []float64, op Op, class CommClass) []float64 {
+	t := c.rec.BeginCollective()
+	defer c.rec.EndCollective(int(class), t)
 	red := c.Reduce(0, data, op, class)
 	// The broadcast leg of an Allreduce is part of the same logical
 	// operation; meter only the reduce leg (payload counted once, as the
@@ -360,6 +380,8 @@ func (c *Comm) Allreduce(data []float64, op Op, class CommClass) []float64 {
 // mode the paper's §III-B consistency requirement guards against: replica
 // state would silently diverge. Do not use outside the ablation.
 func (c *Comm) AllreduceUnordered(data []float64, op Op, class CommClass) []float64 {
+	t := c.rec.BeginCollective()
+	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	if c.rank == 0 {
 		c.world.meter.addOp(class, 8*len(data))
@@ -397,6 +419,8 @@ func (c *Comm) AllreduceUnordered(data []float64, op Op, class CommClass) []floa
 // them indexed by rank, others receive nil. Payload accounting charges the
 // total gathered volume.
 func (c *Comm) Gatherv(root int, data []float64, class CommClass) [][]float64 {
+	t := c.rec.BeginCollective()
+	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	size := c.world.size
 	if c.rank == root {
@@ -421,6 +445,8 @@ func (c *Comm) Gatherv(root int, data []float64, class CommClass) [][]float64 {
 // Scatterv distributes per-rank payloads from root; every rank returns its
 // slice. parts is consulted only at root.
 func (c *Comm) Scatterv(root int, parts [][]float64, class CommClass) []float64 {
+	t := c.rec.BeginCollective()
+	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	size := c.world.size
 	if c.rank == root {

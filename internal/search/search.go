@@ -10,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/msa"
 	"repro/internal/parsimony"
+	"repro/internal/telemetry"
 	"repro/internal/traversal"
 	"repro/internal/tree"
 )
@@ -62,6 +63,11 @@ type Config struct {
 	// replica under the de-centralized scheme; callers that write files
 	// must restrict themselves to one rank.
 	OnIteration func(s *Searcher, iteration int, lnL float64)
+	// Telemetry, when non-nil, receives search-progress counters
+	// (iterations, model-opt rounds, Newton steps, SPR activity;
+	// docs/OBSERVABILITY.md). Counting is out-of-band: it never affects
+	// the search trajectory or any likelihood bit.
+	Telemetry *telemetry.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -246,8 +252,10 @@ func (s *Searcher) Run() (*Result, error) {
 	iterations := s.startIteration
 	for iterations < s.cfg.MaxIterations {
 		iterations++
+		s.cfg.Telemetry.Inc(telemetry.CounterIterations, 1)
 
 		for r := 0; r < s.cfg.ModelOptRounds; r++ {
+			s.cfg.Telemetry.Inc(telemetry.CounterModelOptRounds, 1)
 			s.optimizeModel()
 		}
 		s.smoothAll(s.cfg.SmoothPasses)
@@ -302,6 +310,7 @@ func (s *Searcher) updateBranch(p *tree.Node) {
 		hi[c] = tree.MaxBranchLength
 	}
 	for iter := 0; iter < s.cfg.NewtonIterations; iter++ {
+		s.cfg.Telemetry.Inc(telemetry.CounterNewtonIters, 1)
 		d1, d2 := s.eng.BranchDerivatives(ts)
 		allDone := true
 		for c := 0; c < classes; c++ {
@@ -540,6 +549,7 @@ func (s *Searcher) probeShared(set func(*model.Params, float64), xs []float64) [
 // verified exactly (local branch optimization + full evaluation) and kept
 // if it improves the current score. Returns the final lnL.
 func (s *Searcher) sprRound(radius int) float64 {
+	s.cfg.Telemetry.Inc(telemetry.CounterSPRRounds, 1)
 	cur := s.evaluateFull()
 	for v := 0; v < s.Tree.NInner(); v++ {
 		for _, pruneAt := range s.Tree.InnerRing(v).Ring() {
@@ -558,6 +568,7 @@ func (s *Searcher) tryPrunePoint(p *tree.Node, radius int, cur float64) (bool, f
 	if err != nil {
 		return false, cur
 	}
+	s.cfg.Telemetry.Inc(telemetry.CounterSPRPrunes, 1)
 	candidates := ps.CandidateEdges(1, radius)
 	if len(candidates) == 0 {
 		if err := s.Tree.Restore(ps); err != nil {
@@ -568,6 +579,7 @@ func (s *Searcher) tryPrunePoint(p *tree.Node, radius int, cur float64) (bool, f
 	bestTrial := math.Inf(-1)
 	bestIdx := -1
 	for i, e := range candidates {
+		s.cfg.Telemetry.Inc(telemetry.CounterSPRRegrafts, 1)
 		if err := s.Tree.Regraft(ps, e); err != nil {
 			panic(fmt.Sprintf("search: regraft: %v", err))
 		}
@@ -594,6 +606,7 @@ func (s *Searcher) tryPrunePoint(p *tree.Node, radius int, cur float64) (bool, f
 		s.updateBranch(p.Next.Next)
 		exact := s.evaluateFullAt(p)
 		if exact > cur+1e-9 {
+			s.cfg.Telemetry.Inc(telemetry.CounterSPRImprovements, 1)
 			return true, exact
 		}
 		copy(p.Branch.Lengths, savedAttach)

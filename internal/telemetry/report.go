@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RankStats is one rank's aggregated span record.
+type RankStats struct {
+	// Rank is the MPI rank.
+	Rank int `json:"rank"`
+	// KernelNS and KernelOps are per-kernel-class span time and call
+	// counts, indexed by KernelClass.
+	KernelNS  [NumKernelClasses]int64 `json:"kernel_ns"`
+	KernelOps [NumKernelClasses]int64 `json:"kernel_ops"`
+	// CollectiveNS and CollectiveOps are per-traffic-class collective
+	// span time and call counts, indexed by comm class.
+	CollectiveNS  []int64 `json:"collective_ns"`
+	CollectiveOps []int64 `json:"collective_ops"`
+	// ComputeNS is the rank's total kernel time; CommNS its total
+	// time inside collectives.
+	ComputeNS int64 `json:"compute_ns"`
+	CommNS    int64 `json:"comm_ns"`
+	// PoolThreads/PoolRuns/PoolBlocks are the rank's thread-pool
+	// utilization counters (zero when the rank ran serially).
+	PoolThreads int   `json:"pool_threads,omitempty"`
+	PoolRuns    int64 `json:"pool_runs,omitempty"`
+	PoolBlocks  int64 `json:"pool_blocks,omitempty"`
+}
+
+// KernelStat is one kernel class's run-wide aggregate.
+type KernelStat struct {
+	// Name is the kernel class label.
+	Name string `json:"name"`
+	// NS is span time summed over ranks; Ops the call count.
+	NS  int64 `json:"ns"`
+	Ops int64 `json:"ops"`
+	// MaxRankNS and MeanRankNS support per-class imbalance reading.
+	MaxRankNS  int64   `json:"max_rank_ns"`
+	MeanRankNS float64 `json:"mean_rank_ns"`
+}
+
+// CommClassStat is one traffic class's run-wide aggregate, joining the
+// byte/op meters of internal/mpi with the measured collective time.
+type CommClassStat struct {
+	// Name is the traffic class ("likelihood-eval", …).
+	Name string `json:"name"`
+	// Ops and Bytes come from the mpi.Meter (payload counted once per
+	// logical collective, the paper's Table-I convention).
+	Ops   int64 `json:"ops"`
+	Bytes int64 `json:"bytes"`
+	// TimeNS is collective span time summed over ranks (ranks wait
+	// concurrently, so this can exceed wall time).
+	TimeNS int64 `json:"time_ns"`
+	// MBPerSec is payload bandwidth: Bytes over the mean per-rank
+	// collective time of this class.
+	MBPerSec float64 `json:"mb_per_sec"`
+}
+
+// Report is the end-of-run telemetry summary — the measured counterpart
+// of the paper's Table I / Fig. 3 columns.
+type Report struct {
+	// Ranks and Threads echo the run shape.
+	Ranks   int `json:"ranks"`
+	Threads int `json:"threads"`
+	// WallSeconds is the run's wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// PerRank holds each rank's aggregated spans.
+	PerRank []RankStats `json:"per_rank"`
+	// Kernels aggregates spans per kernel class across ranks.
+	Kernels []KernelStat `json:"kernels"`
+	// Classes aggregates collective time and traffic per comm class.
+	Classes []CommClassStat `json:"classes"`
+
+	// ImbalanceRatio is max/mean of per-rank kernel (compute) time —
+	// the load-balance quantity the paper's cyclic data distribution
+	// is designed to keep near 1.0. Zero when unmeasurable.
+	ImbalanceRatio float64 `json:"imbalance_ratio"`
+	// CommFraction is Σ collective time / Σ (collective + compute)
+	// time over all ranks — the comm-vs-compute split.
+	CommFraction float64 `json:"comm_fraction"`
+	// CollectivesPerSec is the rate of logical collectives
+	// (mpi.Meter ops) over wall time — the Allreduce rate.
+	CollectivesPerSec float64 `json:"collectives_per_sec"`
+
+	// PoolUtilization is mean blocks-per-pool-run divided by the
+	// thread count, capped at 1: how well intra-rank parallel regions
+	// fill the §V worker pool (0 when no pool ran).
+	PoolUtilization float64 `json:"pool_utilization"`
+
+	// Counters holds the search-progress counters (from rank 0 —
+	// identical on every rank under the de-centralized scheme).
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Finalize aggregates the per-rank recorders into a Report. classNames
+// are the traffic-class labels (classNames[i] labels comm class i);
+// meterOps/meterBytes are the matching mpi.Meter readings. threads is
+// the configured per-rank worker count. Call only after the world has
+// joined (every rank goroutine finished).
+func (c *Collector) Finalize(wall time.Duration, threads int, classNames []string, meterOps, meterBytes []int64) *Report {
+	if c == nil {
+		return nil
+	}
+	rep := &Report{
+		Ranks:       len(c.recs),
+		Threads:     threads,
+		WallSeconds: wall.Seconds(),
+		Counters:    map[string]int64{},
+	}
+	var sumCompute, sumComm, maxCompute int64
+	var poolRuns, poolBlocks int64
+	poolThreads := 0
+	for _, r := range c.recs {
+		rs := RankStats{
+			Rank:          r.rank,
+			KernelNS:      r.kernelNS,
+			KernelOps:     r.kernelOps,
+			CollectiveNS:  append([]int64(nil), r.collNS...),
+			CollectiveOps: append([]int64(nil), r.collOps...),
+			ComputeNS:     r.ComputeNS(),
+			CommNS:        r.CollectiveNS(),
+			PoolThreads:   r.poolThreads,
+			PoolRuns:      r.poolRuns,
+			PoolBlocks:    r.poolBlocks,
+		}
+		rep.PerRank = append(rep.PerRank, rs)
+		sumCompute += rs.ComputeNS
+		sumComm += rs.CommNS
+		if rs.ComputeNS > maxCompute {
+			maxCompute = rs.ComputeNS
+		}
+		poolRuns += r.poolRuns
+		poolBlocks += r.poolBlocks
+		if r.poolThreads > poolThreads {
+			poolThreads = r.poolThreads
+		}
+	}
+
+	for k := KernelClass(0); k < NumKernelClasses; k++ {
+		ks := KernelStat{Name: k.String()}
+		var maxNS int64
+		for _, rs := range rep.PerRank {
+			ks.NS += rs.KernelNS[k]
+			ks.Ops += rs.KernelOps[k]
+			if rs.KernelNS[k] > maxNS {
+				maxNS = rs.KernelNS[k]
+			}
+		}
+		ks.MaxRankNS = maxNS
+		ks.MeanRankNS = float64(ks.NS) / float64(max(rep.Ranks, 1))
+		rep.Kernels = append(rep.Kernels, ks)
+	}
+
+	var totalMeterOps int64
+	for class := 0; class < c.numComm && class < len(classNames); class++ {
+		cs := CommClassStat{Name: classNames[class]}
+		if class < len(meterOps) {
+			cs.Ops = meterOps[class]
+			totalMeterOps += meterOps[class]
+		}
+		if class < len(meterBytes) {
+			cs.Bytes = meterBytes[class]
+		}
+		for _, rs := range rep.PerRank {
+			if class < len(rs.CollectiveNS) {
+				cs.TimeNS += rs.CollectiveNS[class]
+			}
+		}
+		if meanNS := float64(cs.TimeNS) / float64(max(rep.Ranks, 1)); meanNS > 0 {
+			cs.MBPerSec = float64(cs.Bytes) / 1e6 / (meanNS / 1e9)
+		}
+		if cs.Ops != 0 || cs.Bytes != 0 || cs.TimeNS != 0 {
+			rep.Classes = append(rep.Classes, cs)
+		}
+	}
+	sort.Slice(rep.Classes, func(i, j int) bool { return rep.Classes[i].Bytes > rep.Classes[j].Bytes })
+
+	if mean := float64(sumCompute) / float64(max(rep.Ranks, 1)); mean > 0 {
+		rep.ImbalanceRatio = float64(maxCompute) / mean
+	}
+	if tot := sumCompute + sumComm; tot > 0 {
+		rep.CommFraction = float64(sumComm) / float64(tot)
+	}
+	if rep.WallSeconds > 0 {
+		rep.CollectivesPerSec = float64(totalMeterOps) / rep.WallSeconds
+	}
+	if poolRuns > 0 && poolThreads > 0 {
+		util := float64(poolBlocks) / float64(poolRuns) / float64(poolThreads)
+		if util > 1 {
+			util = 1
+		}
+		rep.PoolUtilization = util
+	}
+	for ct := Counter(0); ct < NumCounters; ct++ {
+		if v := c.recs[0].counters[ct]; v != 0 || ct == CounterIterations {
+			rep.Counters[ct.String()] = v
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report as one indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the run report as a text block — the `-stats` output of
+// the CLIs.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry report (%d ranks x %d threads, wall %.3fs)\n",
+		r.Ranks, max(r.Threads, 1), r.WallSeconds)
+
+	fmt.Fprintf(&b, "\nkernel spans (summed over ranks):\n")
+	fmt.Fprintf(&b, "  %-14s %12s %14s %16s\n", "class", "calls", "time", "max-rank time")
+	for _, k := range r.Kernels {
+		if k.Ops == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-14s %12d %14s %16s\n",
+			k.Name, k.Ops, fmtNS(k.NS), fmtNS(k.MaxRankNS))
+	}
+
+	fmt.Fprintf(&b, "\ncollectives (time summed over ranks; bytes counted once per logical op):\n")
+	fmt.Fprintf(&b, "  %-22s %10s %14s %12s %12s\n", "class", "ops", "bytes", "time", "MB/s")
+	for _, cs := range r.Classes {
+		fmt.Fprintf(&b, "  %-22s %10d %14d %12s %12.1f\n",
+			cs.Name, cs.Ops, cs.Bytes, fmtNS(cs.TimeNS), cs.MBPerSec)
+	}
+
+	fmt.Fprintf(&b, "\nderived metrics:\n")
+	fmt.Fprintf(&b, "  load imbalance (max/mean kernel time)  %8.3f\n", r.ImbalanceRatio)
+	fmt.Fprintf(&b, "  comm fraction (collective/(coll+comp)) %8.3f\n", r.CommFraction)
+	fmt.Fprintf(&b, "  collective rate                        %8.1f ops/s\n", r.CollectivesPerSec)
+	if r.PoolUtilization > 0 {
+		fmt.Fprintf(&b, "  thread-pool block utilization          %8.3f\n", r.PoolUtilization)
+	}
+
+	fmt.Fprintf(&b, "\nper-rank compute vs collective time:\n")
+	fmt.Fprintf(&b, "  %-6s %14s %14s %10s\n", "rank", "compute", "collective", "comm%")
+	for _, rs := range r.PerRank {
+		pct := 0.0
+		if tot := rs.ComputeNS + rs.CommNS; tot > 0 {
+			pct = 100 * float64(rs.CommNS) / float64(tot)
+		}
+		fmt.Fprintf(&b, "  %-6d %14s %14s %9.1f%%\n",
+			rs.Rank, fmtNS(rs.ComputeNS), fmtNS(rs.CommNS), pct)
+	}
+
+	if len(r.Counters) > 0 {
+		fmt.Fprintf(&b, "\nsearch progress:\n")
+		names := make([]string, 0, len(r.Counters))
+		for n := range r.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %-22s %12d\n", n, r.Counters[n])
+		}
+	}
+	return b.String()
+}
+
+// fmtNS renders a nanosecond count as a human duration.
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

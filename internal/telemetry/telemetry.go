@@ -1,0 +1,292 @@
+// Package telemetry is the repo's low-overhead, determinism-safe
+// instrumentation layer: per-rank wall-clock spans for the three
+// likelihood kernel classes (newview / evaluate / derivatives, plus the
+// PSR site-rate pipeline), time-in-collective vs. time-in-compute,
+// search-progress counters, and thread-pool utilization — the measurement
+// substrate behind the paper's evaluation (Table I, Figs. 3–4), which
+// argues for the de-centralized scheme entirely through such metrics.
+//
+// Two properties are load-bearing (docs/OBSERVABILITY.md):
+//
+//  1. Determinism safety. Telemetry is collected strictly out-of-band:
+//     recorders only read clocks and bump private per-rank counters, never
+//     touching any value that feeds a likelihood, a reduction, or the
+//     search trajectory. A run with telemetry enabled is bit-identical
+//     to the same run without it (asserted by tests).
+//
+//  2. Nil-cost when off. Every Recorder method is safe on a nil receiver
+//     and returns after a single pointer check, and no clock is read —
+//     instrumented code paths pay essentially nothing when telemetry is
+//     disabled.
+//
+// A Collector owns one Recorder per rank plus an optional shared JSONL
+// trace sink; each Recorder is used by exactly one rank goroutine (the
+// same single-goroutine discipline mpi.Comm has), so recording needs no
+// locks. Finalize aggregates the recorders into a Report after the world
+// has joined.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// KernelClass labels a likelihood-kernel span.
+type KernelClass int
+
+// The three kernel classes of the likelihood library, plus the PSR
+// per-site-rate pipeline (which runs all three internally but is
+// accounted as its own phase, like the paper's "additional CAT-model
+// work").
+const (
+	// KernelNewview is CLV recomputation (Felsenstein pruning).
+	KernelNewview KernelClass = iota
+	// KernelEvaluate is log-likelihood evaluation at a virtual root.
+	KernelEvaluate
+	// KernelDerivatives is sum-table preparation plus Newton derivative
+	// evaluation for branch-length optimization.
+	KernelDerivatives
+	// KernelSiteRates is the PSR per-site rate optimization pipeline.
+	KernelSiteRates
+
+	// NumKernelClasses is the number of distinct kernel classes.
+	NumKernelClasses
+)
+
+// String implements fmt.Stringer.
+func (k KernelClass) String() string {
+	switch k {
+	case KernelNewview:
+		return "newview"
+	case KernelEvaluate:
+		return "evaluate"
+	case KernelDerivatives:
+		return "derivatives"
+	case KernelSiteRates:
+		return "site-rates"
+	}
+	return fmt.Sprintf("KernelClass(%d)", int(k))
+}
+
+// Counter labels a search-progress counter.
+type Counter int
+
+// Search-phase progress counters, bumped by internal/search.
+const (
+	// CounterIterations is completed outer search iterations.
+	CounterIterations Counter = iota
+	// CounterModelOptRounds is model-parameter optimization rounds.
+	CounterModelOptRounds
+	// CounterNewtonIters is Newton steps over all branch visits.
+	CounterNewtonIters
+	// CounterSPRRounds is completed lazy-SPR sweeps.
+	CounterSPRRounds
+	// CounterSPRPrunes is subtree prune attempts.
+	CounterSPRPrunes
+	// CounterSPRRegrafts is trial re-insertions scored.
+	CounterSPRRegrafts
+	// CounterSPRImprovements is accepted (verified) SPR moves.
+	CounterSPRImprovements
+
+	// NumCounters is the number of distinct counters.
+	NumCounters
+)
+
+// String implements fmt.Stringer.
+func (c Counter) String() string {
+	switch c {
+	case CounterIterations:
+		return "iterations"
+	case CounterModelOptRounds:
+		return "model-opt-rounds"
+	case CounterNewtonIters:
+		return "newton-iterations"
+	case CounterSPRRounds:
+		return "spr-rounds"
+	case CounterSPRPrunes:
+		return "spr-prunes"
+	case CounterSPRRegrafts:
+		return "spr-regrafts"
+	case CounterSPRImprovements:
+		return "spr-improvements"
+	}
+	return fmt.Sprintf("Counter(%d)", int(c))
+}
+
+// Collector owns the per-rank recorders of one run and the optional
+// shared JSONL trace sink. A nil *Collector is valid and disables all
+// instrumentation (every Recorder it hands out is nil).
+type Collector struct {
+	start   time.Time
+	recs    []*Recorder
+	numComm int
+
+	mu    sync.Mutex
+	trace io.Writer
+}
+
+// NewCollector provisions recorders for `ranks` ranks and collective
+// timing slots for `numCommClasses` traffic classes (mpi.NumCommClasses
+// for the repo's runtime — telemetry deliberately does not import mpi).
+// trace, when non-nil, receives the JSONL event stream; writes are
+// serialized internally.
+func NewCollector(ranks, numCommClasses int, trace io.Writer) *Collector {
+	c := &Collector{
+		start:   time.Now(),
+		recs:    make([]*Recorder, ranks),
+		numComm: numCommClasses,
+		trace:   trace,
+	}
+	for r := range c.recs {
+		c.recs[r] = &Recorder{
+			col:     c,
+			rank:    r,
+			collNS:  make([]int64, numCommClasses),
+			collOps: make([]int64, numCommClasses),
+		}
+	}
+	return c
+}
+
+// Recorder returns rank's recorder; nil on a nil Collector or an
+// out-of-range rank, so callers can wire telemetry unconditionally.
+func (c *Collector) Recorder(rank int) *Recorder {
+	if c == nil || rank < 0 || rank >= len(c.recs) {
+		return nil
+	}
+	return c.recs[rank]
+}
+
+// emit appends one JSONL span event to the trace sink (no-op without
+// one). Hand-rolled formatting keeps the hot path free of reflection.
+func (c *Collector) emit(rank int, kind, class string, startNS, durNS int64) {
+	if c.trace == nil {
+		return
+	}
+	c.mu.Lock()
+	fmt.Fprintf(c.trace, "{\"ev\":\"span\",\"rank\":%d,\"kind\":%q,\"class\":%q,\"t_ns\":%d,\"dur_ns\":%d}\n",
+		rank, kind, class, startNS, durNS)
+	c.mu.Unlock()
+}
+
+// Recorder is one rank's instrumentation endpoint. It must be used by a
+// single goroutine (the rank's own), exactly like mpi.Comm. All methods
+// are nil-safe no-ops, which is the telemetry-off fast path.
+type Recorder struct {
+	col  *Collector
+	rank int
+
+	kernelNS  [NumKernelClasses]int64
+	kernelOps [NumKernelClasses]int64
+
+	collNS    []int64
+	collOps   []int64
+	collDepth int
+
+	counters [NumCounters]int64
+
+	poolThreads          int
+	poolRuns, poolBlocks int64
+}
+
+// now returns nanoseconds since the collector's start (monotonic).
+func (r *Recorder) now() int64 { return int64(time.Since(r.col.start)) }
+
+// Begin opens a kernel span; pass the token to EndKernel. Returns 0 on a
+// nil recorder without reading the clock.
+func (r *Recorder) Begin() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.now()
+}
+
+// EndKernel closes a kernel span opened by Begin.
+func (r *Recorder) EndKernel(k KernelClass, start int64) {
+	if r == nil {
+		return
+	}
+	end := r.now()
+	r.kernelNS[k] += end - start
+	r.kernelOps[k]++
+	r.col.emit(r.rank, "kernel", k.String(), start, end-start)
+}
+
+// BeginCollective opens a collective span; pass the token to
+// EndCollective. Nested collectives (an Allreduce built from a Reduce
+// plus a broadcast) are recorded once, at the outermost call: inner
+// spans return a sentinel and are skipped by EndCollective.
+func (r *Recorder) BeginCollective() int64 {
+	if r == nil {
+		return 0
+	}
+	r.collDepth++
+	if r.collDepth > 1 {
+		return -1
+	}
+	return r.now()
+}
+
+// EndCollective closes a collective span of the given traffic class
+// (an mpi.CommClass value; telemetry stores it as a plain index).
+func (r *Recorder) EndCollective(class int, start int64) {
+	if r == nil {
+		return
+	}
+	r.collDepth--
+	if start < 0 {
+		return
+	}
+	end := r.now()
+	if class >= 0 && class < len(r.collNS) {
+		r.collNS[class] += end - start
+		r.collOps[class]++
+	}
+	r.col.emit(r.rank, "collective", fmt.Sprintf("class-%d", class), start, end-start)
+}
+
+// Inc bumps a search-progress counter by n.
+func (r *Recorder) Inc(c Counter, n int64) {
+	if r == nil {
+		return
+	}
+	r.counters[c] += n
+}
+
+// SetPool records the rank's thread-pool utilization counters (harvested
+// once, when the rank's engine closes).
+func (r *Recorder) SetPool(threads int, runs, blocks int64) {
+	if r == nil {
+		return
+	}
+	r.poolThreads = threads
+	r.poolRuns = runs
+	r.poolBlocks = blocks
+}
+
+// ComputeNS returns the rank's total kernel-span time — the per-rank
+// quantity whose max/mean ratio is the load-imbalance metric.
+func (r *Recorder) ComputeNS() int64 {
+	if r == nil {
+		return 0
+	}
+	var t int64
+	for _, v := range r.kernelNS {
+		t += v
+	}
+	return t
+}
+
+// CollectiveNS returns the rank's total time inside collectives.
+func (r *Recorder) CollectiveNS() int64 {
+	if r == nil {
+		return 0
+	}
+	var t int64
+	for _, v := range r.collNS {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety exercises every Recorder entry point on a nil receiver
+// and a nil Collector — the telemetry-off fast path must be inert.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	r := c.Recorder(0)
+	if r != nil {
+		t.Fatalf("nil collector handed out a recorder")
+	}
+	tok := r.Begin()
+	r.EndKernel(KernelNewview, tok)
+	ct := r.BeginCollective()
+	r.EndCollective(0, ct)
+	r.Inc(CounterIterations, 1)
+	r.SetPool(4, 10, 40)
+	if r.ComputeNS() != 0 || r.CollectiveNS() != 0 {
+		t.Fatalf("nil recorder accumulated time")
+	}
+	if rep := c.Finalize(time.Second, 1, nil, nil, nil); rep != nil {
+		t.Fatalf("nil collector produced a report")
+	}
+}
+
+// TestSpansAndReport records spans on two ranks and checks the derived
+// metrics of the report.
+func TestSpansAndReport(t *testing.T) {
+	var trace bytes.Buffer
+	c := NewCollector(2, 3, &trace)
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := c.Recorder(rank)
+			for i := 0; i < 3; i++ {
+				tok := r.Begin()
+				time.Sleep(time.Millisecond)
+				r.EndKernel(KernelNewview, tok)
+			}
+			tok := r.Begin()
+			r.EndKernel(KernelEvaluate, tok)
+			ct := r.BeginCollective()
+			time.Sleep(time.Millisecond)
+			r.EndCollective(1, ct)
+			r.Inc(CounterIterations, 1)
+		}(rank)
+	}
+	wg.Wait()
+
+	rep := c.Finalize(10*time.Millisecond, 2,
+		[]string{"a", "b", "c"}, []int64{0, 4, 0}, []int64{0, 1024, 0})
+	if rep.Ranks != 2 {
+		t.Fatalf("ranks = %d", rep.Ranks)
+	}
+	if got := rep.Kernels[KernelNewview].Ops; got != 6 {
+		t.Fatalf("newview ops = %d, want 6", got)
+	}
+	if rep.Kernels[KernelNewview].NS <= 0 {
+		t.Fatalf("newview time not recorded")
+	}
+	if rep.ImbalanceRatio < 1 {
+		t.Fatalf("imbalance ratio %v < 1", rep.ImbalanceRatio)
+	}
+	if rep.CommFraction <= 0 || rep.CommFraction >= 1 {
+		t.Fatalf("comm fraction %v out of (0,1)", rep.CommFraction)
+	}
+	if len(rep.Classes) != 1 || rep.Classes[0].Name != "b" || rep.Classes[0].Bytes != 1024 {
+		t.Fatalf("classes = %+v", rep.Classes)
+	}
+	if rep.Counters["iterations"] != 1 {
+		t.Fatalf("counters = %v", rep.Counters)
+	}
+
+	// The trace must be valid JSONL with one event per span.
+	lines := strings.Split(strings.TrimSpace(trace.String()), "\n")
+	if len(lines) != 2*(3+1+1) {
+		t.Fatalf("trace has %d events, want 10", len(lines))
+	}
+	for _, ln := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", ln, err)
+		}
+		if ev["ev"] != "span" {
+			t.Fatalf("unexpected event %v", ev)
+		}
+	}
+
+	// Text and JSON renderings must carry the headline metrics.
+	text := rep.String()
+	for _, want := range []string{"load imbalance", "comm fraction", "newview", "iterations"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report text missing %q:\n%s", want, text)
+		}
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON round-trip: %v", err)
+	}
+	if back.ImbalanceRatio != rep.ImbalanceRatio {
+		t.Fatalf("JSON imbalance %v != %v", back.ImbalanceRatio, rep.ImbalanceRatio)
+	}
+}
+
+// TestNestedCollectiveRecordedOnce pins the nesting guard: an outer
+// collective that internally calls another must account once.
+func TestNestedCollectiveRecordedOnce(t *testing.T) {
+	c := NewCollector(1, 2, nil)
+	r := c.Recorder(0)
+
+	outer := r.BeginCollective()
+	inner := r.BeginCollective() // e.g. Allreduce's internal Reduce
+	time.Sleep(time.Millisecond)
+	r.EndCollective(0, inner)
+	r.EndCollective(0, outer)
+
+	rep := c.Finalize(time.Millisecond, 1, []string{"x", "y"}, []int64{1, 0}, []int64{8, 0})
+	if ops := rep.PerRank[0].CollectiveOps[0]; ops != 1 {
+		t.Fatalf("nested collective recorded %d times, want 1", ops)
+	}
+	if rep.PerRank[0].CollectiveNS[0] <= 0 {
+		t.Fatalf("outer collective span lost")
+	}
+}

@@ -48,8 +48,8 @@ func blockBounds(b, n int) (lo, hi int) {
 // balanced) while the block structure itself stays fixed.
 type job struct {
 	fn   func(block, lo, hi int)
-	n    int          // item count
-	nb   int64        // block count
+	n    int   // item count
+	nb   int64 // block count
 	next *atomic.Int64
 	wg   *sync.WaitGroup
 }
@@ -66,6 +66,22 @@ func (j job) run() {
 	}
 }
 
+// Stats counts pool activity for telemetry: how many parallel regions
+// (Run calls) the pool executed and how many blocks they comprised. The
+// ratio blocks/(runs·threads) is the block-utilization metric — how well
+// regions fill the pool. Counters are atomic so harvesting from another
+// goroutine after the run is race-free; recording them never influences
+// block structure or scheduling (determinism-safe).
+type Stats struct {
+	runs, blocks atomic.Int64
+}
+
+// Runs returns the number of Run invocations counted.
+func (s *Stats) Runs() int64 { return s.runs.Load() }
+
+// Blocks returns the total number of blocks those runs comprised.
+func (s *Stats) Blocks() int64 { return s.blocks.Load() }
+
 // Pool owns threads−1 persistent worker goroutines; the goroutine calling
 // Run participates as the T-th worker, so a pool of 1 has no workers and
 // executes everything inline. A nil *Pool is valid and also serial —
@@ -74,6 +90,15 @@ type Pool struct {
 	threads int
 	jobs    chan job
 	close   sync.Once
+	stats   *Stats
+}
+
+// SetStats attaches a telemetry counter set; nil (the default) disables
+// counting. Nil-pool safe.
+func (p *Pool) SetStats(s *Stats) {
+	if p != nil {
+		p.stats = s
+	}
 }
 
 // New builds a pool executing up to threads blocks concurrently. Values
@@ -115,6 +140,10 @@ func (p *Pool) Run(n int, fn func(block, lo, hi int)) {
 	nb := NumBlocks(n)
 	if nb == 0 {
 		return
+	}
+	if p != nil && p.stats != nil {
+		p.stats.runs.Add(1)
+		p.stats.blocks.Add(int64(nb))
 	}
 	if p == nil || p.threads <= 1 || nb == 1 {
 		for b := 0; b < nb; b++ {

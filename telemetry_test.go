@@ -1,0 +1,130 @@
+package examl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestTelemetryBitIdentity is the observability contract test: enabling
+// telemetry (spans, counters, even the JSONL trace) must not change a
+// single bit of the inference — same final log likelihood, same tree —
+// for both schemes and across intra-rank thread counts. Timing is read
+// out-of-band; nothing it touches feeds a likelihood or a reduction.
+func TestTelemetryBitIdentity(t *testing.T) {
+	d, err := Simulate(10, 3, 80, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []Scheme{Decentralized, ForkJoin} {
+		for _, threads := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/T=%d", scheme, threads), func(t *testing.T) {
+				base := Config{
+					Scheme:        scheme,
+					Ranks:         3,
+					Threads:       threads,
+					MaxIterations: 2,
+					Seed:          11,
+				}
+				plain, err := Infer(d, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plain.Telemetry != nil {
+					t.Fatal("telemetry report present without Config.Telemetry")
+				}
+
+				instrumented := base
+				instrumented.Telemetry = true
+				var trace bytes.Buffer
+				instrumented.TraceWriter = &trace
+				traced, err := Infer(d, instrumented)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if math.Float64bits(traced.LogLikelihood) != math.Float64bits(plain.LogLikelihood) {
+					t.Errorf("lnL diverged: telemetry %v vs plain %v", traced.LogLikelihood, plain.LogLikelihood)
+				}
+				if traced.Tree != plain.Tree {
+					t.Error("tree diverged under telemetry")
+				}
+				if traced.Iterations != plain.Iterations {
+					t.Errorf("iterations diverged: %d vs %d", traced.Iterations, plain.Iterations)
+				}
+
+				rep := traced.Telemetry
+				if rep == nil {
+					t.Fatal("no telemetry report despite Config.Telemetry")
+				}
+				if rep.Ranks != 3 {
+					t.Errorf("report ranks = %d, want 3", rep.Ranks)
+				}
+				var kernelOps int64
+				for _, k := range rep.Kernels {
+					kernelOps += k.Ops
+				}
+				if kernelOps == 0 {
+					t.Error("no kernel spans recorded")
+				}
+				if rep.ImbalanceRatio < 1 {
+					t.Errorf("imbalance ratio %v < 1 (max/mean cannot be)", rep.ImbalanceRatio)
+				}
+				if rep.CommFraction <= 0 || rep.CommFraction >= 1 {
+					t.Errorf("comm fraction %v outside (0,1)", rep.CommFraction)
+				}
+				if rep.Counters["iterations"] != int64(traced.Iterations) {
+					t.Errorf("iterations counter %d != result %d", rep.Counters["iterations"], traced.Iterations)
+				}
+				if threads > 1 && rep.PoolUtilization <= 0 {
+					t.Error("threaded run reported no pool utilization")
+				}
+			})
+		}
+	}
+}
+
+// TestTelemetryTraceIsValidJSONL checks every line the TraceWriter sink
+// emits parses as a JSON span event.
+func TestTelemetryTraceIsValidJSONL(t *testing.T) {
+	d, err := Simulate(8, 2, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	_, err = Infer(d, Config{Ranks: 2, MaxIterations: 1, Seed: 5, TraceWriter: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&trace)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var ev struct {
+			Ev    string `json:"ev"`
+			Rank  int    `json:"rank"`
+			Kind  string `json:"kind"`
+			Class string `json:"class"`
+			DurNS int64  `json:"dur_ns"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v: %s", lines, err, sc.Text())
+		}
+		if ev.Ev != "span" || ev.Rank < 0 || ev.Rank >= 2 || ev.Class == "" {
+			t.Fatalf("line %d: malformed event %+v", lines, ev)
+		}
+		if ev.Kind != "kernel" && ev.Kind != "collective" {
+			t.Fatalf("line %d: unknown span kind %q", lines, ev.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("TraceWriter produced no events")
+	}
+}
