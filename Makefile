@@ -15,10 +15,11 @@ RACE_PKGS = ./internal/threadpool/... \
             ./internal/decentral/... \
             ./internal/forkjoin/... \
             ./internal/mpi/... \
+            ./internal/mpinet/... \
             ./internal/telemetry/... \
             .
 
-.PHONY: all fmt vet build test race bench bench-json ci clean
+.PHONY: all fmt vet build test race bench bench-json smoke-net ci clean
 
 all: ci
 
@@ -45,13 +46,28 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-json runs the kernel-threading and hybrid-grid benchmarks and
-# writes BENCH_kernels.json (name, ns/op, flops/s) for trend tracking.
+# bench-json runs the kernel-threading, hybrid-grid, and wire-framing
+# benchmarks and writes BENCH_kernels.json (name, ns/op, flops/s) for
+# trend tracking.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkKernelThreadsGamma|BenchmarkHybridGrid' . \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkKernelThreadsGamma|BenchmarkHybridGrid' . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkFrameEncodeDecode' ./internal/mpinet ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernels.json
 
-ci: fmt vet build test race
+# smoke-net runs a real multi-process decentralized inference over
+# loopback TCP (docs/NETWORKING.md): simulate a tiny dataset, then
+# examl -net-launch forks 4 worker processes that rendezvous and must
+# all finish.
+smoke-net:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/ ./cmd/examl ./cmd/seqgen && \
+	$$tmp/seqgen -taxa 10 -partitions 2 -genelen 60 -seed 33 -o $$tmp/tiny && \
+	$$tmp/examl -s $$tmp/tiny.phy -q $$tmp/tiny.parts.txt -np 4 -net-launch \
+		-iter 3 -n $$tmp/smoke && \
+	test -s $$tmp/smoke.bestTree.nwk && \
+	echo "smoke-net: 4-process loopback run OK"
+
+ci: fmt vet build test race smoke-net
 
 clean:
 	$(GO) clean ./...

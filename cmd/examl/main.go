@@ -14,6 +14,16 @@
 //	-t  starting tree (Newick file; random if absent)
 //	-c  checkpoint file (written per iteration; use -r to restore)
 //
+// Network transport (docs/NETWORKING.md) — ranks as OS processes over
+// TCP instead of goroutines:
+//
+//	-net-launch       fork the whole world locally over loopback and wait
+//	-net-rank N       run as rank N of a hand-launched world
+//	-net-size S       world size in processes
+//	-net-addr H:P     rendezvous address (rank 0 listens there)
+//	-net-nonce X      shared run nonce (stale-worker rejection)
+//	-net-recoveries R survivor-recovery budget after peer failures
+//
 // Observability (docs/OBSERVABILITY.md):
 //
 //	-stats            print the end-of-run telemetry report (kernel
@@ -41,9 +51,22 @@ func main() {
 	cli.Register(&args)
 	flag.Parse()
 	args.Scheme = examl.Decentralized
-	res, err := cli.Run(args)
-	if err != nil {
-		log.Fatal(err)
+	switch {
+	case args.NetLaunch:
+		if err := cli.Launch(args); err != nil {
+			log.Fatal(err)
+		}
+	case args.NetRank >= 0:
+		nr, err := cli.RunNet(args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli.ReportNet(args, nr)
+	default:
+		res, err := cli.Run(args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli.Report(args, res)
 	}
-	cli.Report(args, res)
 }

@@ -22,9 +22,22 @@ func main() {
 	cli.Register(&args)
 	flag.Parse()
 	args.Scheme = examl.ForkJoin
-	res, err := cli.Run(args)
-	if err != nil {
-		log.Fatal(err)
+	switch {
+	case args.NetLaunch:
+		if err := cli.Launch(args); err != nil {
+			log.Fatal(err)
+		}
+	case args.NetRank >= 0:
+		nr, err := cli.RunNet(args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli.ReportNet(args, nr)
+	default:
+		res, err := cli.Run(args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cli.Report(args, res)
 	}
-	cli.Report(args, res)
 }

@@ -389,18 +389,12 @@ func (r *Result) Project(ranks int) (Projection, error) {
 	}, nil
 }
 
-// Infer runs a maximum-likelihood tree search on the dataset.
-func Infer(d *Dataset, cfg Config) (*Result, error) {
-	if cfg.Ranks <= 0 {
-		cfg.Ranks = 1
-	}
+// searchConfig translates the public Config into the internal search
+// configuration, wiring checkpoint restore and per-iteration writes.
+func searchConfig(cfg Config) (search.Config, error) {
 	het := model.Gamma
 	if cfg.RateModel == PSR {
 		het = model.PSR
-	}
-	strategy := distrib.Cyclic
-	if cfg.Distribution == MPS {
-		strategy = distrib.MPS
 	}
 	scfg := search.Config{
 		Het:                  het,
@@ -417,12 +411,12 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 	if cfg.RestorePath != "" {
 		f, err := os.Open(cfg.RestorePath)
 		if err != nil {
-			return nil, fmt.Errorf("examl: open checkpoint: %w", err)
+			return scfg, fmt.Errorf("examl: open checkpoint: %w", err)
 		}
 		state, err := checkpoint.Read(f)
 		f.Close()
 		if err != nil {
-			return nil, err
+			return scfg, err
 		}
 		scfg.Restore = state
 	}
@@ -436,6 +430,26 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 			writeCheckpoint(cfg.CheckpointPath, s.Snapshot(iter))
 		}
 	}
+	return scfg, nil
+}
+
+func strategyOf(cfg Config) distrib.Strategy {
+	if cfg.Distribution == MPS {
+		return distrib.MPS
+	}
+	return distrib.Cyclic
+}
+
+// Infer runs a maximum-likelihood tree search on the dataset.
+func Infer(d *Dataset, cfg Config) (*Result, error) {
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	strategy := strategyOf(cfg)
+	scfg, err := searchConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	var collector *telemetry.Collector
 	if cfg.Telemetry || cfg.TraceWriter != nil {
@@ -444,7 +458,6 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 
 	var (
 		res     *search.Result
-		err     error
 		comm    mpi.Snapshot
 		wall    float64
 		wallDur time.Duration

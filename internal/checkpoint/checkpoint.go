@@ -6,14 +6,19 @@
 // foundation for fault tolerance.
 //
 // The format is little-endian, versioned, and CRC-protected like the
-// binary alignment format. PSR per-site rates are deliberately not stored:
-// the search re-optimizes them in the first iteration after restart (they
-// are re-derived every iteration anyway), which keeps checkpoints
+// binary alignment format. Version 2 places the body length and the
+// CRC32 of the body in the header, so a truncated or partially-written
+// (stale) checkpoint is rejected with a precise diagnostic before any
+// field is parsed; version-1 files (trailing CRC) remain readable.
+// PSR per-site rates are deliberately not stored: the search
+// re-optimizes them in the first iteration after restart (they are
+// re-derived every iteration anyway), which keeps checkpoints
 // independent of the data distribution.
 package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -24,8 +29,13 @@ import (
 )
 
 const (
-	stateMagic   = "EXCK"
-	stateVersion = 1
+	stateMagic = "EXCK"
+	// stateVersion is the version written by Write. Version 1 (body
+	// followed by a trailing CRC32) is still accepted by Read.
+	stateVersion = 2
+	// maxBodyLen bounds the declared body length of a v2 checkpoint so
+	// a corrupt header cannot OOM the reader.
+	maxBodyLen = 1 << 31
 )
 
 // State is a restartable snapshot of the search.
@@ -84,24 +94,15 @@ func (s *State) BuildTree() (*tree.Tree, error) {
 	return t, nil
 }
 
-// Write serializes the state.
-func Write(w io.Writer, s *State) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(stateMagic); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(stateVersion)); err != nil {
-		return err
-	}
-	crc := crc32.NewIEEE()
-	mw := io.MultiWriter(bw, crc)
-
-	wr := func(v any) error { return binary.Write(mw, binary.LittleEndian, v) }
+// writeBody serializes the versioned payload (everything between the
+// header and, in v1, the trailing CRC).
+func writeBody(w io.Writer, s *State) error {
+	wr := func(v any) error { return binary.Write(w, binary.LittleEndian, v) }
 	wrString := func(str string) error {
 		if err := wr(uint32(len(str))); err != nil {
 			return err
 		}
-		_, err := mw.Write([]byte(str))
+		_, err := w.Write([]byte(str))
 		return err
 	}
 
@@ -151,32 +152,12 @@ func Write(w io.Writer, s *State) error {
 			}
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return nil
 }
 
-// Read deserializes and verifies a state.
-func Read(r io.Reader) (*State, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
-	}
-	if string(magic) != stateMagic {
-		return nil, fmt.Errorf("checkpoint: bad magic %q", magic)
-	}
-	var version uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, err
-	}
-	if version != stateVersion {
-		return nil, fmt.Errorf("checkpoint: unsupported version %d", version)
-	}
-	crc := crc32.NewIEEE()
-	cr := io.TeeReader(br, crc)
-	rd := func(v any) error { return binary.Read(cr, binary.LittleEndian, v) }
+// readBody parses the versioned payload.
+func readBody(r io.Reader) (*State, error) {
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
 	rdU32 := func() (uint32, error) {
 		var v uint32
 		err := rd(&v)
@@ -191,7 +172,7 @@ func Read(r io.Reader) (*State, error) {
 			return "", fmt.Errorf("checkpoint: implausible string length %d", n)
 		}
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(cr, buf); err != nil {
+		if _, err := io.ReadFull(r, buf); err != nil {
 			return "", err
 		}
 		return string(buf), nil
@@ -273,6 +254,114 @@ func Read(r io.Reader) (*State, error) {
 				return nil, err
 			}
 		}
+	}
+	return s, nil
+}
+
+// Write serializes the state in the current (v2) framing:
+//
+//	"EXCK" | uint32 version=2 | uint32 bodyLen | uint32 crc32(body) | body
+//
+// Putting length and checksum in the header lets Read reject truncated
+// or stale files with a diagnostic before parsing a single field.
+func Write(w io.Writer, s *State) error {
+	var body bytes.Buffer
+	if err := writeBody(&body, s); err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, stateMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, stateVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(body.Len()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(body.Bytes()))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// Encode serializes the state to a byte slice (the exact on-disk image
+// Write produces). fault.RunNet ships this over the wire so survivors
+// agree on the most advanced replica after a failure.
+func Encode(s *State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a byte slice produced by Encode (or read from disk).
+func Decode(b []byte) (*State, error) {
+	return Read(bytes.NewReader(b))
+}
+
+// Read deserializes and verifies a state, accepting both the current v2
+// framing and legacy v1 files (body followed by a trailing CRC32).
+func Read(r io.Reader) (*State, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if string(magic) != stateMagic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q (not a checkpoint file?)", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading version: %w", err)
+	}
+	switch version {
+	case 1:
+		return readV1(br)
+	case stateVersion:
+		return readV2(br)
+	default:
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (this build reads v1..v%d)", version, stateVersion)
+	}
+}
+
+// readV2 verifies length and checksum from the header before parsing.
+func readV2(br *bufio.Reader) (*State, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: truncated header: %w", err)
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr[:4])
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if bodyLen > maxBodyLen {
+		return nil, fmt.Errorf("checkpoint: implausible body length %d", bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	n, err := io.ReadFull(br, body)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: truncated: header declares %d body bytes, file has %d (interrupted write?)", bodyLen, n)
+	}
+	if extra, _ := br.Peek(1); len(extra) != 0 {
+		return nil, fmt.Errorf("checkpoint: trailing garbage after %d-byte body", bodyLen)
+	}
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (have %08x, want %08x): corrupt or stale file", got, want)
+	}
+	rd := bytes.NewReader(body)
+	s, err := readBody(rd)
+	if err != nil {
+		return nil, err
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("checkpoint: %d unparsed bytes inside checksummed body", rd.Len())
+	}
+	return s, nil
+}
+
+// readV1 parses the legacy framing: body, then a trailing CRC32 of the
+// body. Kept so pre-v2 seed checkpoints remain restorable.
+func readV1(br *bufio.Reader) (*State, error) {
+	crc := crc32.NewIEEE()
+	s, err := readBody(io.TeeReader(br, crc))
+	if err != nil {
+		return nil, err
 	}
 	sum := crc.Sum32()
 	var stored uint32

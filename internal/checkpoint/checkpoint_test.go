@@ -2,7 +2,10 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/tree"
@@ -117,4 +120,92 @@ func mustEncode(t *testing.T, s *State) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// encodeV1 reproduces the legacy framing: magic | u32 1 | body | crc32(body).
+func encodeV1(t *testing.T, s *State) []byte {
+	t.Helper()
+	var body bytes.Buffer
+	if err := writeBody(&body, s); err != nil {
+		t.Fatal(err)
+	}
+	out := []byte(stateMagic)
+	out = binary.LittleEndian.AppendUint32(out, 1)
+	out = append(out, body.Bytes()...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body.Bytes()))
+	return out
+}
+
+func TestReadAcceptsLegacyV1(t *testing.T) {
+	s, tr := sampleState(t, 10, 2)
+	back, err := Read(bytes.NewReader(encodeV1(t, s)))
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if back.Iteration != s.Iteration || back.LnL != s.LnL {
+		t.Fatalf("v1 header fields changed: %+v", back)
+	}
+	rebuilt, err := back.BuildTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.SameTopology(tr, rebuilt) {
+		t.Fatal("v1 topology changed through checkpoint")
+	}
+	// ... and v1 corruption is still caught by the trailing CRC.
+	bad := encodeV1(t, s)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted v1 checkpoint accepted")
+	}
+}
+
+func TestV2Diagnostics(t *testing.T) {
+	s, _ := sampleState(t, 8, 1)
+	data := mustEncode(t, s)
+
+	// Truncation must be reported as truncation (header declares more
+	// body bytes than the file holds), not as a generic parse error.
+	_, err := Read(bytes.NewReader(data[:len(data)-5]))
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated file: got %v, want a truncation diagnostic", err)
+	}
+
+	// A flipped body byte must be reported as a checksum mismatch.
+	bad := append([]byte(nil), data...)
+	bad[20] ^= 0x01
+	_, err = Read(bytes.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Errorf("corrupt body: got %v, want a checksum diagnostic", err)
+	}
+
+	// A future version must be rejected by number, not misparsed.
+	future := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(future[4:], 99)
+	_, err = Read(bytes.NewReader(future))
+	if err == nil || !strings.Contains(err.Error(), "unsupported version 99") {
+		t.Errorf("future version: got %v, want an unsupported-version diagnostic", err)
+	}
+
+	// Trailing garbage (e.g. two checkpoints concatenated by a botched
+	// write) is rejected rather than silently ignored.
+	_, err = Read(bytes.NewReader(append(append([]byte(nil), data...), 0xEE)))
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing garbage: got %v, want a trailing-garbage diagnostic", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s, _ := sampleState(t, 9, 2)
+	blob, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Iteration != s.Iteration || back.LnL != s.LnL || len(back.Edges) != len(s.Edges) {
+		t.Fatalf("Encode/Decode round trip changed state: %+v", back)
+	}
 }

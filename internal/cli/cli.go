@@ -31,7 +31,22 @@ type Args struct {
 	// TracePath, when non-empty, streams a JSONL span-event trace to the
 	// given file (implies telemetry collection).
 	TracePath string
+
+	// Network mode (docs/NETWORKING.md): ranks as separate OS processes
+	// over TCP instead of goroutines. NetRank ≥ 0 makes this process one
+	// rank of a NetSize-process world rendezvousing at NetAddr; NetLaunch
+	// instead forks the whole world locally and waits.
+	NetRank       int
+	NetSize       int
+	NetAddr       string
+	NetNonce      uint64
+	NetLaunch     bool
+	NetRecoveries int
 }
+
+// NetMode reports whether the args select the TCP transport (either as
+// a single rank or as the local launcher).
+func (a Args) NetMode() bool { return a.NetLaunch || a.NetRank >= 0 }
 
 // Register installs the shared flags on the default FlagSet.
 func Register(a *Args) {
@@ -52,6 +67,12 @@ func Register(a *Args) {
 	flag.IntVar(&a.MaxIter, "iter", 0, "maximum search iterations (0 = default)")
 	flag.StringVar(&a.Ckpt, "c", "", "checkpoint file path")
 	flag.StringVar(&a.Restore, "r", "", "restore from checkpoint file")
+	flag.IntVar(&a.NetRank, "net-rank", -1, "network mode: this process's rank (0..net-size-1; rank 0 listens on -net-addr)")
+	flag.IntVar(&a.NetSize, "net-size", 0, "network mode: world size in processes (with -net-launch, 0 means -np)")
+	flag.StringVar(&a.NetAddr, "net-addr", "", "network mode: rendezvous address host:port of rank 0 (-net-launch picks a free loopback port when empty)")
+	flag.Uint64Var(&a.NetNonce, "net-nonce", 0, "network mode: run nonce shared by all ranks (rejects stale workers; -net-launch generates one when 0)")
+	flag.BoolVar(&a.NetLaunch, "net-launch", false, "fork the whole world as local worker processes over loopback TCP and wait")
+	flag.IntVar(&a.NetRecoveries, "net-recoveries", 1, "network mode: survivor-recovery budget after peer failures (decentralized scheme; 0 = a lost peer fails the run)")
 	flag.BoolVar(&a.Stats, "stats", false, "print the end-of-run telemetry report (kernel spans, collective timing, load imbalance)")
 	flag.StringVar(&a.StatsJSON, "stats-json", "", "write the telemetry report as JSON to this file")
 	flag.StringVar(&a.TracePath, "trace", "", "stream a JSONL telemetry event trace to this file")
@@ -79,6 +100,26 @@ func Validate(a Args) error {
 	if a.MaxIter < 0 {
 		return fmt.Errorf("-iter must be >= 0 (got %d)", a.MaxIter)
 	}
+	if a.NetLaunch && a.NetRank >= 0 {
+		return fmt.Errorf("-net-launch forks its own workers; it cannot be combined with -net-rank")
+	}
+	if a.NetRank >= 0 {
+		if a.NetSize < 1 {
+			return fmt.Errorf("-net-rank requires -net-size >= 1 (got %d)", a.NetSize)
+		}
+		if a.NetRank >= a.NetSize {
+			return fmt.Errorf("-net-rank %d outside the world of -net-size %d", a.NetRank, a.NetSize)
+		}
+		if a.NetAddr == "" {
+			return fmt.Errorf("-net-rank requires the rendezvous address (-net-addr host:port)")
+		}
+	}
+	if a.NetSize < 0 {
+		return fmt.Errorf("-net-size must be >= 0 (got %d)", a.NetSize)
+	}
+	if a.NetRecoveries < 0 {
+		return fmt.Errorf("-net-recoveries must be >= 0 (got %d)", a.NetRecoveries)
+	}
 	return nil
 }
 
@@ -87,11 +128,8 @@ func (a Args) telemetryRequested() bool {
 	return a.Stats || a.StatsJSON != "" || a.TracePath != ""
 }
 
-// Run loads the dataset per the args and executes the inference.
-func Run(a Args) (*examl.Result, error) {
-	if err := Validate(a); err != nil {
-		return nil, err
-	}
+// loadDataset opens and parses the alignment named by the args.
+func loadDataset(a Args) (*examl.Dataset, error) {
 	if a.AlignPath == "" {
 		return nil, fmt.Errorf("an alignment is required (-s)")
 	}
@@ -100,23 +138,24 @@ func Run(a Args) (*examl.Result, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var d *examl.Dataset
 	if a.Binary {
-		d, err = examl.LoadBinary(f)
-	} else {
-		scheme := ""
-		if a.PartPath != "" {
-			raw, rerr := os.ReadFile(a.PartPath)
-			if rerr != nil {
-				return nil, rerr
-			}
-			scheme = string(raw)
+		return examl.LoadBinary(f)
+	}
+	scheme := ""
+	if a.PartPath != "" {
+		raw, rerr := os.ReadFile(a.PartPath)
+		if rerr != nil {
+			return nil, rerr
 		}
-		d, err = examl.LoadPhylip(f, scheme)
+		scheme = string(raw)
 	}
-	if err != nil {
-		return nil, err
-	}
+	return examl.LoadPhylip(f, scheme)
+}
+
+// inferConfig translates the args into an inference configuration
+// (everything except the trace writer, which owns a file handle).
+func inferConfig(a Args) (examl.Config, error) {
+	var cfg examl.Config
 	var rateModel examl.RateModel
 	switch a.ModelName {
 	case "GAMMA", "gamma":
@@ -124,13 +163,13 @@ func Run(a Args) (*examl.Result, error) {
 	case "PSR", "psr", "CAT", "cat":
 		rateModel = examl.PSR
 	default:
-		return nil, fmt.Errorf("unknown model %q (want GAMMA or PSR)", a.ModelName)
+		return cfg, fmt.Errorf("unknown model %q (want GAMMA or PSR)", a.ModelName)
 	}
 	startTree := ""
 	if a.TreePath != "" {
 		raw, err := os.ReadFile(a.TreePath)
 		if err != nil {
-			return nil, err
+			return cfg, err
 		}
 		startTree = string(raw)
 	}
@@ -145,13 +184,13 @@ func Run(a Args) (*examl.Result, error) {
 	case "HKY", "hky":
 		subst = examl.HKYModel
 	default:
-		return nil, fmt.Errorf("unknown substitution model %q", a.SubstName)
+		return cfg, fmt.Errorf("unknown substitution model %q", a.SubstName)
 	}
 	dist := examl.Cyclic
 	if a.MPS {
 		dist = examl.MPS
 	}
-	cfg := examl.Config{
+	return examl.Config{
 		Scheme:                    a.Scheme,
 		Ranks:                     a.Ranks,
 		Threads:                   a.Threads,
@@ -167,6 +206,28 @@ func Run(a Args) (*examl.Result, error) {
 		CheckpointPath:            a.Ckpt,
 		RestorePath:               a.Restore,
 		Telemetry:                 a.telemetryRequested(),
+	}, nil
+}
+
+func printBanner(a Args, d *examl.Dataset, cfg examl.Config) {
+	fmt.Printf("dataset: %d taxa, %d partitions, %d sites (%d patterns)\n",
+		d.NTaxa(), d.NPartitions(), d.Sites(), d.Patterns())
+	fmt.Printf("scheme: %s, %d ranks x %d threads, %s, %s distribution\n",
+		a.Scheme, a.Ranks, max(a.Threads, 1), cfg.RateModel, cfg.Distribution)
+}
+
+// Run loads the dataset per the args and executes the inference.
+func Run(a Args) (*examl.Result, error) {
+	if err := Validate(a); err != nil {
+		return nil, err
+	}
+	d, err := loadDataset(a)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := inferConfig(a)
+	if err != nil {
+		return nil, err
 	}
 	var traceBuf *bufio.Writer
 	if a.TracePath != "" {
@@ -179,10 +240,7 @@ func Run(a Args) (*examl.Result, error) {
 		defer traceBuf.Flush()
 		cfg.TraceWriter = traceBuf
 	}
-	fmt.Printf("dataset: %d taxa, %d partitions, %d sites (%d patterns)\n",
-		d.NTaxa(), d.NPartitions(), d.Sites(), d.Patterns())
-	fmt.Printf("scheme: %s, %d ranks x %d threads, %s, %s distribution\n",
-		a.Scheme, a.Ranks, max(a.Threads, 1), rateModel, dist)
+	printBanner(a, d, cfg)
 	res, err := examl.Infer(d, cfg)
 	if err != nil {
 		return nil, err

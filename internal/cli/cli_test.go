@@ -8,11 +8,11 @@ import (
 )
 
 func TestValidateAcceptsDefaults(t *testing.T) {
-	a := Args{Ranks: 1, Threads: 1}
+	a := Args{Ranks: 1, Threads: 1, NetRank: -1}
 	if err := Validate(a); err != nil {
 		t.Fatalf("default args rejected: %v", err)
 	}
-	a = Args{Ranks: 8, Threads: 4, RanksPerNode: 4, MaxIter: 10, Scheme: examl.Decentralized}
+	a = Args{Ranks: 8, Threads: 4, RanksPerNode: 4, MaxIter: 10, Scheme: examl.Decentralized, NetRank: -1}
 	if err := Validate(a); err != nil {
 		t.Fatalf("hybrid args rejected: %v", err)
 	}

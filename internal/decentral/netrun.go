@@ -1,0 +1,113 @@
+package decentral
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/mpi"
+	"repro/internal/msa"
+	"repro/internal/search"
+)
+
+// RunOnComm executes ONE rank of a de-centralized inference over an
+// existing communicator — in practice the TCP transport of
+// internal/mpinet, where every rank is a separate OS process. All ranks
+// of the world must call it with the same dataset and configuration;
+// cfg.Ranks is ignored in favor of c.Size(). cfg.Telemetry, if set,
+// describes this process alone: its rank-0 recorder instruments the
+// local engine regardless of c.Rank().
+//
+// The epilogue proves over the wire what the in-process Run checks in
+// shared memory: every replica's (lnL bits, Newick) must match rank 0's
+// exactly (§III-B). The returned RunStats is bit-identical on every
+// rank — Comm is rank 0's meter snapshot, frozen *before* the epilogue
+// traffic and then broadcast, so the Table-I per-class byte accounting
+// any process reports equals the in-process run of the same
+// configuration.
+//
+// A transport-level peer failure (heartbeat timeout, connection loss)
+// is returned as an error wrapping *mpinet.PeerDownError rather than a
+// panic; fault.RunNet unwraps it to drive survivor recovery.
+func RunOnComm(c *mpi.Comm, d *msa.Dataset, cfg RunConfig) (res *search.Result, stats *RunStats, err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		ce, ok := p.(*mpi.CommError)
+		if !ok {
+			panic(p)
+		}
+		res, stats = nil, nil
+		err = fmt.Errorf("decentral: rank %d: %w", c.Rank(), ce)
+	}()
+
+	counts := make([]int, d.NPartitions())
+	for i, p := range d.Parts {
+		counts[i] = p.NPatterns()
+	}
+	assign, err := distrib.Compute(cfg.Strategy, counts, c.Size())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	start := time.Now()
+	res, cols, clv, err := runRank(c, d, assign, cfg, cfg.Telemetry.Recorder(0))
+	if err != nil {
+		// A local failure. The caller closes the transport, which the
+		// peers observe as peer loss instead of hanging in a collective.
+		return nil, nil, fmt.Errorf("decentral: rank %d: %w", c.Rank(), err)
+	}
+	wall := time.Since(start)
+
+	// Freeze the Table-I accounting before any epilogue traffic.
+	frozen := c.Meter().Snapshot()
+
+	// §III-B replica-consistency check, now across real processes: byte
+	// equality of (lnL bits | Newick) against rank 0, with an OpMax
+	// reduction so every rank learns about a divergence anywhere.
+	mine := binary.LittleEndian.AppendUint64(nil, math.Float64bits(res.LnL))
+	mine = append(mine, res.Tree.Newick()...)
+	ref := c.BcastBytes(0, mine, mpi.ClassControl)
+	diverged := 0.0
+	if !bytes.Equal(ref, mine) {
+		diverged = 1
+	}
+	if flag := c.Allreduce([]float64{diverged}, mpi.OpMax, mpi.ClassControl); flag[0] != 0 {
+		if diverged != 0 {
+			return nil, nil, fmt.Errorf("decentral: replica divergence: rank %d lnL %v differs from rank 0", c.Rank(), res.LnL)
+		}
+		return nil, nil, fmt.Errorf("decentral: replica divergence detected on a peer of rank %d", c.Rank())
+	}
+
+	// Aggregate kernel-side stats, then broadcast rank 0's frozen meter
+	// so all ranks return identical accounting.
+	agg := c.Allreduce([]float64{float64(cols), clv}, mpi.OpSum, mpi.ClassControl)
+	maxCols := c.Allreduce([]float64{float64(cols)}, mpi.OpMax, mpi.ClassControl)
+	var meterJSON []byte
+	if c.Rank() == 0 {
+		if meterJSON, err = json.Marshal(frozen); err != nil {
+			return nil, nil, err
+		}
+	}
+	meterJSON = c.BcastBytes(0, meterJSON, mpi.ClassControl)
+	var comm mpi.Snapshot
+	if err := json.Unmarshal(meterJSON, &comm); err != nil {
+		return nil, nil, fmt.Errorf("decentral: decoding rank 0 meter: %w", err)
+	}
+
+	stats = &RunStats{
+		Comm:           comm,
+		Wall:           wall,
+		Ranks:          c.Size(),
+		MaxRankColumns: int64(maxCols[0]),
+		TotalColumns:   int64(agg[0]),
+		CLVBytesTotal:  agg[1],
+	}
+	return res, stats, nil
+}

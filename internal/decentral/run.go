@@ -49,6 +49,33 @@ type RunStats struct {
 	Ranks int
 }
 
+// runRank is the per-rank body shared by Run (one goroutine per rank)
+// and RunOnComm (one OS process per rank): build the engine replica,
+// run the identical search, report the kernel-side stats.
+func runRank(c *mpi.Comm, d *msa.Dataset, assign *distrib.Assignment, cfg RunConfig, rec *telemetry.Recorder) (*search.Result, int64, float64, error) {
+	eng, err := NewEngine(c, d, assign, EngineConfig{
+		Het:                  cfg.Search.Het,
+		Subst:                cfg.Search.Subst,
+		PerPartitionBranches: cfg.Search.PerPartitionBranches,
+		HybridRanksPerNode:   cfg.HybridRanksPerNode,
+		Threads:              cfg.Threads,
+		Recorder:             rec,
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer eng.Close()
+	scfg := cfg.Search
+	scfg.Telemetry = rec
+	s, err := search.NewSearcher(eng, d, scfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	res, err := s.Run()
+	cols, clv := eng.Stats()
+	return res, cols, clv, err
+}
+
 // Run executes a full de-centralized inference: every rank materializes
 // its share, builds a Searcher replica, and runs the identical algorithm;
 // results are cross-checked for the bit-level consistency the scheme
@@ -76,36 +103,16 @@ func Run(d *msa.Dataset, cfg RunConfig) (*search.Result, *RunStats, error) {
 	start := time.Now()
 	world.Run(func(c *mpi.Comm) {
 		rec := cfg.Telemetry.Recorder(c.Rank())
-		eng, err := NewEngine(c, d, assign, EngineConfig{
-			Het:                  cfg.Search.Het,
-			Subst:                cfg.Search.Subst,
-			PerPartitionBranches: cfg.Search.PerPartitionBranches,
-			HybridRanksPerNode:   cfg.HybridRanksPerNode,
-			Threads:              cfg.Threads,
-			Recorder:             rec,
-		})
-		if err == nil {
-			defer eng.Close()
-			scfg := cfg.Search
-			scfg.Telemetry = rec
-			var s *search.Searcher
-			s, err = search.NewSearcher(eng, d, scfg)
-			if err == nil {
-				var res *search.Result
-				res, err = s.Run()
-				cols, clv := eng.Stats()
-				mu.Lock()
-				results[c.Rank()] = res
-				columns[c.Rank()] = cols
-				clvBytes[c.Rank()] = clv
-				mu.Unlock()
-			}
-		}
+		res, cols, clv, err := runRank(c, d, assign, cfg, rec)
+		mu.Lock()
 		if err != nil {
-			mu.Lock()
 			errs[c.Rank()] = err
-			mu.Unlock()
+		} else {
+			results[c.Rank()] = res
+			columns[c.Rank()] = cols
+			clvBytes[c.Rank()] = clv
 		}
+		mu.Unlock()
 	})
 	wall := time.Since(start)
 

@@ -25,7 +25,7 @@ func (c *Comm) AllreduceHierarchical(data []float64, op Op, class CommClass, ran
 	}
 	t := c.rec.BeginCollective()
 	defer c.rec.EndCollective(int(class), t)
-	size := c.world.size
+	size := c.size
 	if ranksPerNode == 1 || size <= ranksPerNode {
 		return c.Allreduce(data, op, class)
 	}
@@ -38,24 +38,24 @@ func (c *Comm) AllreduceHierarchical(data []float64, op Op, class CommClass, ran
 
 	seq := c.nextSeq()
 	if c.rank == 0 {
-		c.world.meter.addOp(class, 8*len(data))
+		c.meter.addOp(class, 8*len(data))
 	}
 
 	// Phase 1: intra-node gather to the leader, combining in ascending
 	// member order.
 	if c.rank != leader {
-		c.send(leader, message{seq: seq, f64: data})
+		c.send(leader, Message{Seq: seq, F64: data})
 	}
 	var acc []float64
 	if c.rank == leader {
 		acc = append([]float64(nil), data...)
 		for r := leader + 1; r < last; r++ {
 			m := c.recv(r, seq)
-			if len(m.f64) != len(acc) {
-				panic(fmt.Sprintf("mpi: hierarchical reduce length mismatch: %d vs %d", len(m.f64), len(acc)))
+			if len(m.F64) != len(acc) {
+				panic(fmt.Sprintf("mpi: hierarchical reduce length mismatch: %d vs %d", len(m.F64), len(acc)))
 			}
 			for i := range acc {
-				acc[i] = op.apply(acc[i], m.f64[i])
+				acc[i] = op.apply(acc[i], m.F64[i])
 			}
 		}
 	}
@@ -69,16 +69,16 @@ func (c *Comm) AllreduceHierarchical(data []float64, op Op, class CommClass, ran
 			for l := ranksPerNode; l < size; l += ranksPerNode {
 				m := c.recv(l, seq2)
 				for i := range acc {
-					acc[i] = op.apply(acc[i], m.f64[i])
+					acc[i] = op.apply(acc[i], m.F64[i])
 				}
 			}
 			for l := ranksPerNode; l < size; l += ranksPerNode {
-				c.send(l, message{seq: seq2, f64: acc})
+				c.send(l, Message{Seq: seq2, F64: acc})
 			}
 		} else {
-			c.send(0, message{seq: seq2, f64: acc})
+			c.send(0, Message{Seq: seq2, F64: acc})
 			m := c.recv(0, seq2)
-			acc = m.f64
+			acc = m.F64
 		}
 	}
 
@@ -86,10 +86,10 @@ func (c *Comm) AllreduceHierarchical(data []float64, op Op, class CommClass, ran
 	seq3 := c.nextSeq()
 	if c.rank == leader {
 		for r := leader + 1; r < last; r++ {
-			c.send(r, message{seq: seq3, f64: acc})
+			c.send(r, Message{Seq: seq3, F64: acc})
 		}
 		return acc
 	}
 	m := c.recv(leader, seq3)
-	return m.f64
+	return m.F64
 }

@@ -100,17 +100,13 @@ func (o Op) apply(acc, v float64) float64 {
 	panic("mpi: unknown op")
 }
 
-// message is the transport unit.
-type message struct {
-	seq uint64
-	f64 []float64
-	raw []byte
-}
-
-// World is a communicator over a fixed set of ranks.
+// World is a communicator over a fixed set of in-process ranks wired by
+// the channel transport. Distributed worlds are built instead with
+// NewComm over an internal/mpinet TCP transport — the collectives are
+// identical; only the substrate differs.
 type World struct {
 	size  int
-	chans [][]chan message // chans[from][to]
+	chans [][]chan Message // chans[from][to]
 	meter *Meter
 }
 
@@ -120,11 +116,11 @@ func NewWorld(size int) *World {
 		panic(fmt.Sprintf("mpi: world size %d", size))
 	}
 	w := &World{size: size, meter: NewMeter()}
-	w.chans = make([][]chan message, size)
+	w.chans = make([][]chan Message, size)
 	for i := range w.chans {
-		w.chans[i] = make([]chan message, size)
+		w.chans[i] = make([]chan Message, size)
 		for j := range w.chans[i] {
-			w.chans[i][j] = make(chan message, 4)
+			w.chans[i][j] = make(chan Message, 4)
 		}
 	}
 	return w
@@ -168,13 +164,15 @@ func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.size {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
 	}
-	return &Comm{world: w, rank: rank}
+	return NewComm(&chanTransport{chans: w.chans, rank: rank}, rank, w.size, w.meter)
 }
 
 // Comm is one rank's endpoint. It must be used by a single goroutine.
 type Comm struct {
-	world *World
+	tr    Transport
 	rank  int
+	size  int
+	meter *Meter
 	seq   uint64
 	rec   *telemetry.Recorder
 }
@@ -190,30 +188,31 @@ func (c *Comm) SetRecorder(r *telemetry.Recorder) { c.rec = r }
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the world size.
-func (c *Comm) Size() int { return c.world.size }
+func (c *Comm) Size() int { return c.size }
 
-// Meter returns the shared meter.
-func (c *Comm) Meter() *Meter { return c.world.meter }
+// Meter returns the meter (shared across ranks in-process; per-process
+// over a network transport, where rank 0's meter carries the totals).
+func (c *Comm) Meter() *Meter { return c.meter }
 
-// send transmits a copied payload to rank `to`.
-func (c *Comm) send(to int, m message) {
-	if m.f64 != nil {
-		m.f64 = append([]float64(nil), m.f64...)
+// send transmits a payload to rank `to`; the transport owns (and, if it
+// must, copies) the payload. A transport failure raises *CommError.
+func (c *Comm) send(to int, m Message) {
+	if err := c.tr.Send(to, m); err != nil {
+		panic(&CommError{Rank: c.rank, Peer: to, Err: err})
 	}
-	if m.raw != nil {
-		m.raw = append([]byte(nil), m.raw...)
-	}
-	c.world.chans[c.rank][to] <- m
 }
 
 // recv blocks for the next message from rank `from` and asserts the
 // collective sequence number, catching protocol mismatches (ranks calling
 // collectives in different orders) immediately instead of silently
-// corrupting data.
-func (c *Comm) recv(from int, seq uint64) message {
-	m := <-c.world.chans[from][c.rank]
-	if m.seq != seq {
-		panic(fmt.Sprintf("mpi: rank %d: message from %d has seq %d, want %d (collective order mismatch)", c.rank, from, m.seq, seq))
+// corrupting data. A transport failure raises *CommError.
+func (c *Comm) recv(from int, seq uint64) Message {
+	m, err := c.tr.Recv(from)
+	if err != nil {
+		panic(&CommError{Rank: c.rank, Peer: from, Err: err})
+	}
+	if m.Seq != seq {
+		panic(fmt.Sprintf("mpi: rank %d: message from %d has seq %d, want %d (collective order mismatch)", c.rank, from, m.Seq, seq))
 	}
 	return m
 }
@@ -234,25 +233,25 @@ func (c *Comm) Barrier(class CommClass) {
 	t := c.rec.BeginCollective()
 	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
-	size := c.world.size
+	size := c.size
 	if size == 1 {
-		c.world.meter.addOp(class, 0)
+		c.meter.addOp(class, 0)
 		return
 	}
 	v := vrank(c.rank, 0, size)
 	// Reduce phase (children → parent), then broadcast phase.
 	for mask := 1; mask < size; mask <<= 1 {
 		if v&mask != 0 {
-			c.send(unvrank(v&^mask, 0, size), message{seq: seq})
+			c.send(unvrank(v&^mask, 0, size), Message{Seq: seq})
 			break
 		}
 		if v|mask < size {
 			c.recv(unvrank(v|mask, 0, size), seq)
 		}
 	}
-	c.bcastTree(seq, 0, message{seq: seq}, nil)
+	c.bcastTree(seq, 0, Message{Seq: seq}, nil)
 	if c.rank == 0 {
-		c.world.meter.addOp(class, 0)
+		c.meter.addOp(class, 0)
 	}
 }
 
@@ -261,8 +260,8 @@ func (c *Comm) Barrier(class CommClass) {
 // binomial broadcast: a vrank's parent clears its lowest set bit, and a
 // vrank forwards to v+2^j for every j below its lowest set bit (the whole
 // range for the root).
-func (c *Comm) bcastTree(seq uint64, root int, m message, out *message) {
-	size := c.world.size
+func (c *Comm) bcastTree(seq uint64, root int, m Message, out *Message) {
+	size := c.size
 	v := vrank(c.rank, root, size)
 	mask := 1
 	for mask < size {
@@ -292,14 +291,14 @@ func (c *Comm) Bcast(root int, data []float64, class CommClass) []float64 {
 	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	if c.rank == root {
-		c.world.meter.addOp(class, 8*len(data))
+		c.meter.addOp(class, 8*len(data))
 	}
-	if c.world.size == 1 {
+	if c.size == 1 {
 		return data
 	}
-	var out message
-	c.bcastTree(seq, root, message{seq: seq, f64: data}, &out)
-	return out.f64
+	var out Message
+	c.bcastTree(seq, root, Message{Seq: seq, F64: data}, &out)
+	return out.F64
 }
 
 // BcastBytes broadcasts a byte payload from root.
@@ -308,14 +307,14 @@ func (c *Comm) BcastBytes(root int, data []byte, class CommClass) []byte {
 	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	if c.rank == root {
-		c.world.meter.addOp(class, len(data))
+		c.meter.addOp(class, len(data))
 	}
-	if c.world.size == 1 {
+	if c.size == 1 {
 		return data
 	}
-	var out message
-	c.bcastTree(seq, root, message{seq: seq, raw: data}, &out)
-	return out.raw
+	var out Message
+	c.bcastTree(seq, root, Message{Seq: seq, Raw: data}, &out)
+	return out.Raw
 }
 
 // Reduce element-wise reduces data to root; root receives the result,
@@ -326,9 +325,9 @@ func (c *Comm) Reduce(root int, data []float64, op Op, class CommClass) []float6
 	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	if c.rank == root {
-		c.world.meter.addOp(class, 8*len(data))
+		c.meter.addOp(class, 8*len(data))
 	}
-	size := c.world.size
+	size := c.size
 	acc := append([]float64(nil), data...)
 	if size == 1 {
 		return acc
@@ -336,16 +335,16 @@ func (c *Comm) Reduce(root int, data []float64, op Op, class CommClass) []float6
 	v := vrank(c.rank, root, size)
 	for mask := 1; mask < size; mask <<= 1 {
 		if v&mask != 0 {
-			c.send(unvrank(v&^mask, root, size), message{seq: seq, f64: acc})
+			c.send(unvrank(v&^mask, root, size), Message{Seq: seq, F64: acc})
 			return nil
 		}
 		if v|mask < size {
 			m := c.recv(unvrank(v|mask, root, size), seq)
-			if len(m.f64) != len(acc) {
-				panic(fmt.Sprintf("mpi: reduce length mismatch: %d vs %d", len(m.f64), len(acc)))
+			if len(m.F64) != len(acc) {
+				panic(fmt.Sprintf("mpi: reduce length mismatch: %d vs %d", len(m.F64), len(acc)))
 			}
 			for i := range acc {
-				acc[i] = op.apply(acc[i], m.f64[i])
+				acc[i] = op.apply(acc[i], m.F64[i])
 			}
 		}
 	}
@@ -364,12 +363,12 @@ func (c *Comm) Allreduce(data []float64, op Op, class CommClass) []float64 {
 	// paper does: "an MPI_Allreduce on 3 MPI_DOUBLE values is counted as
 	// 24 bytes").
 	seq := c.nextSeq()
-	if c.world.size == 1 {
+	if c.size == 1 {
 		return red
 	}
-	var out message
-	c.bcastTree(seq, 0, message{seq: seq, f64: red}, &out)
-	return out.f64
+	var out Message
+	c.bcastTree(seq, 0, Message{Seq: seq, F64: red}, &out)
+	return out.F64
 }
 
 // AllreduceUnordered is the ablation variant: an allgather followed by a
@@ -384,23 +383,23 @@ func (c *Comm) AllreduceUnordered(data []float64, op Op, class CommClass) []floa
 	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
 	if c.rank == 0 {
-		c.world.meter.addOp(class, 8*len(data))
+		c.meter.addOp(class, 8*len(data))
 	}
-	size := c.world.size
+	size := c.size
 	if size == 1 {
 		return append([]float64(nil), data...)
 	}
 	// Allgather: everyone sends to everyone (naive exchange).
 	for to := 0; to < size; to++ {
 		if to != c.rank {
-			c.send(to, message{seq: seq, f64: data})
+			c.send(to, Message{Seq: seq, F64: data})
 		}
 	}
 	all := make([][]float64, size)
 	all[c.rank] = data
 	for from := 0; from < size; from++ {
 		if from != c.rank {
-			all[from] = c.recv(from, seq).f64
+			all[from] = c.recv(from, seq).F64
 		}
 	}
 	// Local sum starting at this rank's own contribution: the
@@ -422,7 +421,7 @@ func (c *Comm) Gatherv(root int, data []float64, class CommClass) [][]float64 {
 	t := c.rec.BeginCollective()
 	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
-	size := c.world.size
+	size := c.size
 	if c.rank == root {
 		out := make([][]float64, size)
 		total := len(data)
@@ -432,13 +431,13 @@ func (c *Comm) Gatherv(root int, data []float64, class CommClass) [][]float64 {
 				continue
 			}
 			m := c.recv(r, seq)
-			out[r] = m.f64
-			total += len(m.f64)
+			out[r] = m.F64
+			total += len(m.F64)
 		}
-		c.world.meter.addOp(class, 8*total)
+		c.meter.addOp(class, 8*total)
 		return out
 	}
-	c.send(root, message{seq: seq, f64: data})
+	c.send(root, Message{Seq: seq, F64: data})
 	return nil
 }
 
@@ -448,7 +447,7 @@ func (c *Comm) Scatterv(root int, parts [][]float64, class CommClass) []float64 
 	t := c.rec.BeginCollective()
 	defer c.rec.EndCollective(int(class), t)
 	seq := c.nextSeq()
-	size := c.world.size
+	size := c.size
 	if c.rank == root {
 		if len(parts) != size {
 			panic(fmt.Sprintf("mpi: scatterv got %d parts for %d ranks", len(parts), size))
@@ -459,11 +458,11 @@ func (c *Comm) Scatterv(root int, parts [][]float64, class CommClass) []float64 
 			if r == root {
 				continue
 			}
-			c.send(r, message{seq: seq, f64: parts[r]})
+			c.send(r, Message{Seq: seq, F64: parts[r]})
 		}
-		c.world.meter.addOp(class, 8*total)
+		c.meter.addOp(class, 8*total)
 		return append([]float64(nil), parts[root]...)
 	}
 	m := c.recv(root, seq)
-	return m.f64
+	return m.F64
 }

@@ -1,0 +1,119 @@
+package mpi
+
+import "fmt"
+
+// Message is the unit a Transport moves between ranks. Seq is the
+// collective sequence number (asserted on receipt to catch ranks calling
+// collectives in different orders); exactly one of F64/Raw is normally
+// set, but transports must preserve both, including the nil/empty
+// distinction.
+type Message struct {
+	// Seq is the sender's collective sequence number.
+	Seq uint64
+	// F64 is a float64 payload (reductions, broadcasts of parameters).
+	F64 []float64
+	// Raw is a byte payload (descriptors, opcodes, serialized state).
+	Raw []byte
+}
+
+// Transport is the point-to-point substrate a Comm runs on. The
+// collectives (binomial-tree Bcast/Reduce/Allreduce, Barrier, Gatherv,
+// Scatterv) are written purely against this interface, so the same
+// deterministic algorithms run unchanged over Go channels (the
+// in-process World) and over TCP (internal/mpinet).
+//
+// Contract:
+//
+//   - Send(to, m) delivers m to rank `to` in order. The transport owns
+//     the payload after Send returns; implementations that can alias
+//     caller memory (in-process channels) must copy.
+//   - Recv(from) blocks for the next message from rank `from`. Messages
+//     from distinct peers are independent streams; there is no global
+//     ordering.
+//   - Both return an error only when the peer is unreachable (process
+//     death, connection loss, shutdown). The in-process transport never
+//     fails; the TCP transport surfaces *mpinet.PeerDownError values
+//     that the fault-recovery layer unwraps.
+//   - Close releases resources; in-flight Recvs fail.
+type Transport interface {
+	Send(to int, m Message) error
+	Recv(from int) (Message, error)
+	Close() error
+}
+
+// CommError is the panic value a Comm raises when its transport fails
+// mid-collective. Collectives keep their no-error signatures (they
+// cannot make progress after a lost peer anyway); drivers that support
+// recovery — decentral.RunOnComm, fault.RunNet — recover the panic,
+// unwrap the transport error, and hand the failure to the survivor
+// path.
+type CommError struct {
+	// Rank is the local rank that observed the failure.
+	Rank int
+	// Peer is the remote rank the failed Send/Recv addressed.
+	Peer int
+	// Err is the transport's error (errors.As-compatible with
+	// *mpinet.PeerDownError for TCP peer loss).
+	Err error
+}
+
+// Error implements error.
+func (e *CommError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: transport failure talking to rank %d: %v", e.Rank, e.Peer, e.Err)
+}
+
+// Unwrap exposes the transport error to errors.Is/As.
+func (e *CommError) Unwrap() error { return e.Err }
+
+// chanTransport is the in-process implementation: a shared matrix of
+// buffered channels, one per ordered rank pair. It never fails.
+type chanTransport struct {
+	chans [][]chan Message // chans[from][to]
+	rank  int
+}
+
+// Send copies the payload (the in-process sender may mutate its buffers
+// after the call) and enqueues it.
+func (t *chanTransport) Send(to int, m Message) error {
+	if m.F64 != nil {
+		m.F64 = append([]float64(nil), m.F64...)
+	}
+	if m.Raw != nil {
+		m.Raw = append([]byte(nil), m.Raw...)
+	}
+	t.chans[t.rank][to] <- m
+	return nil
+}
+
+// Recv blocks on the peer's channel.
+func (t *chanTransport) Recv(from int) (Message, error) {
+	return <-t.chans[from][t.rank], nil
+}
+
+// Close is a no-op: the channels are shared by the whole world and are
+// garbage-collected with it.
+func (t *chanTransport) Close() error { return nil }
+
+// NewComm builds a communicator endpoint for one rank of a size-rank
+// world over an arbitrary transport. Every rank of the world must use
+// the same size and a transport wired to the same peer set. The meter
+// accumulates Table-I byte/op accounting; because every collective
+// meters at its root (rank 0 throughout both engines), rank 0's meter
+// over a distributed transport is bit-identical to the shared meter of
+// an in-process World.
+func NewComm(t Transport, rank, size int, meter *Meter) *Comm {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: world size %d", size))
+	}
+	if rank < 0 || rank >= size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, size))
+	}
+	if meter == nil {
+		meter = NewMeter()
+	}
+	return &Comm{tr: t, rank: rank, size: size, meter: meter}
+}
+
+// Close releases the underlying transport. In-process Comms share their
+// world's channels and need no teardown; network Comms close sockets.
+func (c *Comm) Close() error { return c.tr.Close() }

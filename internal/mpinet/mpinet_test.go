@@ -1,0 +1,375 @@
+package mpinet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// reserveAddr picks a free loopback port. The tiny close-to-rebind race
+// is acceptable in tests.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// makeWorld forms a size-rank TCP world over loopback, one Transport
+// per "process" (goroutine here).
+func makeWorld(t *testing.T, size int, mut func(cfg *Config)) []*Transport {
+	t.Helper()
+	addr := reserveAddr(t)
+	ts := make([]*Transport, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := Config{
+				Rank:              rank,
+				Size:              size,
+				Addr:              addr,
+				Nonce:             0xFEEDFACE,
+				RendezvousTimeout: 10 * time.Second,
+			}
+			if mut != nil {
+				mut(&cfg)
+			}
+			ts[rank], errs[rank] = Connect(cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: connect: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tr := range ts {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	})
+	return ts
+}
+
+// collectiveScript runs a fixed sequence of every collective with
+// reduction-order-sensitive payloads and returns the observed values.
+func collectiveScript(c *mpi.Comm) map[string][]float64 {
+	rank, size := c.Rank(), c.Size()
+	vec := func(n int, salt float64) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			// Non-associativity bait: mixed magnitudes per rank.
+			v[i] = math.Sqrt(float64(rank*31+i+2)) * math.Pow(10, float64((rank+i)%7-3)) * salt
+		}
+		return v
+	}
+	out := map[string][]float64{}
+	c.Barrier(mpi.ClassControl)
+	out["bcast"] = c.Bcast(0, vec(5, 1), mpi.ClassModelParams)
+	out["allreduce"] = c.Allreduce(vec(7, 1.5), mpi.OpSum, mpi.ClassLikelihoodEval)
+	out["allreduce-min"] = c.Allreduce(vec(3, -2), mpi.OpMin, mpi.ClassBranchLength)
+	red := c.Reduce(0, vec(4, 0.25), mpi.OpSum, mpi.ClassBranchLength)
+	if rank == 0 {
+		out["reduce"] = red
+	}
+	gathered := c.Gatherv(0, vec(rank+1, 3), mpi.ClassDataDistribution)
+	if rank == 0 {
+		var flat []float64
+		for _, g := range gathered {
+			flat = append(flat, g...)
+		}
+		out["gatherv"] = flat
+	}
+	var parts [][]float64
+	if rank == 0 {
+		parts = make([][]float64, size)
+		for r := range parts {
+			parts[r] = vec(r+2, 7)
+		}
+	}
+	out["scatterv"] = c.Scatterv(0, parts, mpi.ClassDataDistribution)
+	raw := c.BcastBytes(0, []byte(fmt.Sprintf("opcode-from-0")), mpi.ClassControl)
+	out["bcastbytes"] = []float64{float64(len(raw))}
+	if size >= 4 {
+		out["hier"] = c.AllreduceHierarchical(vec(6, 0.5), mpi.OpSum, mpi.ClassLikelihoodEval, 2)
+	}
+	c.Barrier(mpi.ClassControl)
+	return out
+}
+
+// TestTCPCollectivesMatchInProcess is the load-bearing bit-identity
+// check: every collective over loopback TCP must return the exact bits
+// the in-process channel transport returns, and rank 0's meter must
+// match the in-process shared meter class for class.
+func TestTCPCollectivesMatchInProcess(t *testing.T) {
+	const size = 4
+
+	// Reference: in-process channel transport.
+	world := mpi.NewWorld(size)
+	want := make([]map[string][]float64, size)
+	world.Run(func(c *mpi.Comm) { want[c.Rank()] = collectiveScript(c) })
+	wantMeter := world.Meter().Snapshot()
+
+	// TCP over loopback, one transport per rank.
+	ts := makeWorld(t, size, nil)
+	got := make([]map[string][]float64, size)
+	meters := make([]*mpi.Meter, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		meters[r] = mpi.NewMeter()
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := mpi.NewComm(ts[rank], rank, size, meters[rank])
+			got[rank] = collectiveScript(c)
+		}(r)
+	}
+	wg.Wait()
+
+	for r := 0; r < size; r++ {
+		for key, wv := range want[r] {
+			gv, ok := got[r][key]
+			if !ok || len(gv) != len(wv) {
+				t.Fatalf("rank %d %s: got %d values, want %d", r, key, len(gv), len(wv))
+			}
+			for i := range wv {
+				if math.Float64bits(gv[i]) != math.Float64bits(wv[i]) {
+					t.Errorf("rank %d %s[%d]: bits %016x != %016x", r, key, i,
+						math.Float64bits(gv[i]), math.Float64bits(wv[i]))
+				}
+			}
+		}
+	}
+	if gotMeter := meters[0].Snapshot(); gotMeter != wantMeter {
+		t.Errorf("rank-0 TCP meter differs from in-process meter:\nTCP:\n%v\nin-process:\n%v", gotMeter, wantMeter)
+	}
+	var zero mpi.Snapshot
+	for r := 1; r < size; r++ {
+		if s := meters[r].Snapshot(); s != zero {
+			t.Errorf("rank %d meter should be empty (all collectives meter at the root), got:\n%v", r, s)
+		}
+	}
+}
+
+func TestHeartbeatDetectsSilentPeer(t *testing.T) {
+	ts := makeWorld(t, 2, func(cfg *Config) {
+		cfg.HeartbeatInterval = 20 * time.Millisecond
+		cfg.HeartbeatTimeout = 200 * time.Millisecond
+	})
+	// Rank 1 wedges: alive at the TCP level but no longer heartbeating.
+	ts[1].heartbeatsSuspended.Store(true)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ts[0].Recv(1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var pd *PeerDownError
+		if !errors.As(err, &pd) {
+			t.Fatalf("want *PeerDownError, got %v", err)
+		}
+		if pd.Peer != 1 || !strings.Contains(pd.Reason, "heartbeat timeout") {
+			t.Fatalf("want heartbeat-timeout failure for peer 1, got %v", pd)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("silent peer never detected")
+	}
+}
+
+func TestPeerCrashSurfacesAsPeerDown(t *testing.T) {
+	ts := makeWorld(t, 3, func(cfg *Config) {
+		cfg.HeartbeatInterval = 20 * time.Millisecond
+		cfg.HeartbeatTimeout = time.Second
+	})
+	// Rank 2 crashes: sockets die without a goodbye.
+	for _, p := range ts[2].conns {
+		if p != nil {
+			p.c.Close()
+		}
+	}
+	for _, rank := range []int{0, 1} {
+		_, err := ts[rank].Recv(2)
+		var pd *PeerDownError
+		if !errors.As(err, &pd) || pd.Peer != 2 {
+			t.Fatalf("rank %d: want *PeerDownError for peer 2, got %v", rank, err)
+		}
+	}
+}
+
+func TestGracefulCloseWhileExpectingTrafficIsPeerDown(t *testing.T) {
+	ts := makeWorld(t, 2, nil)
+	ts[1].Close()
+	_, err := ts[0].Recv(1)
+	var pd *PeerDownError
+	if !errors.As(err, &pd) || pd.Peer != 1 {
+		t.Fatalf("want *PeerDownError for peer 1, got %v", err)
+	}
+}
+
+func TestRendezvousTimesOutWithMissingPeer(t *testing.T) {
+	addr := reserveAddr(t)
+	start := time.Now()
+	_, err := Connect(Config{
+		Rank: 0, Size: 2, Addr: addr, Nonce: 1,
+		RendezvousTimeout: 300 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("rank 0 formed a world without its peer")
+	}
+	if !strings.Contains(err.Error(), "timed out") || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error should name the timeout and the missing ranks: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("rendezvous hung for %v instead of honoring the timeout", elapsed)
+	}
+}
+
+func TestDialFailsAfterBoundedRetries(t *testing.T) {
+	addr := reserveAddr(t) // nothing listens here
+	start := time.Now()
+	_, err := Connect(Config{
+		Rank: 1, Size: 2, Addr: addr, Nonce: 1,
+		DialTimeout:       100 * time.Millisecond,
+		DialRetries:       2,
+		RendezvousTimeout: 10 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("dial to a dead rendezvous address succeeded")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error should count the bounded attempts: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("dial retried for %v instead of giving up", elapsed)
+	}
+}
+
+func TestNonceMismatchRejectsStaleWorker(t *testing.T) {
+	addr := reserveAddr(t)
+	var wg sync.WaitGroup
+	var rootErr, staleErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, rootErr = Connect(Config{Rank: 0, Size: 2, Addr: addr, Nonce: 111,
+			RendezvousTimeout: 1500 * time.Millisecond})
+	}()
+	go func() {
+		defer wg.Done()
+		_, staleErr = Connect(Config{Rank: 1, Size: 2, Addr: addr, Nonce: 222,
+			RendezvousTimeout: 1500 * time.Millisecond})
+	}()
+	wg.Wait()
+	if rootErr == nil {
+		t.Error("rank 0 accepted a worker with the wrong run nonce")
+	}
+	if staleErr == nil {
+		t.Error("the stale worker thought it joined the run")
+	}
+}
+
+func TestRecoverReformsSurvivorWorld(t *testing.T) {
+	addr := reserveAddr(t)
+	base := func(rank int) Config {
+		return Config{
+			Rank: rank, Size: 3, Addr: addr, Nonce: 77,
+			HeartbeatInterval: 20 * time.Millisecond,
+			HeartbeatTimeout:  500 * time.Millisecond,
+			RecoveryWindow:    700 * time.Millisecond,
+			RendezvousTimeout: 10 * time.Second,
+		}
+	}
+	ts := make([]*Transport, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ts[rank], errs[rank] = Connect(base(rank))
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	// Rank 1 dies hard.
+	for _, p := range ts[1].conns {
+		if p != nil {
+			p.c.Close()
+		}
+	}
+
+	worlds := make([]*RecoveredWorld, 3)
+	recErrs := make([]error, 3)
+	for _, r := range []int{0, 2} {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ts[rank].Close()
+			worlds[rank], recErrs[rank] = Recover(base(rank), 1, uint64(10+rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, r := range []int{0, 2} {
+		if recErrs[r] != nil {
+			t.Fatalf("survivor %d: recover: %v", r, recErrs[r])
+		}
+		w := worlds[r]
+		defer w.Transport.Close()
+		if w.Size != 2 {
+			t.Fatalf("survivor %d: recovered world size %d, want 2", r, w.Size)
+		}
+		if len(w.Metas) != 2 || len(w.OldRanks) != 2 {
+			t.Fatalf("survivor %d: incomplete membership metadata %v %v", r, w.Metas, w.OldRanks)
+		}
+	}
+	// The two survivors see consistent membership (old ranks 0 and 2,
+	// metas 10 and 12, in the same order).
+	w0, w2 := worlds[0], worlds[2]
+	for i := 0; i < 2; i++ {
+		if w0.OldRanks[i] != w2.OldRanks[i] || w0.Metas[i] != w2.Metas[i] {
+			t.Fatalf("survivors disagree on membership: %v/%v vs %v/%v",
+				w0.OldRanks, w0.Metas, w2.OldRanks, w2.Metas)
+		}
+	}
+	if w0.OldRanks[0]+w0.OldRanks[1] != 2 { // {0,2} in some order
+		t.Fatalf("unexpected survivor set %v", w0.OldRanks)
+	}
+	// The new world moves traffic: a tiny Allreduce across survivors.
+	results := make([][]float64, 2)
+	for i, w := range []*RecoveredWorld{w0, w2} {
+		wg.Add(1)
+		go func(i int, w *RecoveredWorld) {
+			defer wg.Done()
+			c := mpi.NewComm(w.Transport, w.Rank, w.Size, nil)
+			results[i] = c.Allreduce([]float64{float64(w.Rank + 1)}, mpi.OpSum, mpi.ClassControl)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if len(res) != 1 || res[0] != 3 {
+			t.Fatalf("survivor %d: allreduce over recovered world = %v, want [3]", i, res)
+		}
+	}
+}

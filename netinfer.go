@@ -1,0 +1,183 @@
+package examl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/decentral"
+	"repro/internal/fault"
+	"repro/internal/forkjoin"
+	"repro/internal/mpi"
+	"repro/internal/mpinet"
+	"repro/internal/search"
+	"repro/internal/telemetry"
+)
+
+// NetConfig places one OS process in a multi-process world connected
+// over TCP (internal/mpinet). Every process of a run must use the same
+// Size, Addr, and Nonce; Rank must be unique. Config.Ranks is ignored
+// in network mode — the world size is Size.
+type NetConfig struct {
+	// Rank is this process's rank, 0 ≤ Rank < Size. Rank 0 listens on
+	// Addr; all others dial it.
+	Rank int
+	// Size is the world size (number of processes).
+	Size int
+	// Addr is the rendezvous address (host:port of rank 0).
+	Addr string
+	// Nonce identifies the run: the rendezvous rejects processes
+	// carrying a different nonce, so a stale worker from a previous
+	// launch cannot join.
+	Nonce uint64
+	// MaxRecoveries is the survivor-recovery budget for the
+	// decentralized scheme: how many times the world may re-form after
+	// peer failures before giving up. 0 means a lost peer fails the run.
+	// Fork-join runs ignore it (a lost process is fatal there — the
+	// asymmetry the paper calls out).
+	MaxRecoveries int
+	// HeartbeatInterval and HeartbeatTimeout tune failure detection;
+	// zero values use the mpinet defaults.
+	HeartbeatInterval, HeartbeatTimeout time.Duration
+}
+
+// NetResult is the per-process outcome of a network run.
+type NetResult struct {
+	// Result is the inference outcome. Under the decentralized scheme it
+	// is present — and bit-identical, including the communication
+	// accounting — on every rank; under fork-join it is nil on worker
+	// ranks (only the master holds the tree).
+	Result *Result
+	// Rank and Size are this process's position in the world that
+	// completed the run (they differ from NetConfig after a recovery).
+	Rank, Size int
+	// Epochs is the number of worlds this process participated in
+	// (1 = no failure).
+	Epochs int
+	// Recovered reports whether the run resumed from a replica
+	// checkpoint after losing peers.
+	Recovered bool
+	// ResumedIteration is the iteration the recovery resumed from.
+	ResumedIteration int
+}
+
+// InferNet runs this process's rank of a multi-process inference over
+// TCP. It is the network-transport counterpart of Infer: the same
+// search, the same deterministic collectives, the same Table-I
+// accounting — but each rank is an OS process, launched by
+// `examl -net-launch` or by hand with matching -net-* flags.
+//
+// Under the decentralized scheme, peer failures detected by the mpinet
+// heartbeats trigger survivor recovery (up to nc.MaxRecoveries): the
+// world re-forms on the recovery port, the newest replica checkpoint is
+// broadcast, and the search resumes on the reduced world.
+func InferNet(d *Dataset, cfg Config, nc NetConfig) (*NetResult, error) {
+	if nc.Size < 1 {
+		return nil, fmt.Errorf("examl: net world size %d", nc.Size)
+	}
+	if nc.Rank < 0 || nc.Rank >= nc.Size {
+		return nil, fmt.Errorf("examl: net rank %d outside world of %d", nc.Rank, nc.Size)
+	}
+	if nc.Addr == "" {
+		return nil, fmt.Errorf("examl: net mode needs a rendezvous address")
+	}
+	scfg, err := searchConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var collector *telemetry.Collector
+	if cfg.Telemetry || cfg.TraceWriter != nil {
+		// One recorder: the collector describes this process alone.
+		collector = telemetry.NewCollector(1, int(mpi.NumCommClasses), cfg.TraceWriter)
+	}
+	netCfg := mpinet.Config{
+		Rank:              nc.Rank,
+		Size:              nc.Size,
+		Addr:              nc.Addr,
+		Nonce:             nc.Nonce,
+		HeartbeatInterval: nc.HeartbeatInterval,
+		HeartbeatTimeout:  nc.HeartbeatTimeout,
+	}
+
+	switch cfg.Scheme {
+	case Decentralized:
+		res, stats, report, err := fault.RunNet(d.d, fault.NetPlan{
+			Net: netCfg,
+			Run: decentral.RunConfig{
+				Search:             scfg,
+				Strategy:           strategyOf(cfg),
+				HybridRanksPerNode: cfg.HybridRanksPerNode,
+				Threads:            cfg.Threads,
+				Telemetry:          collector,
+			},
+			MaxRecoveries: nc.MaxRecoveries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &NetResult{
+			Result:           netResult(res, stats.Comm, stats.Wall, report.FinalSize, statsTrace(stats), collector, cfg),
+			Rank:             report.FinalRank,
+			Size:             report.FinalSize,
+			Epochs:           report.Epochs,
+			Recovered:        report.Recovered,
+			ResumedIteration: report.ResumedIteration,
+		}, nil
+
+	case ForkJoin:
+		tr, err := mpinet.Connect(netCfg)
+		if err != nil {
+			return nil, err
+		}
+		comm := mpi.NewComm(tr, nc.Rank, nc.Size, mpi.NewMeter())
+		defer comm.Close()
+		res, stats, err := forkjoin.RunOnComm(comm, d.d, forkjoin.RunConfig{
+			Search:    scfg,
+			Strategy:  strategyOf(cfg),
+			Threads:   cfg.Threads,
+			Telemetry: collector,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := &NetResult{Rank: nc.Rank, Size: nc.Size, Epochs: 1}
+		if res != nil {
+			out.Result = netResult(res, stats.Comm, stats.Wall, nc.Size, cluster.Trace{
+				Comm:           stats.Comm,
+				MaxRankColumns: stats.MaxRankColumns,
+				TotalColumns:   stats.TotalColumns,
+				MeasuredRanks:  stats.Ranks,
+				CLVBytesTotal:  stats.CLVBytesTotal,
+			}, collector, cfg)
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("examl: unknown scheme %d", cfg.Scheme)
+	}
+}
+
+func statsTrace(s *decentral.RunStats) cluster.Trace {
+	return cluster.Trace{
+		Comm:           s.Comm,
+		MaxRankColumns: s.MaxRankColumns,
+		TotalColumns:   s.TotalColumns,
+		MeasuredRanks:  s.Ranks,
+		CLVBytesTotal:  s.CLVBytesTotal,
+	}
+}
+
+// netResult assembles the public Result exactly as Infer does.
+func netResult(res *search.Result, comm mpi.Snapshot, wall time.Duration, ranks int, trace cluster.Trace, collector *telemetry.Collector, cfg Config) *Result {
+	return &Result{
+		Tree:                      res.Tree.Newick(),
+		LogLikelihood:             res.LnL,
+		PerPartitionLogLikelihood: res.PerPartitionLnL,
+		Iterations:                res.Iterations,
+		Comm:                      makeCommReport(comm),
+		WallSeconds:               wall.Seconds(),
+		Ranks:                     ranks,
+		Telemetry:                 finalizeTelemetry(collector, wall, cfg.Threads, comm),
+		trace:                     trace,
+	}
+}
