@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/decentral"
@@ -210,9 +211,14 @@ func BenchmarkAblationDistribution(b *testing.B) {
 
 func benchKernel(b *testing.B, het model.Heterogeneity) (*likelihood.Kernel, *tree.Tree, []likelihood.Step) {
 	b.Helper()
+	return benchKernelSized(b, het, 5000)
+}
+
+func benchKernelSized(b *testing.B, het model.Heterogeneity, nSites int) (*likelihood.Kernel, *tree.Tree, []likelihood.Step) {
+	b.Helper()
 	res, err := seqgen.Generate(seqgen.Config{
 		NTaxa: 32,
-		Specs: []seqgen.Spec{{Name: "g", NSites: 5000, Alpha: 0.8}},
+		Specs: []seqgen.Spec{{Name: "g", NSites: nSites, Alpha: 0.8}},
 		Seed:  5,
 	})
 	if err != nil {
@@ -292,12 +298,19 @@ const gammaFlopsPerColumn = 4 * 4 * 15
 // BenchmarkKernelThreadsGamma measures the Γ kernels (full traversal +
 // evaluation) at increasing intra-rank thread counts — the single-rank
 // speedup axis of the §V hybrid scheme. Results are bit-identical across
-// the sub-benchmarks; only wall clock changes. Speedup tracks physical
-// core count, so it is only visible on multi-core hardware.
+// the sub-benchmarks; only wall clock changes. The reported speedup
+// metric is serial ns/op over this thread count's ns/op; it tracks
+// physical core count, so it saturates at GOMAXPROCS (also reported, so
+// a flat curve on single-core CI is distinguishable from a regression).
 func BenchmarkKernelThreadsGamma(b *testing.B) {
+	var serialNs float64
 	for _, threads := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("T=%d", threads), func(b *testing.B) {
 			k, tr, steps := benchKernel(b, model.Gamma)
+			nb := threadpool.NumBlocks(k.NPatterns())
+			if nb < 2 {
+				b.Fatalf("pattern range spans %d block(s); dataset too small to exercise the pool", nb)
+			}
 			pool := threadpool.New(threads)
 			defer pool.Close()
 			k.SetPool(pool)
@@ -308,9 +321,110 @@ func BenchmarkKernelThreadsGamma(b *testing.B) {
 				k.Traverse(steps)
 				k.Evaluate(p, q, 0.1)
 			}
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if threads == 1 {
+				serialNs = nsPerOp
+			}
+			if serialNs > 0 && nsPerOp > 0 {
+				b.ReportMetric(serialNs/nsPerOp, "speedup")
+			}
 			b.ReportMetric(float64(threads), "threads")
+			b.ReportMetric(float64(nb), "blocks")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 			cols := k.NPatterns() * (len(steps) + 1) // traversal + evaluation columns
 			b.ReportMetric(float64(cols*gammaFlopsPerColumn), "flops/op")
+		})
+	}
+}
+
+// ---------- specialized fast paths (docs/PERFORMANCE.md) ----------
+
+// innerOnly filters a traversal to its inner-inner steps (both operands
+// CLVs) — the workload the tip fast paths cannot touch.
+func innerOnly(steps []likelihood.Step) []likelihood.Step {
+	var out []likelihood.Step
+	for _, st := range steps {
+		if !st.A.Tip && !st.B.Tip {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// BenchmarkKernelFastPathGamma measures the tip-specialized Γ newview
+// kernels against the generic path on two workloads: the full traversal
+// of a 32-taxon tree (tip-heavy — most vertices have a tip child) and
+// its inner-inner steps only (inner-heavy — the fast path never fires).
+// Both variants produce bit-identical CLVs; the fast rows report their
+// speedup over the paired generic row.
+func BenchmarkKernelFastPathGamma(b *testing.B) {
+	type workload struct {
+		name  string
+		strip bool
+	}
+	for _, w := range []workload{{"tip-heavy", false}, {"inner-heavy", true}} {
+		var genericNs float64
+		for _, fast := range []bool{false, true} {
+			mode := "generic"
+			if fast {
+				mode = "fast"
+			}
+			b.Run(w.name+"/"+mode, func(b *testing.B) {
+				// 1200 sites keeps the three CLVs of one newview inside
+				// the L2 cache, so the benchmark measures arithmetic
+				// (which the fast path removes), not CLV write bandwidth
+				// (which it cannot).
+				k, _, steps := benchKernelSized(b, model.Gamma, 1200)
+				if w.strip {
+					steps = innerOnly(steps)
+					if len(steps) == 0 {
+						b.Fatal("traversal has no inner-inner steps")
+					}
+				}
+				k.SetFastPath(fast)
+				k.SetPCache(fast)
+				b.ResetTimer()
+				for b.Loop() {
+					k.Traverse(steps)
+				}
+				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if !fast {
+					genericNs = nsPerOp
+				} else if genericNs > 0 && nsPerOp > 0 {
+					b.ReportMetric(genericNs/nsPerOp, "speedup")
+				}
+				b.ReportMetric(float64(k.NPatterns()*len(steps)), "columns/op")
+			})
+		}
+	}
+}
+
+// BenchmarkKernelPCacheGamma measures the P-matrix cache on a small
+// partition (where per-call P(t) setup is a visible fraction of kernel
+// time, the regime the paper's MPS distribution targets). Every
+// iteration replays the same traversal, so after the first the cache
+// serves every branch length; the cached row reports its speedup over
+// the uncached row.
+func BenchmarkKernelPCacheGamma(b *testing.B) {
+	var offNs float64
+	for _, cached := range []bool{false, true} {
+		mode := "cache=off"
+		if cached {
+			mode = "cache=on"
+		}
+		b.Run(mode, func(b *testing.B) {
+			k, _, steps := benchKernelSized(b, model.Gamma, 64)
+			k.SetPCache(cached)
+			b.ResetTimer()
+			for b.Loop() {
+				k.Traverse(steps)
+			}
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if !cached {
+				offNs = nsPerOp
+			} else if offNs > 0 && nsPerOp > 0 {
+				b.ReportMetric(offNs/nsPerOp, "speedup")
+			}
 		})
 	}
 }

@@ -91,12 +91,30 @@ func (l *Local) SetRecorder(r *telemetry.Recorder) {
 }
 
 // Close releases the rank's worker pool (no-op for serial ranks) after
-// harvesting its utilization counters into the telemetry recorder.
-// Idempotent; the kernels must not be used afterwards.
+// harvesting its utilization counters and the kernels' fast-path/cache
+// counters into the telemetry recorder. Idempotent; the kernels must not
+// be used afterwards.
 func (l *Local) Close() {
 	if l.rec != nil && l.poolStats != nil {
 		l.rec.SetPool(l.pool.Threads(), l.poolStats.Runs(), l.poolStats.Blocks())
 		l.poolStats = nil
+	}
+	if l.rec != nil {
+		var fp likelihood.FastPathStats
+		for _, k := range l.Kernels {
+			s := k.FastPath()
+			fp.NewviewTipTip += s.NewviewTipTip
+			fp.NewviewTipInner += s.NewviewTipInner
+			fp.NewviewInner += s.NewviewInner
+			fp.EvaluateTip += s.EvaluateTip
+			fp.EvaluateGeneric += s.EvaluateGeneric
+			fp.PrepareTip += s.PrepareTip
+			fp.PrepareGeneric += s.PrepareGeneric
+			fp.PCacheHits += s.PCacheHits
+			fp.PCacheMisses += s.PCacheMisses
+		}
+		l.rec.SetKernelPerf(fp.FastOps(), fp.GenericOps(), fp.PCacheHits, fp.PCacheMisses)
+		l.rec = nil
 	}
 	l.pool.Close()
 }
@@ -363,6 +381,9 @@ func (l *Local) ApplySiteRates(res *SiteRateResolution) {
 		for c := range res.CatRates[p] {
 			par.CatRates[c] = res.CatRates[p][c] / f
 		}
+		// Category rates changed without a Rebuild: advance the parameter
+		// generation so the kernel's P-matrix cache self-invalidates.
+		par.BumpGeneration()
 		k.InvalidateAll()
 	}
 }

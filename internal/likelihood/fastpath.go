@@ -1,0 +1,241 @@
+package likelihood
+
+import "math"
+
+// This file holds the kernel fast-path layer (docs/PERFORMANCE.md): the
+// keyed P-matrix cache and the tip-state lookup tables that specialize
+// the three kernels when an operand is a tip. Both optimizations are
+// bit-identical to the generic path by construction:
+//
+//   - a P-cache hit returns the exact doubles the miss path computed for
+//     the same (branch length, parameter generation) key, and
+//   - every tip-table entry is computed by the very expression the
+//     generic per-site loop would evaluate inline, so a table read yields
+//     the same bits as the computation it replaces.
+//
+// Neither switch may therefore change a single bit of any CLV, likelihood
+// or derivative (asserted by fastpath_test.go), which keeps the repo-wide
+// determinism contract (docs/DETERMINISM.md) intact.
+
+// maxPCacheEntries bounds the per-kernel P-matrix cache. When the bound
+// is reached the cache simply stops inserting (no eviction): a
+// deterministic policy whose behavior cannot depend on iteration order.
+// 1024 entries × up to 25 categories × 16 doubles is a few MB worst
+// case, and the cache resets on every parameter-generation change.
+const maxPCacheEntries = 1024
+
+// FastPathStats counts fast-path dispatch and P-matrix cache activity.
+// All counters are out-of-band: they never influence a computed value.
+type FastPathStats struct {
+	// NewviewTipTip / NewviewTipInner / NewviewInner count Newview calls
+	// by operand shape (tip-inner includes inner-tip).
+	NewviewTipTip, NewviewTipInner, NewviewInner int64
+	// EvaluateTip counts Evaluate calls whose far operand (q) was a tip;
+	// EvaluateGeneric the rest. (The near operand needs no P product, so
+	// only q's shape selects a kernel.)
+	EvaluateTip, EvaluateGeneric int64
+	// PrepareTip counts sum-table preparations with at least one tip
+	// operand; PrepareGeneric the rest.
+	PrepareTip, PrepareGeneric int64
+	// PCacheHits / PCacheMisses / PCacheResets count P-matrix cache
+	// activity; a reset drops the whole cache after a parameter change.
+	PCacheHits, PCacheMisses, PCacheResets int64
+}
+
+// FastOps returns the number of kernel calls that took a specialized
+// tip path.
+func (s FastPathStats) FastOps() int64 {
+	return s.NewviewTipTip + s.NewviewTipInner + s.EvaluateTip + s.PrepareTip
+}
+
+// GenericOps returns the number of kernel calls that took the generic
+// (all-inner) path.
+func (s FastPathStats) GenericOps() int64 {
+	return s.NewviewInner + s.EvaluateGeneric + s.PrepareGeneric
+}
+
+// SetFastPath toggles the tip-specialized kernels (on by default).
+// Results are bit-identical either way; the switch exists for identity
+// tests and benchmarking.
+func (k *Kernel) SetFastPath(on bool) { k.fastOn = on }
+
+// SetPCache toggles the P-matrix cache (on by default). Bit-identical
+// either way.
+func (k *Kernel) SetPCache(on bool) {
+	k.pcOn = on
+	if !on {
+		k.pcache = nil
+	}
+}
+
+// FastPath returns the kernel's fast-path and cache counters.
+func (k *Kernel) FastPath() FastPathStats { return k.fp }
+
+// pmScratch returns scratch buffer i sized for the active category count.
+// Newview needs two P-matrix sets live at once, hence two buffers.
+func (k *Kernel) pmScratch(i int) [][ns * ns]float64 {
+	need := len(k.par.CatRates)
+	if cap(k.pmScr[i]) < need {
+		k.pmScr[i] = make([][ns * ns]float64, need)
+	}
+	k.pmScr[i] = k.pmScr[i][:need]
+	return k.pmScr[i]
+}
+
+// probMatricesFor returns the per-category P(t) matrices for branch
+// length t, consulting the cache when enabled. The returned slice is
+// read-only for the caller (it may be cache-owned and shared). scratch
+// selects which scratch buffer an uncached computation fills.
+func (k *Kernel) probMatricesFor(t float64, scratch int) [][ns * ns]float64 {
+	if !k.pcOn {
+		dst := k.pmScratch(scratch)
+		k.probMatrices(t, dst)
+		return dst
+	}
+	if g := k.par.Generation(); g != k.pcGen {
+		k.pcGen = g
+		if len(k.pcache) > 0 {
+			k.pcache = nil
+			k.fp.PCacheResets++
+		}
+	}
+	key := math.Float64bits(t)
+	if m, ok := k.pcache[key]; ok {
+		k.fp.PCacheHits++
+		return m
+	}
+	m := make([][ns * ns]float64, len(k.par.CatRates))
+	k.probMatrices(t, m)
+	k.fp.PCacheMisses++
+	if k.pcache == nil {
+		k.pcache = make(map[uint64][][ns * ns]float64)
+	}
+	if len(k.pcache) < maxPCacheEntries {
+		k.pcache[key] = m
+	}
+	return m
+}
+
+// tipTabScratch returns tip-table scratch buffer i sized for the active
+// category count (16 ambiguity codes × 4 states per category).
+func (k *Kernel) tipTabScratch(i, cats int) []float64 {
+	need := cats * 16 * ns
+	if cap(k.tipTabScr[i]) < need {
+		k.tipTabScr[i] = make([]float64, need)
+	}
+	k.tipTabScr[i] = k.tipTabScr[i][:need]
+	return k.tipTabScr[i]
+}
+
+// fillTipTable precomputes, for every (category, ambiguity code) pair,
+// the P·tipVec product vector the Newview/Evaluate inner loops need:
+//
+//	dst[(c·16+code)·4+x] = Σ_y pm[c][x·4+y] · tipVec[code][y]
+//
+// The sum is written as the exact four-term expression the generic
+// per-site loop evaluates, so reading the table is bit-identical to
+// computing the product inline.
+func (k *Kernel) fillTipTable(dst []float64, pm [][ns * ns]float64) {
+	for c := range pm {
+		pc := &pm[c]
+		for code := 0; code < 16; code++ {
+			v := &k.tipVec[code]
+			off := (c*16 + code) * ns
+			for x := 0; x < ns; x++ {
+				dst[off+x] = pc[x*ns]*v[0] + pc[x*ns+1]*v[1] + pc[x*ns+2]*v[2] + pc[x*ns+3]*v[3]
+			}
+		}
+	}
+}
+
+// pairTabScratch returns the (category × codeA × codeB) pair-product
+// table scratch used by the tip-tip Γ newview kernel.
+func (k *Kernel) pairTabScratch(cats int) []float64 {
+	need := cats * 16 * 16 * ns
+	if cap(k.pairTabScr) < need {
+		k.pairTabScr = make([]float64, need)
+	}
+	k.pairTabScr = k.pairTabScr[:need]
+	return k.pairTabScr
+}
+
+// fillPairTable composes two tip tables into the full per-(codeA, codeB)
+// CLV column a tip-tip site with that code pair would get, scaling
+// decision included:
+//
+//	dst[((ca·16+cb)·C + c)·4+x] = tabA[(c·16+ca)·4+x] · tabB[(c·16+cb)·4+x]
+//
+// followed by the generic block's exact scaling test and (if triggered)
+// the exact ·ScaleFactor pass over the pair's column, with the resulting
+// scale count recorded in dsc[ca·16+cb]. A tip-tip site's CLV values and
+// scale count depend only on its code pair, so the per-site work
+// collapses to a 4·C-double copy plus one int32 store — every double
+// having been produced by the same operations, on the same operands, in
+// the same order as the generic per-site loop.
+func (k *Kernel) fillPairTable(dst []float64, dsc *[256]int32, tabA, tabB []float64, cats int) {
+	for ca := 0; ca < 16; ca++ {
+		for cb := 0; cb < 16; cb++ {
+			poff := (ca*16 + cb) * cats * ns
+			needScale := true
+			for c := 0; c < cats; c++ {
+				aoff := (c*16 + ca) * ns
+				boff := (c*16 + cb) * ns
+				for x := 0; x < ns; x++ {
+					v := tabA[aoff+x] * tabB[boff+x]
+					dst[poff+c*ns+x] = v
+					if v >= ScaleThreshold || v != v {
+						needScale = false
+					}
+				}
+			}
+			var sc int32
+			if needScale {
+				for j := poff; j < poff+cats*ns; j++ {
+					dst[j] *= ScaleFactor
+				}
+				sc = 1
+			}
+			dsc[ca*16+cb] = sc
+		}
+	}
+}
+
+// prepTabScratch returns the two derivative-preparation tip tables
+// (16 codes × 4 eigenvalues each; no category dependence).
+func (k *Kernel) prepTabScratch() (p, q []float64) {
+	if k.prepTabP == nil {
+		k.prepTabP = make([]float64, 16*ns)
+		k.prepTabQ = make([]float64, 16*ns)
+	}
+	return k.prepTabP, k.prepTabQ
+}
+
+// fillPrepTipP precomputes the p-side sum-table coefficient for every
+// ambiguity code: dst[code·4+k] = Σ_x π_x·tipVec[code][x]·U[x·4+k],
+// written as the exact expression of the generic loop.
+func (k *Kernel) fillPrepTipP(dst []float64) {
+	e := k.par.Eigen
+	freqs := &k.par.Freqs
+	for code := 0; code < 16; code++ {
+		vp := &k.tipVec[code]
+		off := code * ns
+		for kk := 0; kk < ns; kk++ {
+			dst[off+kk] = freqs[0]*vp[0]*e.U[0*ns+kk] + freqs[1]*vp[1]*e.U[1*ns+kk] +
+				freqs[2]*vp[2]*e.U[2*ns+kk] + freqs[3]*vp[3]*e.U[3*ns+kk]
+		}
+	}
+}
+
+// fillPrepTipQ precomputes the q-side sum-table coefficient for every
+// ambiguity code: dst[code·4+k] = Σ_y U⁻¹[k·4+y]·tipVec[code][y].
+func (k *Kernel) fillPrepTipQ(dst []float64) {
+	e := k.par.Eigen
+	for code := 0; code < 16; code++ {
+		vq := &k.tipVec[code]
+		off := code * ns
+		for kk := 0; kk < ns; kk++ {
+			dst[off+kk] = e.UInv[kk*ns]*vq[0] + e.UInv[kk*ns+1]*vq[1] +
+				e.UInv[kk*ns+2]*vq[2] + e.UInv[kk*ns+3]*vq[3]
+		}
+	}
+}

@@ -13,23 +13,58 @@ const gammaCats = model.GammaCategories
 // across branch lengths ta and tb under the Γ model. Pattern blocks run
 // on the kernel's pool; each block writes a disjoint CLV range, so the
 // result is identical at every thread count.
+//
+// When a child is a tip and the fast path is enabled, the per-site
+// P·tipVec product is replaced by a table read (fastpath.go); the table
+// entries are computed by the exact expression of the generic loop, so
+// the dispatch never changes a bit of the result.
 func (k *Kernel) newviewGamma(dst int32, a, b NodeRef, ta, tb float64) {
-	var pa, pb [gammaCats][ns * ns]float64
-	k.probMatrices(ta, pa[:])
-	k.probMatrices(tb, pb[:])
+	pa := k.probMatricesFor(ta, 0)
+	pb := k.probMatricesFor(tb, 1)
 
 	dclv, dscale := k.slot(dst)
 	oa, ob := k.operand(a), k.operand(b)
 	parts := k.blocks()
-	k.pool.Run(k.nPat, func(blk, lo, hi int) {
-		k.newviewGammaBlock(dclv, dscale, oa, ob, &pa, &pb, lo, hi)
-		parts[blk].cols = int64(hi-lo) * gammaCats
-	})
+	if k.fastOn && oa.tips != nil && ob.tips != nil {
+		k.fp.NewviewTipTip++
+		tabA := k.tipTabScratch(0, gammaCats)
+		k.fillTipTable(tabA, pa)
+		tabB := k.tipTabScratch(1, gammaCats)
+		k.fillTipTable(tabB, pb)
+		pair := k.pairTabScratch(gammaCats)
+		k.fillPairTable(pair, &k.pairScaleScr, tabA, tabB, gammaCats)
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			k.newviewGammaTipTipBlock(dclv, dscale, oa, ob, pair, &k.pairScaleScr, lo, hi)
+			parts[blk].cols = int64(hi-lo) * gammaCats
+		})
+	} else if k.fastOn && (oa.tips != nil || ob.tips != nil) {
+		k.fp.NewviewTipInner++
+		var tabA, tabB []float64
+		if oa.tips != nil {
+			tabA = k.tipTabScratch(0, gammaCats)
+			k.fillTipTable(tabA, pa)
+		}
+		if ob.tips != nil {
+			tabB = k.tipTabScratch(1, gammaCats)
+			k.fillTipTable(tabB, pb)
+		}
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			k.newviewGammaTipInnerBlock(dclv, dscale, oa, ob, tabA, tabB, pa, pb, lo, hi)
+			parts[blk].cols = int64(hi-lo) * gammaCats
+		})
+	} else {
+		k.fp.NewviewInner++
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			k.newviewGammaBlock(dclv, dscale, oa, ob, pa, pb, lo, hi)
+			parts[blk].cols = int64(hi-lo) * gammaCats
+		})
+	}
 	k.flops.Newview += joinCols(parts)
 }
 
-// newviewGammaBlock is the per-block worker of newviewGamma.
-func (k *Kernel) newviewGammaBlock(dclv []float64, dscale []int32, oa, ob operand, pa, pb *[gammaCats][ns * ns]float64, lo, hi int) {
+// newviewGammaBlock is the generic (inner-inner) per-block worker of
+// newviewGamma.
+func (k *Kernel) newviewGammaBlock(dclv []float64, dscale []int32, oa, ob operand, pa, pb [][ns * ns]float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		var sc int32
 		if oa.scale != nil {
@@ -78,21 +113,124 @@ func (k *Kernel) newviewGammaBlock(dclv []float64, dscale []int32, oa, ob operan
 	}
 }
 
+// newviewGammaTipTipBlock is the tip-tip per-block worker: a site's
+// whole CLV column (scaling already applied) is a contiguous copy from
+// the pair-product table and its scale count a table read — zero
+// per-site arithmetic, bit-identical to the generic block by the
+// fillPairTable construction.
+func (k *Kernel) newviewGammaTipTipBlock(dclv []float64, dscale []int32, oa, ob operand, pair []float64, psc *[256]int32, lo, hi int) {
+	tipsA, tipsB := oa.tips, ob.tips
+	const colLen = gammaCats * ns
+	for i := lo; i < hi; i++ {
+		pi := int(tipsA[i])*16 + int(tipsB[i])
+		copy(dclv[i*colLen:(i+1)*colLen], pair[pi*colLen:(pi+1)*colLen])
+		dscale[i] = psc[pi]
+	}
+}
+
+// newviewGammaTipInnerBlock is the mixed per-block worker: the tip side
+// reads its precomputed P·tipVec table, the inner side evaluates the
+// same dot product the generic block does. Each per-state factor is
+// produced by the identical expression either way, and the final product
+// keeps the a·b order, so the CLV bits match the generic block exactly.
+func (k *Kernel) newviewGammaTipInnerBlock(dclv []float64, dscale []int32, oa, ob operand, tabA, tabB []float64, pa, pb [][ns * ns]float64, lo, hi int) {
+	if oa.tips != nil {
+		tips, clv, scale := oa.tips, ob.clv, ob.scale
+		for i := lo; i < hi; i++ {
+			var sc int32
+			if scale != nil {
+				sc = scale[i]
+			}
+			needScale := true
+			base := i * gammaCats * ns
+			code := int(tips[i])
+			for c := 0; c < gammaCats; c++ {
+				off := base + c*ns
+				toff := (c*16 + code) * ns
+				pcb := &pb[c]
+				vb0, vb1, vb2, vb3 := clv[off], clv[off+1], clv[off+2], clv[off+3]
+				for x := 0; x < ns; x++ {
+					la := tabA[toff+x]
+					lb := pcb[x*ns]*vb0 + pcb[x*ns+1]*vb1 + pcb[x*ns+2]*vb2 + pcb[x*ns+3]*vb3
+					v := la * lb
+					dclv[off+x] = v
+					if v >= ScaleThreshold || v != v {
+						needScale = false
+					}
+				}
+			}
+			if needScale {
+				for j := base; j < base+gammaCats*ns; j++ {
+					dclv[j] *= ScaleFactor
+				}
+				sc++
+			}
+			dscale[i] = sc
+		}
+		return
+	}
+	tips, clv, scale := ob.tips, oa.clv, oa.scale
+	for i := lo; i < hi; i++ {
+		var sc int32
+		if scale != nil {
+			sc = scale[i]
+		}
+		needScale := true
+		base := i * gammaCats * ns
+		code := int(tips[i])
+		for c := 0; c < gammaCats; c++ {
+			off := base + c*ns
+			toff := (c*16 + code) * ns
+			pca := &pa[c]
+			va0, va1, va2, va3 := clv[off], clv[off+1], clv[off+2], clv[off+3]
+			for x := 0; x < ns; x++ {
+				la := pca[x*ns]*va0 + pca[x*ns+1]*va1 + pca[x*ns+2]*va2 + pca[x*ns+3]*va3
+				lb := tabB[toff+x]
+				v := la * lb
+				dclv[off+x] = v
+				if v >= ScaleThreshold || v != v {
+					needScale = false
+				}
+			}
+		}
+		if needScale {
+			for j := base; j < base+gammaCats*ns; j++ {
+				dclv[j] *= ScaleFactor
+			}
+			sc++
+		}
+		dscale[i] = sc
+	}
+}
+
 // evaluateGamma returns the weighted log likelihood summed over the local
 // patterns for a virtual root on the edge (p, q) of length t. Per-block
 // partial sums are combined in block-index order after the join, so the
 // total is bit-identical to the serial kernel at every thread count.
+//
+// Only the far operand q needs the P product, so the fast path dispatches
+// on q being a tip.
 func (k *Kernel) evaluateGamma(p, q NodeRef, t float64) float64 {
-	var pm [gammaCats][ns * ns]float64
-	k.probMatrices(t, pm[:])
+	pm := k.probMatricesFor(t, 0)
 	catW := k.par.CatWeight()
 
 	op, oq := k.operand(p), k.operand(q)
 	parts := k.blocks()
-	k.pool.Run(k.nPat, func(blk, lo, hi int) {
-		parts[blk].lnL = k.evaluateGammaBlock(op, oq, &pm, catW, lo, hi)
-		parts[blk].cols = int64(hi-lo) * gammaCats
-	})
+	if k.fastOn && oq.tips != nil {
+		k.fp.EvaluateTip++
+		tab := k.tipTabScratch(1, gammaCats)
+		k.fillTipTable(tab, pm)
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			parts[blk].lnL = k.evaluateGammaTipBlock(op, oq, tab, catW, lo, hi)
+			parts[blk].cols = int64(hi-lo) * gammaCats
+		})
+	} else {
+		k.fp.EvaluateGeneric++
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			parts[blk].lnL = k.evaluateGammaBlock(op, oq, pm, catW, lo, hi)
+			parts[blk].cols = int64(hi-lo) * gammaCats
+		})
+	}
 	total := 0.0
 	for b := range parts {
 		total += parts[b].lnL
@@ -101,8 +239,8 @@ func (k *Kernel) evaluateGamma(p, q NodeRef, t float64) float64 {
 	return total
 }
 
-// evaluateGammaBlock is the per-block worker of evaluateGamma.
-func (k *Kernel) evaluateGammaBlock(op, oq operand, pm *[gammaCats][ns * ns]float64, catW float64, lo, hi int) float64 {
+// evaluateGammaBlock is the generic per-block worker of evaluateGamma.
+func (k *Kernel) evaluateGammaBlock(op, oq operand, pm [][ns * ns]float64, catW float64, lo, hi int) float64 {
 	freqs := &k.par.Freqs
 	total := 0.0
 	for i := lo; i < hi; i++ {
@@ -141,9 +279,43 @@ func (k *Kernel) evaluateGammaBlock(op, oq operand, pm *[gammaCats][ns * ns]floa
 	return total
 }
 
+// evaluateGammaTipBlock is the q-tip per-block worker of evaluateGamma:
+// the per-site P·tipVec dot product becomes a table read whose entries
+// were computed by the generic expression, keeping the sum bit-identical.
+func (k *Kernel) evaluateGammaTipBlock(op, oq operand, tab []float64, catW float64, lo, hi int) float64 {
+	freqs := &k.par.Freqs
+	total := 0.0
+	for i := lo; i < hi; i++ {
+		site := 0.0
+		base := i * gammaCats * ns
+		code := int(oq.tips[i])
+		for c := 0; c < gammaCats; c++ {
+			var vp [ns]float64
+			if op.tips != nil {
+				vp = k.tipVec[op.tips[i]]
+			} else {
+				off := base + c*ns
+				vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
+			}
+			toff := (c*16 + code) * ns
+			for x := 0; x < ns; x++ {
+				site += freqs[x] * vp[x] * tab[toff+x] * catW
+			}
+		}
+		var sc int32
+		if op.scale != nil {
+			sc += op.scale[i]
+		}
+		lnl := math.Log(site) + float64(sc)*LogScaleStep
+		total += float64(k.data.Weights[i]) * lnl
+	}
+	return total
+}
+
 // prepareDerivativesGamma fills the sum table for the edge (p, q):
 // sumTab[((i·C)+c)·4+k] = (Σ_x π_x clvP_x U_{xk}) · (Σ_y U⁻¹_{ky} clvQ_y).
-// Blocks write disjoint sum-table ranges.
+// Blocks write disjoint sum-table ranges. Tip operands use the
+// category-free prep tables from fastpath.go.
 func (k *Kernel) prepareDerivativesGamma(p, q NodeRef) {
 	need := k.nPat * gammaCats * ns
 	if cap(k.sumTab) < need {
@@ -153,15 +325,32 @@ func (k *Kernel) prepareDerivativesGamma(p, q NodeRef) {
 
 	op, oq := k.operand(p), k.operand(q)
 	parts := k.blocks()
-	k.pool.Run(k.nPat, func(blk, lo, hi int) {
-		k.prepareGammaBlock(op, oq, lo, hi)
-		parts[blk].cols = int64(hi-lo) * gammaCats
-	})
+	if k.fastOn && (op.tips != nil || oq.tips != nil) {
+		k.fp.PrepareTip++
+		tabP, tabQ := k.prepTabScratch()
+		if op.tips != nil {
+			k.fillPrepTipP(tabP)
+		}
+		if oq.tips != nil {
+			k.fillPrepTipQ(tabQ)
+		}
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			k.prepareGammaFastBlock(op, oq, tabP, tabQ, lo, hi)
+			parts[blk].cols = int64(hi-lo) * gammaCats
+		})
+	} else {
+		k.fp.PrepareGeneric++
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			k.prepareGammaBlock(op, oq, lo, hi)
+			parts[blk].cols = int64(hi-lo) * gammaCats
+		})
+	}
 	k.prepared = true
 	k.flops.Derivative += joinCols(parts)
 }
 
-// prepareGammaBlock is the per-block worker of prepareDerivativesGamma.
+// prepareGammaBlock is the generic per-block worker of
+// prepareDerivativesGamma.
 func (k *Kernel) prepareGammaBlock(op, oq operand, lo, hi int) {
 	e := k.par.Eigen
 	freqs := &k.par.Freqs
@@ -188,6 +377,45 @@ func (k *Kernel) prepareGammaBlock(op, oq operand, lo, hi int) {
 				bq := e.UInv[kk*ns]*vq[0] + e.UInv[kk*ns+1]*vq[1] +
 					e.UInv[kk*ns+2]*vq[2] + e.UInv[kk*ns+3]*vq[3]
 				k.sumTab[off+kk] = ap * bq
+			}
+		}
+	}
+}
+
+// prepareGammaFastBlock is the tip-specialized per-block worker: a tip
+// side reads its prep table (entries computed by the generic expression),
+// an inner side evaluates the generic expression in place; the final
+// ap·bq product order is unchanged, so the sum table bits match.
+func (k *Kernel) prepareGammaFastBlock(op, oq operand, tabP, tabQ []float64, lo, hi int) {
+	e := k.par.Eigen
+	freqs := &k.par.Freqs
+	for i := lo; i < hi; i++ {
+		base := i * gammaCats * ns
+		for c := 0; c < gammaCats; c++ {
+			off := base + c*ns
+			var ap, bq [ns]float64
+			if op.tips != nil {
+				poff := int(op.tips[i]) * ns
+				ap[0], ap[1], ap[2], ap[3] = tabP[poff], tabP[poff+1], tabP[poff+2], tabP[poff+3]
+			} else {
+				vp0, vp1, vp2, vp3 := op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
+				for kk := 0; kk < ns; kk++ {
+					ap[kk] = freqs[0]*vp0*e.U[0*ns+kk] + freqs[1]*vp1*e.U[1*ns+kk] +
+						freqs[2]*vp2*e.U[2*ns+kk] + freqs[3]*vp3*e.U[3*ns+kk]
+				}
+			}
+			if oq.tips != nil {
+				qoff := int(oq.tips[i]) * ns
+				bq[0], bq[1], bq[2], bq[3] = tabQ[qoff], tabQ[qoff+1], tabQ[qoff+2], tabQ[qoff+3]
+			} else {
+				vq0, vq1, vq2, vq3 := oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
+				for kk := 0; kk < ns; kk++ {
+					bq[kk] = e.UInv[kk*ns]*vq0 + e.UInv[kk*ns+1]*vq1 +
+						e.UInv[kk*ns+2]*vq2 + e.UInv[kk*ns+3]*vq3
+				}
+			}
+			for kk := 0; kk < ns; kk++ {
+				k.sumTab[off+kk] = ap[kk] * bq[kk]
 			}
 		}
 	}

@@ -96,6 +96,28 @@ type Kernel struct {
 	// reused across calls (kernel calls within a rank are serial).
 	blockAcc []blockPartial
 
+	// Fast-path state (fastpath.go). fastOn enables the tip-specialized
+	// kernels, pcOn the keyed P-matrix cache; both default to on and both
+	// are bit-identical to the generic path.
+	fastOn bool
+	pcOn   bool
+	// pcache maps Float64bits(branch length) → per-category P matrices,
+	// valid for parameter generation pcGen only.
+	pcache map[uint64][][ns * ns]float64
+	pcGen  uint64
+	// pmScr are the two cache-off P-matrix scratch buffers (Newview needs
+	// two sets live at once); tipTabScr the two tip-table buffers;
+	// prepTabP/Q the derivative-preparation tip tables.
+	pmScr     [2][][ns * ns]float64
+	tipTabScr [2][]float64
+	// pairTabScr / pairScaleScr are the tip-tip pair-product table and
+	// its per-pair scale counts (Γ newview).
+	pairTabScr   []float64
+	pairScaleScr [256]int32
+	prepTabP     []float64
+	prepTabQ     []float64
+	fp           FastPathStats
+
 	flops FlopCount
 }
 
@@ -179,6 +201,8 @@ func NewKernel(data *msa.PartitionData, par *model.Params, nInner int) (*Kernel,
 		nInner: nInner,
 		clv:    make([][]float64, nInner),
 		scale:  make([][]int32, nInner),
+		fastOn: true,
+		pcOn:   true,
 	}
 	for s := msa.State(1); s <= 15; s++ {
 		k.tipVec[s] = s.TipVector()
@@ -225,12 +249,15 @@ func (k *Kernel) slot(i int32) ([]float64, []int32) {
 
 // InvalidateAll drops all CLVs (used after model changes that the caller
 // follows with a full traversal, and by fault-recovery redistribution).
+// The P-matrix cache is dropped too: InvalidateAll callers may mutate
+// parameters (site rates) without a Rebuild.
 func (k *Kernel) InvalidateAll() {
 	for i := range k.clv {
 		k.clv[i] = nil
 		k.scale[i] = nil
 	}
 	k.prepared = false
+	k.pcache = nil
 }
 
 // probMatrices fills one P matrix per rate category for branch length t.

@@ -10,30 +10,49 @@ import (
 //
 // Like the Γ kernels, every PSR kernel executes its pattern range in
 // fixed-size blocks on the kernel's pool; writes are block-disjoint and
-// reductions combine per-block partials in block-index order.
-
-func (k *Kernel) psrMatrices(t float64) [][ns * ns]float64 {
-	ps := make([][ns * ns]float64, len(k.par.CatRates))
-	k.probMatrices(t, ps)
-	return ps
-}
+// reductions combine per-block partials in block-index order. The tip
+// fast paths and P-matrix cache mirror gamma.go: identical expressions,
+// identical bits (fastpath.go).
 
 // newviewPSR computes the CLV at inner slot dst under the PSR model.
 func (k *Kernel) newviewPSR(dst int32, a, b NodeRef, ta, tb float64) {
-	pa := k.psrMatrices(ta)
-	pb := k.psrMatrices(tb)
+	pa := k.probMatricesFor(ta, 0)
+	pb := k.probMatricesFor(tb, 1)
 
 	dclv, dscale := k.slot(dst)
 	oa, ob := k.operand(a), k.operand(b)
 	parts := k.blocks()
-	k.pool.Run(k.nPat, func(blk, lo, hi int) {
-		k.newviewPSRBlock(dclv, dscale, oa, ob, pa, pb, lo, hi)
-		parts[blk].cols = int64(hi - lo)
-	})
+	if k.fastOn && (oa.tips != nil || ob.tips != nil) {
+		if oa.tips != nil && ob.tips != nil {
+			k.fp.NewviewTipTip++
+		} else {
+			k.fp.NewviewTipInner++
+		}
+		nc := len(k.par.CatRates)
+		var tabA, tabB []float64
+		if oa.tips != nil {
+			tabA = k.tipTabScratch(0, nc)
+			k.fillTipTable(tabA, pa)
+		}
+		if ob.tips != nil {
+			tabB = k.tipTabScratch(1, nc)
+			k.fillTipTable(tabB, pb)
+		}
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			k.newviewPSRFastBlock(dclv, dscale, oa, ob, tabA, tabB, pa, pb, lo, hi)
+			parts[blk].cols = int64(hi - lo)
+		})
+	} else {
+		k.fp.NewviewInner++
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			k.newviewPSRBlock(dclv, dscale, oa, ob, pa, pb, lo, hi)
+			parts[blk].cols = int64(hi - lo)
+		})
+	}
 	k.flops.Newview += joinCols(parts)
 }
 
-// newviewPSRBlock is the per-block worker of newviewPSR.
+// newviewPSRBlock is the generic per-block worker of newviewPSR.
 func (k *Kernel) newviewPSRBlock(dclv []float64, dscale []int32, oa, ob operand, pa, pb [][ns * ns]float64, lo, hi int) {
 	cats := k.par.SiteCats
 	for i := lo; i < hi; i++ {
@@ -79,17 +98,81 @@ func (k *Kernel) newviewPSRBlock(dclv []float64, dscale []int32, oa, ob operand,
 	}
 }
 
+// newviewPSRFastBlock is the tip-specialized per-block worker of
+// newviewPSR; see newviewGammaFastBlock for the bit-identity argument.
+func (k *Kernel) newviewPSRFastBlock(dclv []float64, dscale []int32, oa, ob operand, tabA, tabB []float64, pa, pb [][ns * ns]float64, lo, hi int) {
+	cats := k.par.SiteCats
+	for i := lo; i < hi; i++ {
+		var sc int32
+		if oa.scale != nil {
+			sc += oa.scale[i]
+		}
+		if ob.scale != nil {
+			sc += ob.scale[i]
+		}
+		c := cats[i]
+		off := i * ns
+		var la, lb [ns]float64
+		if oa.tips != nil {
+			toff := (c*16 + int(oa.tips[i])) * ns
+			la[0], la[1], la[2], la[3] = tabA[toff], tabA[toff+1], tabA[toff+2], tabA[toff+3]
+		} else {
+			pca := &pa[c]
+			va0, va1, va2, va3 := oa.clv[off], oa.clv[off+1], oa.clv[off+2], oa.clv[off+3]
+			for x := 0; x < ns; x++ {
+				la[x] = pca[x*ns]*va0 + pca[x*ns+1]*va1 + pca[x*ns+2]*va2 + pca[x*ns+3]*va3
+			}
+		}
+		if ob.tips != nil {
+			toff := (c*16 + int(ob.tips[i])) * ns
+			lb[0], lb[1], lb[2], lb[3] = tabB[toff], tabB[toff+1], tabB[toff+2], tabB[toff+3]
+		} else {
+			pcb := &pb[c]
+			vb0, vb1, vb2, vb3 := ob.clv[off], ob.clv[off+1], ob.clv[off+2], ob.clv[off+3]
+			for x := 0; x < ns; x++ {
+				lb[x] = pcb[x*ns]*vb0 + pcb[x*ns+1]*vb1 + pcb[x*ns+2]*vb2 + pcb[x*ns+3]*vb3
+			}
+		}
+		needScale := true
+		for x := 0; x < ns; x++ {
+			v := la[x] * lb[x]
+			dclv[off+x] = v
+			if v >= ScaleThreshold || v != v {
+				needScale = false
+			}
+		}
+		if needScale {
+			for x := 0; x < ns; x++ {
+				dclv[off+x] *= ScaleFactor
+			}
+			sc++
+		}
+		dscale[i] = sc
+	}
+}
+
 // evaluatePSR returns the weighted log likelihood for a virtual root on
 // (p, q) with branch length t.
 func (k *Kernel) evaluatePSR(p, q NodeRef, t float64) float64 {
-	pm := k.psrMatrices(t)
+	pm := k.probMatricesFor(t, 0)
 
 	op, oq := k.operand(p), k.operand(q)
 	parts := k.blocks()
-	k.pool.Run(k.nPat, func(blk, lo, hi int) {
-		parts[blk].lnL = k.evaluatePSRBlock(op, oq, pm, lo, hi)
-		parts[blk].cols = int64(hi - lo)
-	})
+	if k.fastOn && oq.tips != nil {
+		k.fp.EvaluateTip++
+		tab := k.tipTabScratch(1, len(k.par.CatRates))
+		k.fillTipTable(tab, pm)
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			parts[blk].lnL = k.evaluatePSRTipBlock(op, oq, tab, lo, hi)
+			parts[blk].cols = int64(hi - lo)
+		})
+	} else {
+		k.fp.EvaluateGeneric++
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			parts[blk].lnL = k.evaluatePSRBlock(op, oq, pm, lo, hi)
+			parts[blk].cols = int64(hi - lo)
+		})
+	}
 	total := 0.0
 	for b := range parts {
 		total += parts[b].lnL
@@ -98,7 +181,7 @@ func (k *Kernel) evaluatePSR(p, q NodeRef, t float64) float64 {
 	return total
 }
 
-// evaluatePSRBlock is the per-block worker of evaluatePSR.
+// evaluatePSRBlock is the generic per-block worker of evaluatePSR.
 func (k *Kernel) evaluatePSRBlock(op, oq operand, pm [][ns * ns]float64, lo, hi int) float64 {
 	cats := k.par.SiteCats
 	freqs := &k.par.Freqs
@@ -134,6 +217,33 @@ func (k *Kernel) evaluatePSRBlock(op, oq operand, pm [][ns * ns]float64, lo, hi 
 	return total
 }
 
+// evaluatePSRTipBlock is the q-tip per-block worker of evaluatePSR.
+func (k *Kernel) evaluatePSRTipBlock(op, oq operand, tab []float64, lo, hi int) float64 {
+	cats := k.par.SiteCats
+	freqs := &k.par.Freqs
+	total := 0.0
+	for i := lo; i < hi; i++ {
+		var vp [ns]float64
+		off := i * ns
+		if op.tips != nil {
+			vp = k.tipVec[op.tips[i]]
+		} else {
+			vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
+		}
+		toff := (cats[i]*16 + int(oq.tips[i])) * ns
+		site := 0.0
+		for x := 0; x < ns; x++ {
+			site += freqs[x] * vp[x] * tab[toff+x]
+		}
+		var sc int32
+		if op.scale != nil {
+			sc += op.scale[i]
+		}
+		total += float64(k.data.Weights[i]) * (math.Log(site) + float64(sc)*LogScaleStep)
+	}
+	return total
+}
+
 // prepareDerivativesPSR fills the PSR sum table: sumTab[i·4+k].
 func (k *Kernel) prepareDerivativesPSR(p, q NodeRef) {
 	need := k.nPat * ns
@@ -144,15 +254,32 @@ func (k *Kernel) prepareDerivativesPSR(p, q NodeRef) {
 
 	op, oq := k.operand(p), k.operand(q)
 	parts := k.blocks()
-	k.pool.Run(k.nPat, func(blk, lo, hi int) {
-		k.preparePSRBlock(op, oq, lo, hi)
-		parts[blk].cols = int64(hi - lo)
-	})
+	if k.fastOn && (op.tips != nil || oq.tips != nil) {
+		k.fp.PrepareTip++
+		tabP, tabQ := k.prepTabScratch()
+		if op.tips != nil {
+			k.fillPrepTipP(tabP)
+		}
+		if oq.tips != nil {
+			k.fillPrepTipQ(tabQ)
+		}
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			k.preparePSRFastBlock(op, oq, tabP, tabQ, lo, hi)
+			parts[blk].cols = int64(hi - lo)
+		})
+	} else {
+		k.fp.PrepareGeneric++
+		k.pool.Run(k.nPat, func(blk, lo, hi int) {
+			k.preparePSRBlock(op, oq, lo, hi)
+			parts[blk].cols = int64(hi - lo)
+		})
+	}
 	k.prepared = true
 	k.flops.Derivative += joinCols(parts)
 }
 
-// preparePSRBlock is the per-block worker of prepareDerivativesPSR.
+// preparePSRBlock is the generic per-block worker of
+// prepareDerivativesPSR.
 func (k *Kernel) preparePSRBlock(op, oq operand, lo, hi int) {
 	e := k.par.Eigen
 	freqs := &k.par.Freqs
@@ -175,6 +302,40 @@ func (k *Kernel) preparePSRBlock(op, oq operand, lo, hi int) {
 			bq := e.UInv[kk*ns]*vq[0] + e.UInv[kk*ns+1]*vq[1] +
 				e.UInv[kk*ns+2]*vq[2] + e.UInv[kk*ns+3]*vq[3]
 			k.sumTab[off+kk] = ap * bq
+		}
+	}
+}
+
+// preparePSRFastBlock is the tip-specialized per-block worker of
+// prepareDerivativesPSR; see prepareGammaFastBlock.
+func (k *Kernel) preparePSRFastBlock(op, oq operand, tabP, tabQ []float64, lo, hi int) {
+	e := k.par.Eigen
+	freqs := &k.par.Freqs
+	for i := lo; i < hi; i++ {
+		off := i * ns
+		var ap, bq [ns]float64
+		if op.tips != nil {
+			poff := int(op.tips[i]) * ns
+			ap[0], ap[1], ap[2], ap[3] = tabP[poff], tabP[poff+1], tabP[poff+2], tabP[poff+3]
+		} else {
+			vp0, vp1, vp2, vp3 := op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
+			for kk := 0; kk < ns; kk++ {
+				ap[kk] = freqs[0]*vp0*e.U[0*ns+kk] + freqs[1]*vp1*e.U[1*ns+kk] +
+					freqs[2]*vp2*e.U[2*ns+kk] + freqs[3]*vp3*e.U[3*ns+kk]
+			}
+		}
+		if oq.tips != nil {
+			qoff := int(oq.tips[i]) * ns
+			bq[0], bq[1], bq[2], bq[3] = tabQ[qoff], tabQ[qoff+1], tabQ[qoff+2], tabQ[qoff+3]
+		} else {
+			vq0, vq1, vq2, vq3 := oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
+			for kk := 0; kk < ns; kk++ {
+				bq[kk] = e.UInv[kk*ns]*vq0 + e.UInv[kk*ns+1]*vq1 +
+					e.UInv[kk*ns+2]*vq2 + e.UInv[kk*ns+3]*vq3
+			}
+		}
+		for kk := 0; kk < ns; kk++ {
+			k.sumTab[off+kk] = ap[kk] * bq[kk]
 		}
 	}
 }

@@ -34,7 +34,24 @@ type Params struct {
 	SiteCats []int
 	// Eigen is the spectral decomposition of the current GTR matrix.
 	Eigen *Eigen
+
+	// gen counts parameter revisions: every change to a quantity a P(t)
+	// matrix depends on (eigensystem, category rates) bumps it. Caches
+	// keyed on (branch length, generation) — the kernel's P-matrix cache —
+	// invalidate themselves by comparing generations, which is cheaper and
+	// safer than threading explicit invalidation calls through every
+	// parameter-mutation site.
+	gen uint64
 }
+
+// Generation returns the parameter revision counter. Two calls returning
+// the same value guarantee every quantity a probability matrix depends on
+// is unchanged in between.
+func (p *Params) Generation() uint64 { return p.gen }
+
+// BumpGeneration marks the parameters revised without a full Rebuild —
+// used by the PSR pipeline, which replaces CatRates/SiteCats directly.
+func (p *Params) BumpGeneration() { p.gen++ }
 
 // NewParams constructs default parameters: JC-equal exchangeabilities,
 // α = 1, and — for PSR over nLocalPatterns patterns — unit site rates in a
@@ -76,6 +93,7 @@ func (p *Params) Rebuild() error {
 		}
 		p.CatRates = means
 	}
+	p.gen++
 	return nil
 }
 

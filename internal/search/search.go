@@ -52,6 +52,13 @@ type Config struct {
 	ModelOptRounds int
 	// SkipTopology disables SPR moves (branch lengths + model only).
 	SkipTopology bool
+	// ForceFullTraversals disables incremental traversal reuse: every
+	// full-tree evaluation rebuilds all CLVs, the pre-optimization
+	// behavior. The incremental path (default) is byte-identical to this
+	// one — same trajectory, same final likelihood bits
+	// (docs/PERFORMANCE.md); the switch exists for identity tests and
+	// benchmarking.
+	ForceFullTraversals bool
 	// Restore resumes from a checkpoint: the tree, parameters, and
 	// iteration counter are taken from the state instead of a fresh
 	// start. PSR per-site rates are re-derived in the first iteration.
@@ -120,6 +127,22 @@ type Searcher struct {
 	lnL            float64
 	perPart        []float64
 	startIteration int
+
+	// Incremental-traversal state (docs/PERFORMANCE.md). dirty[slot] marks
+	// an inner CLV whose stored bytes may differ from what a forced full
+	// traversal would produce; full-tree evaluations refresh exactly the
+	// dirty and misoriented slots (traversal.BuildReuse), which keeps the
+	// search trajectory byte-identical to ForceFullTraversals mode.
+	dirty []bool
+	// modelDirty forces the next full-tree evaluation after any model
+	// parameter or site-rate change invalidated every CLV.
+	modelDirty bool
+	// touched records the CLV slots written between beginTouch/endTouch —
+	// the slots an SPR prune point's trials and verification clobbered,
+	// which become dirty when the move is rejected (the restored topology
+	// invalidates them) and before the verification's exact evaluation.
+	touched  []bool
+	touching bool
 }
 
 // NewSearcher builds the search state: the starting tree (deterministic
@@ -173,6 +196,8 @@ func NewSearcher(eng Engine, d *msa.Dataset, cfg Config) (*Searcher, error) {
 		tr = tree.NewRandom(d.Names, classes, rand.New(rand.NewSource(cfg.Seed)))
 	}
 	s := &Searcher{Tree: tr, eng: eng, cfg: cfg, nPart: d.NPartitions()}
+	s.dirty = make([]bool, tr.NInner())
+	s.modelDirty = true // fresh kernels hold no CLVs; first evaluation must be full
 	for pi := 0; pi < s.nPart; pi++ {
 		par, err := model.NewParams(cfg.Het, cfg.Subst.InitialFreqs(d.Parts[pi].Freqs), 0)
 		if err != nil {
@@ -216,24 +241,53 @@ func (s *Searcher) sharedMatrix() [][]float64 {
 	return out
 }
 
-// pushShared ships the current parameters to the engine.
-func (s *Searcher) pushShared() { s.eng.SetShared(s.sharedMatrix()) }
+// pushShared ships the current parameters to the engine. Every push may
+// change quantities all CLVs depend on, so the next full-tree evaluation
+// must rebuild them.
+func (s *Searcher) pushShared() {
+	s.eng.SetShared(s.sharedMatrix())
+	s.modelDirty = true
+}
 
-// evaluateFull performs a forced full traversal + evaluation at the edge
-// next to taxon 0 and refreshes the cached likelihoods.
+// evaluateFull performs a full-tree traversal + evaluation at the edge
+// next to taxon 0 and refreshes the cached likelihoods. "Full" describes
+// the resulting CLV state, not the work: unless ForceFullTraversals is
+// set or the model changed, buildFull schedules only the dirty and
+// misoriented slots.
 func (s *Searcher) evaluateFull() float64 {
-	d := traversal.Build(s.Tree, s.Tree.Tip(0), true)
+	return s.evaluateFullAt(s.Tree.Tip(0))
+}
+
+// evaluateFullAt evaluates at the given edge, leaving every CLV
+// byte-identical to a forced full traversal there.
+func (s *Searcher) evaluateFullAt(p *tree.Node) float64 {
+	d := s.buildFull(p)
 	s.perPart = s.eng.Evaluate(d)
 	s.lnL = sum(s.perPart)
 	return s.lnL
 }
 
-// evaluateAt evaluates with a partial traversal at the given edge.
-func (s *Searcher) evaluateAt(p *tree.Node) float64 {
-	d := traversal.Build(s.Tree, p, false)
-	s.perPart = s.eng.Evaluate(d)
-	s.lnL = sum(s.perPart)
-	return s.lnL
+// buildFull returns a descriptor whose execution leaves the engine's CLV
+// arrays byte-identical to Build(p, force=true): forced when incremental
+// reuse is off or a model change invalidated everything, otherwise the
+// dirty-overlay descriptor that recomputes only dirty and misoriented
+// slots (and clears the flags it refreshes).
+func (s *Searcher) buildFull(p *tree.Node) *traversal.Descriptor {
+	var d *traversal.Descriptor
+	if s.cfg.ForceFullTraversals || s.modelDirty {
+		d = traversal.Build(s.Tree, p, true)
+		s.modelDirty = false
+		for i := range s.dirty {
+			s.dirty[i] = false
+		}
+	} else {
+		d = traversal.BuildReuse(s.Tree, p, s.dirty)
+	}
+	s.noteSteps(d)
+	scheduled := int64(len(d.Steps[0]))
+	s.cfg.Telemetry.Inc(telemetry.CounterTraversalSteps, scheduled)
+	s.cfg.Telemetry.Inc(telemetry.CounterTraversalStepsSkipped, int64(s.Tree.NInner())-scheduled)
+	return d
 }
 
 func sum(v []float64) float64 {
@@ -297,6 +351,7 @@ func (s *Searcher) Close() { s.eng.Close() }
 // requires for partitioned analyses.
 func (s *Searcher) updateBranch(p *tree.Node) {
 	d := traversal.Build(s.Tree, p, false)
+	s.noteSteps(d)
 	s.eng.PrepareBranch(d)
 
 	classes := s.Tree.BLClasses
@@ -382,6 +437,7 @@ func (s *Searcher) forcedNewview(q *tree.Node) {
 			TB:  q.Next.Next.Length(c),
 		}}
 	}
+	s.noteSteps(d)
 	s.eng.Traverse(d)
 }
 
@@ -429,6 +485,9 @@ func (s *Searcher) optimizeModel() {
 				}
 			}
 		}
+		// New per-site rates plus globally rescaled branch lengths
+		// invalidate every CLV.
+		s.modelDirty = true
 	}
 	// Exchangeabilities: one free rate group at a time (5 singletons for
 	// GTR, a single tied transition group for K80/HKY, none for JC), all
@@ -564,11 +623,18 @@ func (s *Searcher) sprRound(radius int) float64 {
 
 // tryPrunePoint evaluates all insertions of the subtree pruned at p.
 func (s *Searcher) tryPrunePoint(p *tree.Node, radius int, cur float64) (bool, float64) {
+	// The old attachment neighbors (joined into one edge by Prune); floods
+	// start here when a move away from them is accepted.
+	oldLeft, oldRight := p.Next.Back, p.Next.Next.Back
 	ps, err := s.Tree.Prune(p)
 	if err != nil {
 		return false, cur
 	}
 	s.cfg.Telemetry.Inc(telemetry.CounterSPRPrunes, 1)
+	// Record every CLV slot the trials and the verification write; on the
+	// reject path those slots are stale for the restored topology.
+	s.beginTouch()
+	defer s.endTouch()
 	candidates := ps.CandidateEdges(1, radius)
 	if len(candidates) == 0 {
 		if err := s.Tree.Restore(ps); err != nil {
@@ -604,6 +670,12 @@ func (s *Searcher) tryPrunePoint(p *tree.Node, radius int, cur float64) (bool, f
 		s.updateBranch(p)
 		s.updateBranch(p.Next)
 		s.updateBranch(p.Next.Next)
+		// The exact evaluation must leave the engine byte-identical to a
+		// forced full traversal: everything the trials clobbered plus
+		// everything the topology change and the three re-optimized
+		// branches invalidated has to be recomputed.
+		s.markTouchedDirty()
+		s.markMoveStale(p, oldLeft, oldRight)
 		exact := s.evaluateFullAt(p)
 		if exact > cur+1e-9 {
 			s.cfg.Telemetry.Inc(telemetry.CounterSPRImprovements, 1)
@@ -617,9 +689,11 @@ func (s *Searcher) tryPrunePoint(p *tree.Node, radius int, cur float64) (bool, f
 	if err := s.Tree.Restore(ps); err != nil {
 		panic(fmt.Sprintf("search: restore: %v", err))
 	}
-	// CLVs touched during trials are stale for the restored topology;
-	// they will be recomputed by forced traversals at the next exact
-	// evaluation. Return the unchanged score.
+	// CLVs touched during trials (and by a rejected verification) are
+	// stale for the restored topology; mark them so the next full-tree
+	// evaluation recomputes them. The topology itself is back to the
+	// pre-prune state, so no flood is needed. Return the unchanged score.
+	s.markTouchedDirty()
 	return false, cur
 }
 
@@ -659,13 +733,88 @@ func (s *Searcher) trialScore(p *tree.Node) float64 {
 		d.Steps[c] = cs
 		d.T[c] = p.Length(c)
 	}
+	s.noteSteps(d)
 	return sum(s.eng.Evaluate(d))
 }
 
-// evaluateFullAt forces a full traversal rooted at the given edge.
-func (s *Searcher) evaluateFullAt(p *tree.Node) float64 {
-	d := traversal.Build(s.Tree, p, true)
-	s.perPart = s.eng.Evaluate(d)
-	s.lnL = sum(s.perPart)
-	return s.lnL
+// ---------- incremental-traversal bookkeeping ----------
+
+// beginTouch starts recording the CLV slots descriptors write (one SPR
+// prune point's churn); endTouch stops recording. No-ops with
+// incremental reuse disabled.
+func (s *Searcher) beginTouch() {
+	if s.cfg.ForceFullTraversals {
+		return
+	}
+	if s.touched == nil {
+		s.touched = make([]bool, s.Tree.NInner())
+	}
+	for i := range s.touched {
+		s.touched[i] = false
+	}
+	s.touching = true
+}
+
+func (s *Searcher) endTouch() { s.touching = false }
+
+// noteSteps records a descriptor's destination slots into the touch set.
+func (s *Searcher) noteSteps(d *traversal.Descriptor) {
+	if !s.touching {
+		return
+	}
+	for _, st := range d.Steps[0] {
+		s.touched[st.Dst] = true
+	}
+}
+
+// markTouchedDirty marks every slot written since beginTouch as dirty:
+// their bytes derive from trial topologies or stale operands, so the
+// next full-tree evaluation must recompute them to stay byte-identical
+// to the forced path.
+func (s *Searcher) markTouchedDirty() {
+	if s.cfg.ForceFullTraversals || s.touched == nil {
+		return
+	}
+	for i, t := range s.touched {
+		if t {
+			s.dirty[i] = true
+		}
+	}
+}
+
+// markStaleOutward walks the component reached through w — entered so
+// that w.Back faces a topology/branch change — and marks every vertex
+// whose stored CLV summarizes a subtree containing the change. The
+// stored CLV at w's vertex looks away from x.Back where x is the ring
+// member holding the X bit, so it contains the change exactly when the
+// X bit is NOT at w. The walk cannot stop early at a valid vertex:
+// vertices beyond it can still be stale.
+func (s *Searcher) markStaleOutward(w *tree.Node) {
+	if w.IsTip() {
+		return
+	}
+	if tree.XNode(w) != w {
+		s.dirty[w.VertexID-s.Tree.NTaxa()] = true
+	}
+	s.markStaleOutward(w.Next.Back)
+	s.markStaleOutward(w.Next.Next.Back)
+}
+
+// markMoveStale marks every CLV invalidated by an accepted SPR move:
+// flood from the insertion point p (the subtree was attached here, and
+// the three adjacent branch lengths were re-optimized) and from both
+// sides of the old attachment edge (oldLeft, oldRight joined when p's
+// subtree was pruned away).
+func (s *Searcher) markMoveStale(p, oldLeft, oldRight *tree.Node) {
+	if s.cfg.ForceFullTraversals {
+		return
+	}
+	if !p.IsTip() {
+		s.dirty[p.VertexID-s.Tree.NTaxa()] = true
+	}
+	s.markStaleOutward(p.Back)
+	s.markStaleOutward(p.Next.Back)
+	s.markStaleOutward(p.Next.Next.Back)
+	s.markStaleOutward(oldLeft)
+	s.markStaleOutward(oldRight)
 }

@@ -30,6 +30,13 @@ type RankStats struct {
 	PoolThreads int   `json:"pool_threads,omitempty"`
 	PoolRuns    int64 `json:"pool_runs,omitempty"`
 	PoolBlocks  int64 `json:"pool_blocks,omitempty"`
+	// FastPathOps/GenericOps are the rank's specialized vs generic
+	// kernel dispatch counts; PCacheHits/PCacheMisses its P-matrix cache
+	// activity (docs/PERFORMANCE.md).
+	FastPathOps  int64 `json:"fastpath_ops,omitempty"`
+	GenericOps   int64 `json:"generic_ops,omitempty"`
+	PCacheHits   int64 `json:"pcache_hits,omitempty"`
+	PCacheMisses int64 `json:"pcache_misses,omitempty"`
 }
 
 // KernelStat is one kernel class's run-wide aggregate.
@@ -93,6 +100,13 @@ type Report struct {
 	// fill the §V worker pool (0 when no pool ran).
 	PoolUtilization float64 `json:"pool_utilization"`
 
+	// FastPathShare is specialized kernel dispatches over all kernel
+	// dispatches, summed across ranks (0 when no kernels ran).
+	FastPathShare float64 `json:"fastpath_share"`
+	// PCacheHitRate is P-matrix cache hits over lookups, summed across
+	// ranks (0 when the cache saw no lookups).
+	PCacheHitRate float64 `json:"pcache_hit_rate"`
+
 	// Counters holds the search-progress counters (from rank 0 —
 	// identical on every rank under the de-centralized scheme).
 	Counters map[string]int64 `json:"counters"`
@@ -115,6 +129,7 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 	}
 	var sumCompute, sumComm, maxCompute int64
 	var poolRuns, poolBlocks int64
+	var fastOps, genericOps, pcHits, pcMiss int64
 	poolThreads := 0
 	for _, r := range c.recs {
 		rs := RankStats{
@@ -128,6 +143,10 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 			PoolThreads:   r.poolThreads,
 			PoolRuns:      r.poolRuns,
 			PoolBlocks:    r.poolBlocks,
+			FastPathOps:   r.fastOps,
+			GenericOps:    r.genericOps,
+			PCacheHits:    r.pcacheHits,
+			PCacheMisses:  r.pcacheMiss,
 		}
 		rep.PerRank = append(rep.PerRank, rs)
 		sumCompute += rs.ComputeNS
@@ -140,6 +159,16 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 		if r.poolThreads > poolThreads {
 			poolThreads = r.poolThreads
 		}
+		fastOps += r.fastOps
+		genericOps += r.genericOps
+		pcHits += r.pcacheHits
+		pcMiss += r.pcacheMiss
+	}
+	if tot := fastOps + genericOps; tot > 0 {
+		rep.FastPathShare = float64(fastOps) / float64(tot)
+	}
+	if tot := pcHits + pcMiss; tot > 0 {
+		rep.PCacheHitRate = float64(pcHits) / float64(tot)
 	}
 
 	for k := KernelClass(0); k < NumKernelClasses; k++ {
@@ -242,6 +271,12 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  collective rate                        %8.1f ops/s\n", r.CollectivesPerSec)
 	if r.PoolUtilization > 0 {
 		fmt.Fprintf(&b, "  thread-pool block utilization          %8.3f\n", r.PoolUtilization)
+	}
+	if r.FastPathShare > 0 {
+		fmt.Fprintf(&b, "  kernel fast-path share                 %8.3f\n", r.FastPathShare)
+	}
+	if r.PCacheHitRate > 0 {
+		fmt.Fprintf(&b, "  P-matrix cache hit rate                %8.3f\n", r.PCacheHitRate)
 	}
 
 	fmt.Fprintf(&b, "\nper-rank compute vs collective time:\n")

@@ -89,6 +89,13 @@ const (
 	CounterSPRRegrafts
 	// CounterSPRImprovements is accepted (verified) SPR moves.
 	CounterSPRImprovements
+	// CounterTraversalSteps is CLV recomputation steps actually scheduled
+	// by the search's full-tree evaluations.
+	CounterTraversalSteps
+	// CounterTraversalStepsSkipped is CLV recomputations those
+	// evaluations avoided by reusing valid clean CLVs (incremental
+	// traversal, docs/PERFORMANCE.md).
+	CounterTraversalStepsSkipped
 
 	// NumCounters is the number of distinct counters.
 	NumCounters
@@ -111,6 +118,10 @@ func (c Counter) String() string {
 		return "spr-regrafts"
 	case CounterSPRImprovements:
 		return "spr-improvements"
+	case CounterTraversalSteps:
+		return "traversal-steps"
+	case CounterTraversalStepsSkipped:
+		return "traversal-steps-skipped"
 	}
 	return fmt.Sprintf("Counter(%d)", int(c))
 }
@@ -189,6 +200,12 @@ type Recorder struct {
 
 	poolThreads          int
 	poolRuns, poolBlocks int64
+
+	// Kernel fast-path counters (harvested once at engine close, like the
+	// pool counters): specialized vs generic kernel dispatches and
+	// P-matrix cache activity.
+	fastOps, genericOps    int64
+	pcacheHits, pcacheMiss int64
 }
 
 // now returns nanoseconds since the collector's start (monotonic).
@@ -264,6 +281,25 @@ func (r *Recorder) SetPool(threads int, runs, blocks int64) {
 	r.poolThreads = threads
 	r.poolRuns = runs
 	r.poolBlocks = blocks
+}
+
+// SetKernelPerf records the rank's kernel fast-path and P-matrix cache
+// counters (harvested once, when the rank's engine closes) and emits a
+// "perf" JSONL event carrying them.
+func (r *Recorder) SetKernelPerf(fastOps, genericOps, pcacheHits, pcacheMiss int64) {
+	if r == nil {
+		return
+	}
+	r.fastOps = fastOps
+	r.genericOps = genericOps
+	r.pcacheHits = pcacheHits
+	r.pcacheMiss = pcacheMiss
+	if c := r.col; c != nil && c.trace != nil {
+		c.mu.Lock()
+		fmt.Fprintf(c.trace, "{\"ev\":\"perf\",\"rank\":%d,\"fast_ops\":%d,\"generic_ops\":%d,\"pcache_hits\":%d,\"pcache_misses\":%d}\n",
+			r.rank, fastOps, genericOps, pcacheHits, pcacheMiss)
+		c.mu.Unlock()
+	}
 }
 
 // ComputeNS returns the rank's total kernel-span time — the per-rank

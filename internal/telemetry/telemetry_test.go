@@ -23,6 +23,7 @@ func TestNilSafety(t *testing.T) {
 	r.EndCollective(0, ct)
 	r.Inc(CounterIterations, 1)
 	r.SetPool(4, 10, 40)
+	r.SetKernelPerf(1, 2, 3, 4)
 	if r.ComputeNS() != 0 || r.CollectiveNS() != 0 {
 		t.Fatalf("nil recorder accumulated time")
 	}
@@ -114,6 +115,59 @@ func TestSpansAndReport(t *testing.T) {
 	}
 	if back.ImbalanceRatio != rep.ImbalanceRatio {
 		t.Fatalf("JSON imbalance %v != %v", back.ImbalanceRatio, rep.ImbalanceRatio)
+	}
+}
+
+// TestKernelPerfReport checks the once-per-rank kernel performance
+// harvest: per-rank fields, the aggregated fast-path share and P-cache
+// hit rate, the text rendering, and the "perf" trace events.
+func TestKernelPerfReport(t *testing.T) {
+	var trace bytes.Buffer
+	c := NewCollector(2, 1, &trace)
+	c.Recorder(0).SetKernelPerf(30, 10, 8, 2)
+	c.Recorder(1).SetKernelPerf(50, 10, 12, 8)
+	c.Recorder(0).Inc(CounterTraversalSteps, 40)
+	c.Recorder(0).Inc(CounterTraversalStepsSkipped, 25)
+
+	rep := c.Finalize(time.Millisecond, 1, []string{"x"}, []int64{0}, []int64{0})
+	if rep.PerRank[0].FastPathOps != 30 || rep.PerRank[0].PCacheHits != 8 {
+		t.Fatalf("rank 0 perf fields: %+v", rep.PerRank[0])
+	}
+	if rep.PerRank[1].GenericOps != 10 || rep.PerRank[1].PCacheMisses != 8 {
+		t.Fatalf("rank 1 perf fields: %+v", rep.PerRank[1])
+	}
+	if want := 80.0 / 100.0; rep.FastPathShare != want {
+		t.Fatalf("fast-path share %v, want %v", rep.FastPathShare, want)
+	}
+	if want := 20.0 / 30.0; rep.PCacheHitRate != want {
+		t.Fatalf("P-cache hit rate %v, want %v", rep.PCacheHitRate, want)
+	}
+	if rep.Counters["traversal-steps"] != 40 || rep.Counters["traversal-steps-skipped"] != 25 {
+		t.Fatalf("traversal counters: %v", rep.Counters)
+	}
+
+	text := rep.String()
+	for _, want := range []string{"fast-path share", "cache hit rate", "traversal-steps-skipped"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report text missing %q:\n%s", want, text)
+		}
+	}
+
+	perfEvents := 0
+	for _, ln := range strings.Split(strings.TrimSpace(trace.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", ln, err)
+		}
+		if ev["ev"] == "perf" {
+			perfEvents++
+			if _, ok := ev["fast_ops"]; !ok {
+				t.Fatalf("perf event missing fast_ops: %v", ev)
+			}
+		}
+	}
+	if perfEvents != 2 {
+		t.Fatalf("trace has %d perf events, want 2", perfEvents)
 	}
 }
 

@@ -73,6 +73,76 @@ func ForEdge(t *tree.Tree, p *tree.Node, blClass int, force bool) []likelihood.S
 	return Orient(t, p.Back, blClass, force, steps)
 }
 
+// OrientReuse is Orient(force=false) extended with a dirty-slot overlay —
+// the incremental-traversal machinery of docs/PERFORMANCE.md. Recursion
+// stops at a vertex only when its X bit already faces the needed
+// direction AND its slot is not marked dirty; on a stop the subtree
+// below is still swept so every dirty slot in it is refreshed
+// (children-first and rotated toward the evaluation edge, exactly the
+// state a forced traversal would leave it in). Refreshed slots are
+// cleared in dirty, so after the descriptor executes, every CLV the
+// search can subsequently read holds the bytes a forced full traversal
+// would have produced — the invariant the search layer's bit-identity
+// rests on.
+func OrientReuse(t *tree.Tree, u *tree.Node, blClass int, dirty []bool, steps []likelihood.Step) []likelihood.Step {
+	if u.IsTip() {
+		return steps
+	}
+	slot := Slot(t, u)
+	if u.X && !dirty[slot] {
+		steps = sweepDirty(t, u.Next.Back, blClass, dirty, steps)
+		return sweepDirty(t, u.Next.Next.Back, blClass, dirty, steps)
+	}
+	l := u.Next.Back
+	r := u.Next.Next.Back
+	steps = OrientReuse(t, l, blClass, dirty, steps)
+	steps = OrientReuse(t, r, blClass, dirty, steps)
+	tree.OrientX(u)
+	dirty[slot] = false
+	return append(steps, likelihood.Step{
+		Dst: slot,
+		A:   Ref(t, l),
+		B:   Ref(t, r),
+		TA:  u.Next.Length(blClass),
+		TB:  u.Next.Next.Length(blClass),
+	})
+}
+
+// sweepDirty refreshes every dirty slot in the subtree entered through v
+// (v.Back faces the evaluation edge) without touching valid clean
+// vertices. A refreshed vertex is rotated toward the evaluation side
+// (OrientX), matching the orientation a forced traversal would give it;
+// its children were swept first, so a refresh never reads a stale CLV
+// that is itself marked dirty.
+func sweepDirty(t *tree.Tree, v *tree.Node, blClass int, dirty []bool, steps []likelihood.Step) []likelihood.Step {
+	if v.IsTip() {
+		return steps
+	}
+	l := v.Next.Back
+	r := v.Next.Next.Back
+	steps = sweepDirty(t, l, blClass, dirty, steps)
+	steps = sweepDirty(t, r, blClass, dirty, steps)
+	slot := Slot(t, v)
+	if dirty[slot] {
+		tree.OrientX(v)
+		dirty[slot] = false
+		steps = append(steps, likelihood.Step{
+			Dst: slot,
+			A:   Ref(t, l),
+			B:   Ref(t, r),
+			TA:  v.Next.Length(blClass),
+			TB:  v.Next.Next.Length(blClass),
+		})
+	}
+	return steps
+}
+
+// ForEdgeReuse is ForEdge with the dirty-slot overlay of OrientReuse.
+func ForEdgeReuse(t *tree.Tree, p *tree.Node, blClass int, dirty []bool) []likelihood.Step {
+	steps := OrientReuse(t, p, blClass, dirty, nil)
+	return OrientReuse(t, p.Back, blClass, dirty, steps)
+}
+
 // Descriptor bundles the CLV schedule for every branch-length class with
 // the evaluation edge, ready for execution or (in the fork-join engine)
 // for broadcast. Steps[c] is the schedule with class-c branch lengths;
@@ -93,12 +163,26 @@ type Descriptor struct {
 // structural schedule is computed once (classes share topology and X
 // bits); per-class branch lengths are then filled in.
 func Build(t *tree.Tree, p *tree.Node, force bool) *Descriptor {
+	return fillClasses(t, p, ForEdge(t, p, 0, force))
+}
+
+// BuildReuse computes the multi-class descriptor for the edge at p with
+// the dirty-slot overlay of OrientReuse: beyond orienting the evaluation
+// edge it refreshes every dirty slot anywhere in the tree, and clears
+// the flags it refreshed. Executing the descriptor leaves the CLV arrays
+// byte-identical to what Build(force=true) would have produced.
+func BuildReuse(t *tree.Tree, p *tree.Node, dirty []bool) *Descriptor {
+	return fillClasses(t, p, ForEdgeReuse(t, p, 0, dirty))
+}
+
+// fillClasses wraps a class-0 schedule into a full multi-class
+// descriptor by re-reading per-class branch lengths from the tree.
+func fillClasses(t *tree.Tree, p *tree.Node, base []likelihood.Step) *Descriptor {
 	d := &Descriptor{
 		P: Ref(t, p),
 		Q: Ref(t, p.Back),
 		T: make([]float64, t.BLClasses),
 	}
-	base := ForEdge(t, p, 0, force)
 	d.Steps = make([][]likelihood.Step, t.BLClasses)
 	d.Steps[0] = base
 	d.T[0] = p.Length(0)

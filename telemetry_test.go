@@ -100,25 +100,42 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := 0
+	perfEvents := 0
 	sc := bufio.NewScanner(&trace)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		lines++
 		var ev struct {
-			Ev    string `json:"ev"`
-			Rank  int    `json:"rank"`
-			Kind  string `json:"kind"`
-			Class string `json:"class"`
-			DurNS int64  `json:"dur_ns"`
+			Ev      string `json:"ev"`
+			Rank    int    `json:"rank"`
+			Kind    string `json:"kind"`
+			Class   string `json:"class"`
+			DurNS   int64  `json:"dur_ns"`
+			FastOps int64  `json:"fast_ops"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("line %d: %v: %s", lines, err, sc.Text())
 		}
-		if ev.Ev != "span" || ev.Rank < 0 || ev.Rank >= 2 || ev.Class == "" {
-			t.Fatalf("line %d: malformed event %+v", lines, ev)
+		if ev.Rank < 0 || ev.Rank >= 2 {
+			t.Fatalf("line %d: bad rank %+v", lines, ev)
 		}
-		if ev.Kind != "kernel" && ev.Kind != "collective" {
-			t.Fatalf("line %d: unknown span kind %q", lines, ev.Kind)
+		switch ev.Ev {
+		case "span":
+			if ev.Class == "" {
+				t.Fatalf("line %d: malformed span %+v", lines, ev)
+			}
+			if ev.Kind != "kernel" && ev.Kind != "collective" {
+				t.Fatalf("line %d: unknown span kind %q", lines, ev.Kind)
+			}
+		case "perf":
+			// Kernel fast-path summary, emitted once per rank at engine
+			// close; the DNA fast paths must have fired on this dataset.
+			perfEvents++
+			if ev.FastOps <= 0 {
+				t.Fatalf("line %d: perf event without fast-path ops %+v", lines, ev)
+			}
+		default:
+			t.Fatalf("line %d: unknown event type %q", lines, ev.Ev)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -126,5 +143,8 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 	}
 	if lines == 0 {
 		t.Fatal("TraceWriter produced no events")
+	}
+	if perfEvents != 2 {
+		t.Fatalf("expected one perf event per rank, got %d", perfEvents)
 	}
 }
