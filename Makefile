@@ -12,6 +12,7 @@ GOFMT ?= gofmt
 # bit-identity check).
 RACE_PKGS = ./internal/threadpool/... \
             ./internal/likelihood/... \
+            ./internal/repeats/... \
             ./internal/search/... \
             ./internal/decentral/... \
             ./internal/forkjoin/... \
@@ -47,12 +48,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-json runs the kernel-threading, fast-path (tip-specialized and
-# P-matrix-cache ablations), hybrid-grid, and wire-framing benchmarks
-# and writes BENCH_kernels.json (name, ns/op, flops/s, speedups) for
-# trend tracking.
+# bench-json runs the kernel-threading, fast-path (tip-specialized,
+# P-matrix-cache, and site-repeat ablations), hybrid-grid, and
+# wire-framing benchmarks and writes BENCH_kernels.json (name, ns/op,
+# flops/s, speedups) for trend tracking.
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkKernelThreadsGamma|BenchmarkKernelFastPathGamma|BenchmarkKernelPCacheGamma|BenchmarkHybridGrid' . ; \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkKernelThreadsGamma|BenchmarkKernelFastPathGamma|BenchmarkKernelPCacheGamma|BenchmarkKernelRepeatsGamma|BenchmarkHybridGrid' . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkFrameEncodeDecode' ./internal/mpinet ; } \
 		| $(GO) run ./cmd/benchjson -o BENCH_kernels.json
 

@@ -216,6 +216,11 @@ func benchKernel(b *testing.B, het model.Heterogeneity) (*likelihood.Kernel, *tr
 
 func benchKernelSized(b *testing.B, het model.Heterogeneity, nSites int) (*likelihood.Kernel, *tree.Tree, []likelihood.Step) {
 	b.Helper()
+	return benchKernelDup(b, het, nSites, false)
+}
+
+func benchKernelDup(b *testing.B, het model.Heterogeneity, nSites int, dupHeavy bool) (*likelihood.Kernel, *tree.Tree, []likelihood.Step) {
+	b.Helper()
 	res, err := seqgen.Generate(seqgen.Config{
 		NTaxa: 32,
 		Specs: []seqgen.Spec{{Name: "g", NSites: nSites, Alpha: 0.8}},
@@ -223,6 +228,9 @@ func benchKernelSized(b *testing.B, het model.Heterogeneity, nSites int) (*likel
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+	if dupHeavy {
+		seqgen.AddCladeRepeats(res, 0.95, 11)
 	}
 	ds, err := msa.Compress(res.Alignment, res.Partitions)
 	if err != nil {
@@ -233,7 +241,14 @@ func benchKernelSized(b *testing.B, het model.Heterogeneity, nSites int) (*likel
 	if err != nil {
 		b.Fatal(err)
 	}
-	tr := tree.NewRandom(ds.Names, 1, rand.New(rand.NewSource(3)))
+	// The duplicate-heavy workload evaluates the true tree (the clades
+	// whose columns repeat are its clades — the regime of a search that
+	// has converged near the right topology); the others score a random
+	// topology.
+	tr := res.Tree
+	if !dupHeavy {
+		tr = tree.NewRandom(ds.Names, 1, rand.New(rand.NewSource(3)))
+	}
 	k, err := likelihood.NewKernel(pd, par, tr.NInner())
 	if err != nil {
 		b.Fatal(err)
@@ -392,6 +407,51 @@ func BenchmarkKernelFastPathGamma(b *testing.B) {
 					genericNs = nsPerOp
 				} else if genericNs > 0 && nsPerOp > 0 {
 					b.ReportMetric(genericNs/nsPerOp, "speedup")
+				}
+				b.ReportMetric(float64(k.NPatterns()*len(steps)), "columns/op")
+			})
+		}
+	}
+}
+
+// BenchmarkKernelRepeatsGamma measures subtree site-repeat compression
+// (docs/PERFORMANCE.md) against the plain Γ kernels on two alignments:
+// duplicate-heavy, where AddCladeRepeats injects the clade-level column
+// redundancy real conserved genes show (most inner CLV columns become
+// byte copies of an already computed class representative), and
+// tip-heavy i.i.d. columns, where few subtree patterns repeat and the
+// per-node density gate falls back to the plain path (so that row
+// documents that the class-tracking overhead is negligible, not a
+// speedup). Both modes produce bit-identical CLVs; repeats=on rows
+// report speedup over the paired repeats=off row plus the fraction of
+// CLV columns served by copy.
+func BenchmarkKernelRepeatsGamma(b *testing.B) {
+	for _, w := range []struct {
+		name string
+		dup  bool
+	}{{"duplicate-heavy", true}, {"tip-heavy", false}} {
+		var offNs float64
+		for _, on := range []bool{false, true} {
+			mode := "repeats=off"
+			if on {
+				mode = "repeats=on"
+			}
+			b.Run(w.name+"/"+mode, func(b *testing.B) {
+				k, _, steps := benchKernelDup(b, model.Gamma, 1200, w.dup)
+				k.SetRepeats(on)
+				k.Traverse(steps) // warm: store the per-node class tables
+				b.ResetTimer()
+				for b.Loop() {
+					k.Traverse(steps)
+				}
+				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if !on {
+					offNs = nsPerOp
+				} else if offNs > 0 && nsPerOp > 0 {
+					b.ReportMetric(offNs/nsPerOp, "speedup")
+				}
+				if st := k.RepeatStats(); on && st.ColsComputed+st.ColsSaved > 0 {
+					b.ReportMetric(float64(st.ColsSaved)/float64(st.ColsComputed+st.ColsSaved), "cols_saved_frac")
 				}
 				b.ReportMetric(float64(k.NPatterns()*len(steps)), "columns/op")
 			})

@@ -281,6 +281,14 @@ type Config struct {
 	// span as a JSONL event (implies Telemetry). The writer is shared by
 	// all ranks; writes are serialized internally.
 	TraceWriter io.Writer
+	// DisableRepeats turns off subtree site-repeat compression in the
+	// likelihood kernels (docs/PERFORMANCE.md). Ablation switch only:
+	// results are bit-identical with compression on or off.
+	DisableRepeats bool
+	// RepeatsMaxMem caps the per-rank memory (bytes) the repeat class
+	// tables may occupy; 0 means unbounded. Nodes whose table would
+	// exceed the cap fall back to plain per-site computation.
+	RepeatsMaxMem int64
 }
 
 // CommReport is the per-class communication accounting of a run — the
@@ -473,6 +481,8 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 			HybridRanksPerNode: cfg.HybridRanksPerNode,
 			Threads:            cfg.Threads,
 			Telemetry:          collector,
+			DisableRepeats:     cfg.DisableRepeats,
+			RepeatsMaxMem:      cfg.RepeatsMaxMem,
 		})
 		if err == nil {
 			comm, wall, wallDur = stats.Comm, stats.Wall.Seconds(), stats.Wall
@@ -487,11 +497,13 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 	case ForkJoin:
 		var stats *forkjoin.RunStats
 		res, stats, err = forkjoin.Run(d.d, forkjoin.RunConfig{
-			Search:    scfg,
-			Ranks:     cfg.Ranks,
-			Strategy:  strategy,
-			Threads:   cfg.Threads,
-			Telemetry: collector,
+			Search:         scfg,
+			Ranks:          cfg.Ranks,
+			Strategy:       strategy,
+			Threads:        cfg.Threads,
+			Telemetry:      collector,
+			DisableRepeats: cfg.DisableRepeats,
+			RepeatsMaxMem:  cfg.RepeatsMaxMem,
 		})
 		if err == nil {
 			comm, wall, wallDur = stats.Comm, stats.Wall.Seconds(), stats.Wall

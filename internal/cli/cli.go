@@ -22,6 +22,13 @@ type Args struct {
 	Seed                                                                     int64
 	Scheme                                                                   examl.Scheme
 
+	// NoRepeats disables subtree site-repeat compression in the
+	// likelihood kernels (ablation; results are bit-identical).
+	NoRepeats bool
+	// RepeatsMaxMem caps the per-rank repeat-table memory in bytes
+	// (0 = unbounded).
+	RepeatsMaxMem int64
+
 	// Stats prints the end-of-run telemetry report (kernel spans,
 	// collective timing, load imbalance; docs/OBSERVABILITY.md).
 	Stats bool
@@ -73,6 +80,8 @@ func Register(a *Args) {
 	flag.Uint64Var(&a.NetNonce, "net-nonce", 0, "network mode: run nonce shared by all ranks (rejects stale workers; -net-launch generates one when 0)")
 	flag.BoolVar(&a.NetLaunch, "net-launch", false, "fork the whole world as local worker processes over loopback TCP and wait")
 	flag.IntVar(&a.NetRecoveries, "net-recoveries", 1, "network mode: survivor-recovery budget after peer failures (decentralized scheme; 0 = a lost peer fails the run)")
+	flag.BoolVar(&a.NoRepeats, "no-repeats", false, "disable subtree site-repeat compression in the likelihood kernels (ablation; results are bit-identical)")
+	flag.Int64Var(&a.RepeatsMaxMem, "repeats-max-mem", 0, "per-rank memory cap in bytes for the site-repeat class tables (0 = unbounded)")
 	flag.BoolVar(&a.Stats, "stats", false, "print the end-of-run telemetry report (kernel spans, collective timing, load imbalance)")
 	flag.StringVar(&a.StatsJSON, "stats-json", "", "write the telemetry report as JSON to this file")
 	flag.StringVar(&a.TracePath, "trace", "", "stream a JSONL telemetry event trace to this file")
@@ -119,6 +128,9 @@ func Validate(a Args) error {
 	}
 	if a.NetRecoveries < 0 {
 		return fmt.Errorf("-net-recoveries must be >= 0 (got %d)", a.NetRecoveries)
+	}
+	if a.RepeatsMaxMem < 0 {
+		return fmt.Errorf("-repeats-max-mem must be >= 0 (got %d)", a.RepeatsMaxMem)
 	}
 	return nil
 }
@@ -206,6 +218,8 @@ func inferConfig(a Args) (examl.Config, error) {
 		CheckpointPath:            a.Ckpt,
 		RestorePath:               a.Restore,
 		Telemetry:                 a.telemetryRequested(),
+		DisableRepeats:            a.NoRepeats,
+		RepeatsMaxMem:             a.RepeatsMaxMem,
 	}, nil
 }
 

@@ -1,0 +1,62 @@
+package decentral
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/distrib"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+// TestEngineSteadyStateAllocFree pins the allocation-free hot path: once
+// warm (P-matrix cache populated, scratch arenas grown, repeat tables
+// stored), the engine's Evaluate / PrepareBranch / BranchDerivatives
+// cycle — the inner loop of every branch-length and model optimization —
+// must not allocate at all on a single serial rank. Threaded pools and
+// multi-rank messaging allocate by design (goroutine scheduling, channel
+// payload copies), so the contract is pinned where it matters most: the
+// per-call kernel and engine layers.
+func TestEngineSteadyStateAllocFree(t *testing.T) {
+	for _, het := range []model.Heterogeneity{model.Gamma, model.PSR} {
+		d := makeDataset(t, 8, 2, 60, 3)
+		counts := make([]int, d.NPartitions())
+		for i, p := range d.Parts {
+			counts[i] = p.NPatterns()
+		}
+		assign, err := distrib.Compute(distrib.Cyclic, counts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		world := mpi.NewWorld(1)
+		eng, err := NewEngine(world.Comm(0), d, assign, EngineConfig{Het: het, Subst: model.GTR})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+
+		tr := tree.NewRandom(d.Names, 1, rand.New(rand.NewSource(5)))
+		edge := tr.Tip(0)
+		desc := traversal.Build(tr, edge, true)
+		ts := []float64{0.1}
+
+		// Warm-up: populate the P-matrix cache at the exact branch
+		// lengths the measured loop uses, grow every scratch arena, and
+		// store the repeat class tables.
+		for i := 0; i < 2; i++ {
+			eng.Evaluate(desc)
+			eng.PrepareBranch(desc)
+			eng.BranchDerivatives(ts)
+		}
+
+		if allocs := testing.AllocsPerRun(50, func() {
+			eng.Evaluate(desc)
+			eng.PrepareBranch(desc)
+			eng.BranchDerivatives(ts)
+		}); allocs != 0 {
+			t.Errorf("%v: steady-state engine cycle allocates %.1f times per run", het, allocs)
+		}
+	}
+}

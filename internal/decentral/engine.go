@@ -43,6 +43,14 @@ type EngineConfig struct {
 	// (kernel and collective timing; docs/OBSERVABILITY.md). It never
 	// affects results.
 	Recorder *telemetry.Recorder
+	// DisableRepeats turns off subtree site-repeat compression in the
+	// likelihood kernels (docs/PERFORMANCE.md). Ablation only: results
+	// are bit-identical either way.
+	DisableRepeats bool
+	// RepeatsMaxMem caps the per-rank memory (bytes) of the repeat class
+	// tables; 0 means unbounded. Nodes whose table would exceed the cap
+	// fall back to plain computation.
+	RepeatsMaxMem int64
 }
 
 // Engine is one rank's view of the de-centralized backend. It implements
@@ -73,6 +81,7 @@ func NewEngine(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg Engine
 		return nil, err
 	}
 	local.SetRecorder(cfg.Recorder)
+	local.SetRepeats(!cfg.DisableRepeats, cfg.RepeatsMaxMem)
 	comm.SetRecorder(cfg.Recorder)
 	return &Engine{comm: comm, local: local, hybrid: cfg.HybridRanksPerNode}, nil
 }

@@ -1,0 +1,129 @@
+package decentral
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/mpinet"
+	"repro/internal/search"
+)
+
+// requireIdentical asserts two full search results agree bit-for-bit:
+// final likelihood, per-partition breakdown, topology, and iteration
+// count.
+func requireIdentical(t *testing.T, label string, got, want *search.Result) {
+	t.Helper()
+	if math.Float64bits(got.LnL) != math.Float64bits(want.LnL) {
+		t.Errorf("%s: lnL %.17g not bit-identical to %.17g", label, got.LnL, want.LnL)
+	}
+	if len(got.PerPartitionLnL) != len(want.PerPartitionLnL) {
+		t.Fatalf("%s: per-partition length mismatch", label)
+	}
+	for p := range want.PerPartitionLnL {
+		if math.Float64bits(got.PerPartitionLnL[p]) != math.Float64bits(want.PerPartitionLnL[p]) {
+			t.Errorf("%s: partition %d lnL not bit-identical", label, p)
+		}
+	}
+	if got.Tree.Newick() != want.Tree.Newick() {
+		t.Errorf("%s: topology differs", label)
+	}
+	if got.Iterations != want.Iterations {
+		t.Errorf("%s: %d iterations vs %d", label, got.Iterations, want.Iterations)
+	}
+}
+
+// TestRepeatsAblationBitIdentical is the engine-level half of the
+// site-repeat determinism contract (docs/DETERMINISM.md §5): a full
+// de-centralized inference with subtree repeat compression enabled (the
+// default) must reproduce the compression-disabled run bit-for-bit, for
+// both rate models, serial and threaded kernels, and with incremental
+// traversals either on (default) or forced full.
+func TestRepeatsAblationBitIdentical(t *testing.T) {
+	for _, het := range []model.Heterogeneity{model.Gamma, model.PSR} {
+		for _, threads := range []int{1, 4} {
+			d := makeDataset(t, 12, 2, 70, 9)
+			cfg := search.Config{Het: het, Seed: 17, MaxIterations: 2}
+
+			off, _, err := Run(d, RunConfig{Search: cfg, Ranks: 2, Threads: threads, DisableRepeats: true})
+			if err != nil {
+				t.Fatalf("%v T=%d repeats off: %v", het, threads, err)
+			}
+			on, _, err := Run(d, RunConfig{Search: cfg, Ranks: 2, Threads: threads})
+			if err != nil {
+				t.Fatalf("%v T=%d repeats on: %v", het, threads, err)
+			}
+			requireIdentical(t, het.String()+" repeats on vs off", on, off)
+
+			forcedCfg := cfg
+			forcedCfg.ForceFullTraversals = true
+			forced, _, err := Run(d, RunConfig{Search: forcedCfg, Ranks: 2, Threads: threads})
+			if err != nil {
+				t.Fatalf("%v T=%d forced-full: %v", het, threads, err)
+			}
+			requireIdentical(t, het.String()+" repeats+incremental vs forced-full", on, forced)
+		}
+	}
+}
+
+// TestRepeatsCapBitIdentical pins that the memory knob changes work
+// placement only: a run whose class tables are capped to a sliver (so
+// most Newview calls fall back to the plain path mid-tree) still lands
+// on the identical result.
+func TestRepeatsCapBitIdentical(t *testing.T) {
+	d := makeDataset(t, 10, 2, 60, 5)
+	cfg := search.Config{Het: model.Gamma, Seed: 3, MaxIterations: 2}
+	ref, _, err := Run(d, RunConfig{Search: cfg, Ranks: 2, DisableRepeats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, _, err := Run(d, RunConfig{Search: cfg, Ranks: 2, RepeatsMaxMem: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, "capped repeats", capped, ref)
+}
+
+// TestRepeatsOverTCPBitIdentical runs the repeats-enabled inference as
+// one mpinet TCP endpoint per rank and compares against the in-process
+// compression-disabled run: the wire transport and the compressed
+// kernels must both be invisible in the result bits.
+func TestRepeatsOverTCPBitIdentical(t *testing.T) {
+	d := makeDataset(t, 8, 2, 60, 3)
+	const ranks = 3
+	cfg := search.Config{Het: model.Gamma, Seed: 7, MaxIterations: 2}
+	ref, _, err := Run(d, RunConfig{Search: cfg, Ranks: ranks, DisableRepeats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr := reserveLoopbackAddr(t)
+	results := make([]*search.Result, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := mpinet.Connect(mpinet.Config{Rank: rank, Size: ranks, Addr: addr, Nonce: 99})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			c := mpi.NewComm(tr, rank, ranks, mpi.NewMeter())
+			defer c.Close()
+			res, _, err := RunOnComm(c, d, RunConfig{Search: cfg})
+			results[rank], errs[rank] = res, err
+		}(r)
+	}
+	wg.Wait()
+
+	for r := 0; r < ranks; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		requireIdentical(t, "TCP repeats rank", results[r], ref)
+	}
+}

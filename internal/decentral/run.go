@@ -32,6 +32,9 @@ type RunConfig struct {
 	// (docs/OBSERVABILITY.md). The collector must have been built for
 	// at least Ranks ranks; nil disables instrumentation entirely.
 	Telemetry *telemetry.Collector
+	// DisableRepeats and RepeatsMaxMem mirror EngineConfig.
+	DisableRepeats bool
+	RepeatsMaxMem  int64
 }
 
 // RunStats captures the measured execution profile for the cost model and
@@ -60,6 +63,8 @@ func runRank(c *mpi.Comm, d *msa.Dataset, assign *distrib.Assignment, cfg RunCon
 		HybridRanksPerNode:   cfg.HybridRanksPerNode,
 		Threads:              cfg.Threads,
 		Recorder:             rec,
+		DisableRepeats:       cfg.DisableRepeats,
+		RepeatsMaxMem:        cfg.RepeatsMaxMem,
 	})
 	if err != nil {
 		return nil, 0, 0, err

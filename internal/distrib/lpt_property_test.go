@@ -1,0 +1,88 @@
+package distrib
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMPSApproximationBound is the LPT property test: over random
+// pattern-count vectors, the makespan of the MPS assignment must stay
+// within the classic 4/3 · OPT guarantee, where OPT is lower-bounded by
+// max(ceil-average load, largest partition). Graham's bound is
+// (4/3 − 1/(3m)) · OPT ≤ 4/3 · OPT, so any violation is a real bug, not
+// test flakiness.
+func TestMPSApproximationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(20130522))
+	for trial := 0; trial < 500; trial++ {
+		nParts := 1 + rng.Intn(60)
+		nRanks := 1 + rng.Intn(16)
+		counts := make([]int, nParts)
+		total, largest := 0, 0
+		for i := range counts {
+			// Mix scales: mostly small partitions with occasional huge
+			// ones, the shape that stresses LPT.
+			c := 1 + rng.Intn(50)
+			if rng.Intn(10) == 0 {
+				c = 1 + rng.Intn(5000)
+			}
+			counts[i] = c
+			total += c
+			if c > largest {
+				largest = c
+			}
+		}
+
+		a, err := Compute(MPS, counts, nRanks)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Makespan: the maximum per-rank load; also check the assignment
+		// is a partition (every partition on exactly one rank, whole).
+		seen := make([]bool, nParts)
+		makespan := 0
+		for r := 0; r < nRanks; r++ {
+			load := 0
+			for _, sh := range a.PerRank[r] {
+				if seen[sh.Part] {
+					t.Fatalf("trial %d: partition %d assigned twice", trial, sh.Part)
+				}
+				seen[sh.Part] = true
+				if len(sh.Patterns) != counts[sh.Part] {
+					t.Fatalf("trial %d: partition %d split under MPS", trial, sh.Part)
+				}
+				load += len(sh.Patterns)
+			}
+			if load > makespan {
+				makespan = load
+			}
+		}
+		for p, ok := range seen {
+			if !ok {
+				t.Fatalf("trial %d: partition %d unassigned", trial, p)
+			}
+		}
+
+		optLB := (total + nRanks - 1) / nRanks
+		if largest > optLB {
+			optLB = largest
+		}
+		bound := 4.0 / 3.0 * float64(optLB) * (1 + 1e-9)
+		if float64(makespan) > bound {
+			t.Fatalf("trial %d: makespan %d exceeds 4/3 bound %.1f (counts=%v ranks=%d)",
+				trial, makespan, bound, counts, nRanks)
+		}
+
+		// Determinism: recomputing must give byte-identical assignments —
+		// the property that lets every rank compute the distribution
+		// locally without a broadcast.
+		b, err := Compute(MPS, counts, nRanks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: MPS assignment not deterministic", trial)
+		}
+	}
+}

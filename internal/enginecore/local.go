@@ -42,6 +42,26 @@ type Local struct {
 	rec *telemetry.Recorder
 	// poolStats counts pool activity while telemetry is attached.
 	poolStats *threadpool.Stats
+
+	// Reusable result buffers for the per-call vector outputs below.
+	// Each result is valid until the next call of the same method on
+	// this Local — engines and searchers that need a result across
+	// engine calls copy it into their own storage. This keeps the
+	// steady-state optimization loops allocation-free
+	// (docs/PERFORMANCE.md; asserted by alloc tests in both engines).
+	evalScr, derivScr, perPartScr, srStatsScr []float64
+}
+
+// scratchVec returns *buf resized to n and zeroed.
+func scratchVec(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	v := (*buf)[:n]
+	for i := range v {
+		v[i] = 0
+	}
+	return v
 }
 
 // NewLocal materializes rank's shares and builds kernels. subst decides
@@ -77,6 +97,17 @@ func NewLocal(d *msa.Dataset, a *distrib.Assignment, rank int, het model.Heterog
 
 // Threads reports the rank's intra-rank concurrency.
 func (l *Local) Threads() int { return l.pool.Threads() }
+
+// SetRepeats configures subtree site-repeat compression on every local
+// kernel: on toggles the compressed paths (bit-identical either way),
+// maxMem bounds the bytes of stored class tables per kernel (<= 0 is
+// unbounded). See docs/PERFORMANCE.md.
+func (l *Local) SetRepeats(on bool, maxMem int64) {
+	for _, k := range l.Kernels {
+		k.SetRepeats(on)
+		k.SetRepeatsMaxMem(maxMem)
+	}
+}
 
 // SetRecorder attaches the rank's telemetry recorder: every subsequent
 // kernel operation is timed into per-class spans, and the worker pool
@@ -114,6 +145,13 @@ func (l *Local) Close() {
 			fp.PCacheMisses += s.PCacheMisses
 		}
 		l.rec.SetKernelPerf(fp.FastOps(), fp.GenericOps(), fp.PCacheHits, fp.PCacheMisses)
+		var repComputed, repSaved int64
+		for _, k := range l.Kernels {
+			rs := k.RepeatStats()
+			repComputed += rs.ColsComputed
+			repSaved += rs.ColsSaved
+		}
+		l.rec.SetRepeatStats(repComputed, repSaved)
 		l.rec = nil
 	}
 	l.pool.Close()
@@ -146,8 +184,9 @@ func (l *Local) Traverse(d *traversal.Descriptor) {
 
 // EvaluateLocal traverses and evaluates, returning the local
 // per-partition log-likelihood vector (zeros for unowned partitions).
+// The returned slice is reused by the next EvaluateLocal call.
 func (l *Local) EvaluateLocal(d *traversal.Descriptor) []float64 {
-	vec := make([]float64, l.NPart)
+	vec := scratchVec(&l.evalScr, l.NPart)
 	for i, k := range l.Kernels {
 		cls := l.ClassOf(l.PartIdx[i])
 		t := l.rec.Begin()
@@ -174,11 +213,12 @@ func (l *Local) PrepareLocal(d *traversal.Descriptor) {
 }
 
 // DerivativesLocal returns the local per-class derivative sums packed as
-// [d1_0..d1_{C-1}, d2_0..d2_{C-1}].
+// [d1_0..d1_{C-1}, d2_0..d2_{C-1}]. The returned slice is reused by the
+// next DerivativesLocal call.
 func (l *Local) DerivativesLocal(ts []float64) []float64 {
 	t := l.rec.Begin()
 	classes := l.BLClasses()
-	vec := make([]float64, 2*classes)
+	vec := scratchVec(&l.derivScr, 2*classes)
 	for i, k := range l.Kernels {
 		cls := l.ClassOf(l.PartIdx[i])
 		a, b := k.Derivatives(ts[cls])
@@ -194,10 +234,11 @@ func (l *Local) DerivativesLocal(ts []float64) []float64 {
 // RAxML-Light communicates branch-length derivatives at this granularity
 // regardless of the linkage setting (the caller folds partitions into
 // linkage classes), which is why fork-join branch traffic scales with the
-// partition count.
+// partition count. The returned slice is reused by the next
+// DerivativesPerPartition call.
 func (l *Local) DerivativesPerPartition(ts []float64) []float64 {
 	t := l.rec.Begin()
-	vec := make([]float64, 2*l.NPart)
+	vec := scratchVec(&l.perPartScr, 2*l.NPart)
 	for i, k := range l.Kernels {
 		p := l.PartIdx[i]
 		a, b := k.Derivatives(ts[p])
@@ -230,7 +271,7 @@ func (l *Local) OptimizeSiteRatesLocal(d *traversal.Descriptor) []float64 {
 	t := l.rec.Begin()
 	defer l.rec.EndKernel(telemetry.KernelSiteRates, t)
 	const cells = model.MaxPSRCategories
-	stats := make([]float64, SiteRateCells(l.NPart))
+	stats := scratchVec(&l.srStatsScr, SiteRateCells(l.NPart))
 	for i, k := range l.Kernels {
 		cls := l.ClassOf(l.PartIdx[i])
 		optimizeKernelSiteRates(k, d.Steps[cls], d.P, d.Q, d.T[cls])

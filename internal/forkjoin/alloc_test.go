@@ -1,0 +1,58 @@
+package forkjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/distrib"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/traversal"
+	"repro/internal/tree"
+)
+
+// TestEngineSteadyStateAllocFree mirrors the decentral-engine test: on a
+// single serial rank the warm fork-join master must drive a full
+// Evaluate / PrepareBranch / BranchDerivatives cycle without allocating.
+// This is what the cached opcode buffer, the analytic descriptor-size
+// metering (no worker, no encode), and the engine scratch vectors buy;
+// with real workers the transport copies payloads and allocation is
+// expected.
+func TestEngineSteadyStateAllocFree(t *testing.T) {
+	for _, het := range []model.Heterogeneity{model.Gamma, model.PSR} {
+		d := makeDataset(t, 8, 2, 60, 3)
+		counts := make([]int, d.NPartitions())
+		for i, p := range d.Parts {
+			counts[i] = p.NPatterns()
+		}
+		assign, err := distrib.Compute(distrib.Cyclic, counts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		world := mpi.NewWorld(1)
+		eng, err := NewMaster(world.Comm(0), d, assign, EngineConfig{Het: het, Subst: model.GTR})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+
+		tr := tree.NewRandom(d.Names, 1, rand.New(rand.NewSource(5)))
+		edge := tr.Tip(0)
+		desc := traversal.Build(tr, edge, true)
+		ts := []float64{0.1}
+
+		for i := 0; i < 2; i++ {
+			eng.Evaluate(desc)
+			eng.PrepareBranch(desc)
+			eng.BranchDerivatives(ts)
+		}
+
+		if allocs := testing.AllocsPerRun(50, func() {
+			eng.Evaluate(desc)
+			eng.PrepareBranch(desc)
+			eng.BranchDerivatives(ts)
+		}); allocs != 0 {
+			t.Errorf("%v: steady-state master cycle allocates %.1f times per run", het, allocs)
+		}
+	}
+}

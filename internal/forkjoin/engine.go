@@ -56,6 +56,14 @@ type EngineConfig struct {
 	// (kernel and collective timing; docs/OBSERVABILITY.md). It never
 	// affects results.
 	Recorder *telemetry.Recorder
+	// DisableRepeats turns off subtree site-repeat compression in the
+	// likelihood kernels (docs/PERFORMANCE.md). Ablation only: results
+	// are bit-identical either way.
+	DisableRepeats bool
+	// RepeatsMaxMem caps the per-rank memory (bytes) of the repeat class
+	// tables; 0 means unbounded. Nodes whose table would exceed the cap
+	// fall back to plain computation.
+	RepeatsMaxMem int64
 }
 
 // Engine is the master-side search.Engine. It owns rank 0's data share
@@ -64,6 +72,18 @@ type EngineConfig struct {
 type Engine struct {
 	comm  *mpi.Comm
 	local *enginecore.Local
+
+	// Steady-state scratch: the command byte and the per-call payload
+	// vectors are staged in reusable buffers so the master's inner loops
+	// stay allocation-free (the transports copy payloads on Send, so
+	// reuse across collectives is safe). d1Scr/d2Scr back the
+	// BranchDerivatives result slices — valid until the next call, per
+	// the engine result-lifetime contract.
+	opBuf      [1]byte
+	perPartScr []float64
+	d1Scr      []float64
+	d2Scr      []float64
+	flatScr    []float64
 }
 
 var _ search.Engine = (*Engine)(nil)
@@ -78,13 +98,15 @@ func NewMaster(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, cfg Engine
 		return nil, err
 	}
 	local.SetRecorder(cfg.Recorder)
+	local.SetRepeats(!cfg.DisableRepeats, cfg.RepeatsMaxMem)
 	comm.SetRecorder(cfg.Recorder)
 	return &Engine{comm: comm, local: local}, nil
 }
 
 // command broadcasts the opcode (control traffic).
 func (e *Engine) command(op byte) {
-	e.comm.BcastBytes(0, []byte{op}, mpi.ClassControl)
+	e.opBuf[0] = op
+	e.comm.BcastBytes(0, e.opBuf[:], mpi.ClassControl)
 }
 
 // bcastDescriptor ships the traversal descriptor — the traffic class the
@@ -99,6 +121,17 @@ func (e *Engine) command(op byte) {
 // partition maps to, so semantics are unchanged — only the metered (and
 // historically real) bytes grow.
 func (e *Engine) bcastDescriptor(d *traversal.Descriptor) {
+	if e.comm.Size() == 1 {
+		// No worker would receive the frame: meter the padded wire size
+		// (identical to what Encode would produce) and skip the
+		// encoding, keeping the single-rank hot path allocation-free.
+		classes := len(d.Steps)
+		if classes < e.local.NPart {
+			classes = e.local.NPart
+		}
+		e.comm.MeterOp(mpi.ClassTraversal, d.WireSizeForClasses(classes))
+		return
+	}
 	e.comm.BcastBytes(0, e.padDescriptor(d).Encode(), mpi.ClassTraversal)
 }
 
@@ -168,15 +201,15 @@ func (e *Engine) BranchDerivatives(ts []float64) (d1, d2 []float64) {
 	nPart := e.local.NPart
 	e.comm.Meter().AddRegion(mpi.ClassBranchLength)
 	e.command(opDerivatives)
-	perPart := make([]float64, nPart)
+	perPart := grow(&e.perPartScr, nPart)
 	for p := 0; p < nPart; p++ {
 		perPart[p] = ts[e.local.ClassOf(p)]
 	}
 	e.comm.Bcast(0, perPart, mpi.ClassBranchLength)
 	vec := e.local.DerivativesPerPartition(perPart)
 	out := e.comm.Reduce(0, vec, mpi.OpSum, mpi.ClassBranchLength)
-	d1 = make([]float64, classes)
-	d2 = make([]float64, classes)
+	d1 = grow(&e.d1Scr, classes)
+	d2 = grow(&e.d2Scr, classes)
 	for p := 0; p < nPart; p++ {
 		c := e.local.ClassOf(p)
 		d1[c] += out[p]
@@ -185,16 +218,33 @@ func (e *Engine) BranchDerivatives(ts []float64) (d1, d2 []float64) {
 	return d1, d2
 }
 
+// grow returns (*buf)[:n], reallocating only when capacity is short, and
+// zeroes the returned prefix.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	s := (*buf)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // SetShared implements search.Engine: the master must broadcast the full
 // per-partition parameter matrix (p·SharedLen doubles) — the traffic that
 // becomes bandwidth-bound with many partitions.
 func (e *Engine) SetShared(params [][]float64) {
 	e.comm.Meter().AddRegion(mpi.ClassModelParams)
 	e.command(opSetShared)
-	flat := make([]float64, 0, len(params)*model.SharedLen)
+	if cap(e.flatScr) < len(params)*model.SharedLen {
+		e.flatScr = make([]float64, 0, len(params)*model.SharedLen)
+	}
+	flat := e.flatScr[:0]
 	for _, p := range params {
 		flat = append(flat, p...)
 	}
+	e.flatScr = flat
 	e.comm.Bcast(0, flat, mpi.ClassModelParams)
 	if err := e.local.SetSharedLocal(params); err != nil {
 		panic(fmt.Sprintf("forkjoin: set shared: %v", err))
@@ -327,6 +377,7 @@ func RunWorkerWithStats(comm *mpi.Comm, d *msa.Dataset, a *distrib.Assignment, c
 		return nil, err
 	}
 	local.SetRecorder(cfg.Recorder)
+	local.SetRepeats(!cfg.DisableRepeats, cfg.RepeatsMaxMem)
 	comm.SetRecorder(cfg.Recorder)
 	defer local.Close()
 	if err := runWorkerLoop(comm, local); err != nil {

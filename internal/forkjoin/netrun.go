@@ -56,6 +56,8 @@ func RunOnComm(c *mpi.Comm, d *msa.Dataset, cfg RunConfig) (res *search.Result, 
 		PerPartitionBranches: cfg.Search.PerPartitionBranches,
 		Threads:              cfg.Threads,
 		Recorder:             rec,
+		DisableRepeats:       cfg.DisableRepeats,
+		RepeatsMaxMem:        cfg.RepeatsMaxMem,
 	}
 
 	start := time.Now()

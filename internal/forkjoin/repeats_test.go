@@ -1,0 +1,113 @@
+package forkjoin
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/mpinet"
+	"repro/internal/search"
+)
+
+// requireIdentical asserts two full search results agree bit-for-bit.
+func requireIdentical(t *testing.T, label string, got, want *search.Result) {
+	t.Helper()
+	if math.Float64bits(got.LnL) != math.Float64bits(want.LnL) {
+		t.Errorf("%s: lnL %.17g not bit-identical to %.17g", label, got.LnL, want.LnL)
+	}
+	for p := range want.PerPartitionLnL {
+		if math.Float64bits(got.PerPartitionLnL[p]) != math.Float64bits(want.PerPartitionLnL[p]) {
+			t.Errorf("%s: partition %d lnL not bit-identical", label, p)
+		}
+	}
+	if got.Tree.Newick() != want.Tree.Newick() {
+		t.Errorf("%s: topology differs", label)
+	}
+	if got.Iterations != want.Iterations {
+		t.Errorf("%s: %d iterations vs %d", label, got.Iterations, want.Iterations)
+	}
+}
+
+// TestRepeatsAblationBitIdentical mirrors the decentral-engine test of
+// the same name under the fork-join engine: master-broadcast descriptors
+// execute on workers whose kernels compress site repeats, and the result
+// must match the compression-disabled run bit-for-bit across rate
+// models, thread counts, and traversal modes.
+func TestRepeatsAblationBitIdentical(t *testing.T) {
+	for _, het := range []model.Heterogeneity{model.Gamma, model.PSR} {
+		for _, threads := range []int{1, 4} {
+			d := makeDataset(t, 12, 2, 70, 9)
+			cfg := search.Config{Het: het, Seed: 17, MaxIterations: 2}
+
+			off, _, err := Run(d, RunConfig{Search: cfg, Ranks: 3, Threads: threads, DisableRepeats: true})
+			if err != nil {
+				t.Fatalf("%v T=%d repeats off: %v", het, threads, err)
+			}
+			on, _, err := Run(d, RunConfig{Search: cfg, Ranks: 3, Threads: threads})
+			if err != nil {
+				t.Fatalf("%v T=%d repeats on: %v", het, threads, err)
+			}
+			requireIdentical(t, het.String()+" repeats on vs off", on, off)
+
+			forcedCfg := cfg
+			forcedCfg.ForceFullTraversals = true
+			forced, _, err := Run(d, RunConfig{Search: forcedCfg, Ranks: 3, Threads: threads})
+			if err != nil {
+				t.Fatalf("%v T=%d forced-full: %v", het, threads, err)
+			}
+			requireIdentical(t, het.String()+" repeats+incremental vs forced-full", on, forced)
+		}
+	}
+}
+
+// TestRepeatsOverTCPBitIdentical runs the repeats-enabled fork-join
+// inference over mpinet TCP endpoints (master and workers as separate
+// comm worlds crossing loopback sockets) against the in-process
+// compression-disabled reference.
+func TestRepeatsOverTCPBitIdentical(t *testing.T) {
+	d := makeDataset(t, 8, 2, 60, 3)
+	const ranks = 3
+	cfg := search.Config{Het: model.PSR, Seed: 7, MaxIterations: 2}
+	ref, _, err := Run(d, RunConfig{Search: cfg, Ranks: ranks, DisableRepeats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	results := make([]*search.Result, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := mpinet.Connect(mpinet.Config{Rank: rank, Size: ranks, Addr: addr, Nonce: 77})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			c := mpi.NewComm(tr, rank, ranks, mpi.NewMeter())
+			defer c.Close()
+			res, _, err := RunOnComm(c, d, RunConfig{Search: cfg})
+			results[rank], errs[rank] = res, err
+		}(r)
+	}
+	wg.Wait()
+
+	for r := 0; r < ranks; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+	}
+	// Only the master returns a result under fork-join.
+	requireIdentical(t, "TCP repeats master", results[0], ref)
+}

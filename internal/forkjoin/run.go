@@ -27,6 +27,9 @@ type RunConfig struct {
 	// kernel/collective span timing and search-progress counters
 	// (docs/OBSERVABILITY.md). nil disables instrumentation entirely.
 	Telemetry *telemetry.Collector
+	// DisableRepeats and RepeatsMaxMem mirror EngineConfig.
+	DisableRepeats bool
+	RepeatsMaxMem  int64
 }
 
 // RunStats mirrors decentral.RunStats for apples-to-apples comparisons.
@@ -58,7 +61,14 @@ func Run(d *msa.Dataset, cfg RunConfig) (*search.Result, *RunStats, error) {
 		return nil, nil, err
 	}
 	world := mpi.NewWorld(cfg.Ranks)
-	engCfg := EngineConfig{Het: cfg.Search.Het, Subst: cfg.Search.Subst, PerPartitionBranches: cfg.Search.PerPartitionBranches, Threads: cfg.Threads}
+	engCfg := EngineConfig{
+		Het:                  cfg.Search.Het,
+		Subst:                cfg.Search.Subst,
+		PerPartitionBranches: cfg.Search.PerPartitionBranches,
+		Threads:              cfg.Threads,
+		DisableRepeats:       cfg.DisableRepeats,
+		RepeatsMaxMem:        cfg.RepeatsMaxMem,
+	}
 
 	var result *search.Result
 	columns := make([]int64, cfg.Ranks)

@@ -83,9 +83,20 @@ func (k *Kernel) EvaluateSiteAtRate(steps []Step, p, q NodeRef, rootT float64, s
 		panic(fmt.Sprintf("likelihood: site %d out of range", site))
 	}
 	e := k.par.Eigen
-	// Local per-inner-slot 4-vectors for this site only.
-	vec := make([][ns]float64, k.nInner)
-	scales := make([]int32, k.nInner)
+	// Reusable per-inner-slot 4-vectors for this site only; zeroed each
+	// call since the traversal may not cover every slot. This runs once
+	// per (site, rate) probe in the PSR rate-optimization inner loop, so
+	// it must not allocate.
+	if cap(k.siteVecScr) < k.nInner {
+		k.siteVecScr = make([][ns]float64, k.nInner)
+		k.siteScaleScr = make([]int32, k.nInner)
+	}
+	vec := k.siteVecScr[:k.nInner]
+	scales := k.siteScaleScr[:k.nInner]
+	for i := range vec {
+		vec[i] = [ns]float64{}
+		scales[i] = 0
+	}
 	var pm [ns * ns]float64
 
 	fetch := func(r NodeRef) ([ns]float64, int32) {

@@ -1,0 +1,279 @@
+package likelihood
+
+// This file routes every kernel's block work through one cached closure.
+//
+// Handing the pool a fresh closure per call would heap-allocate on every
+// likelihood operation (the closure escapes into the pool's worker
+// machinery), and the steady-state hot path must run allocation-free
+// (docs/PERFORMANCE.md, asserted by testing.AllocsPerRun in the engine
+// packages). Instead, each kernel stages its per-call operands in k.ra
+// and dispatches on an opcode; the block workers themselves (gamma.go,
+// psr.go) are unchanged, so the computed bits are exactly those of the
+// direct-closure formulation.
+//
+// When ra.overReps is set, the run iterates the repeat-class
+// representative sites (repeats.go) and executes the very same block
+// worker over runs of consecutive representatives (overRepRanges) — the
+// compressed path reuses the plain path's arithmetic verbatim, which is
+// half of the bit-identity argument in docs/DETERMINISM.md §5.
+
+// runOp selects the staged block operation.
+type runOp uint8
+
+const (
+	opNvGammaTipTip runOp = iota
+	opNvGammaTipInner
+	opNvGammaInner
+	opEvalGamma
+	opEvalGammaTip
+	opEvalGammaLnlReps
+	opPrepGamma
+	opPrepGammaFast
+	opDerivGamma
+	opDerivGammaTermsReps
+	opNvPSRFast
+	opNvPSRInner
+	opEvalPSR
+	opEvalPSRTip
+	opEvalPSRLnlReps
+	opPrepPSR
+	opPrepPSRFast
+	opDerivPSR
+	opDerivPSRTermsReps
+	opNvCopyReps
+	opEvalRepsSum
+	opDerivRepsSum
+)
+
+// runArgs stages the operands of the in-flight block operation. Workers
+// only read it; every field is set before runBlocks and stable until
+// the join, so concurrent block execution stays race-free.
+type runArgs struct {
+	op       runOp
+	overReps bool
+
+	dclv   []float64
+	dscale []int32
+	// oa/ob double as Newview's children and Evaluate/Prepare's (p, q).
+	oa, ob operand
+	// pa doubles as Evaluate's single P-matrix set.
+	pa, pb [][ns * ns]float64
+	// tabA/tabB double as the prep tip tables (tabP, tabQ).
+	tabA, tabB []float64
+	pair       []float64
+	catW       float64
+	colLen     int
+
+	cls, reps       []int32
+	clsVal, clsVal2 []float64
+	clsOK           []bool
+
+	exG, lamG *[gammaCats][ns]float64
+	exP, lamP [][ns]float64
+
+	parts []blockPartial
+}
+
+// runBlocks executes the staged operation over n items on the kernel's
+// pool through the cached closure.
+func (k *Kernel) runBlocks(n int) {
+	if k.blockFn == nil {
+		k.blockFn = func(blk, lo, hi int) { k.dispatchBlock(blk, lo, hi) }
+	}
+	k.pool.Run(n, k.blockFn)
+}
+
+// overRepRanges calls f over the representative sites reps[lo:hi],
+// coalescing consecutive site indices into one contiguous range. First
+// occurrences cluster into runs (every site ahead of the first duplicate
+// is its own representative), so this recovers most of the block
+// workers' range-level efficiency. Each column is computed independently
+// by every worker, so splitting the pattern range this way cannot change
+// any bits.
+func overRepRanges(reps []int32, lo, hi int, f func(siteLo, siteHi int)) {
+	for j := lo; j < hi; {
+		i := int(reps[j])
+		e := j + 1
+		for e < hi && int(reps[e]) == i+(e-j) {
+			e++
+		}
+		f(i, i+(e-j))
+		j = e
+	}
+}
+
+// dispatchBlock executes one block of the staged operation.
+func (k *Kernel) dispatchBlock(blk, lo, hi int) {
+	ra := &k.ra
+	switch ra.op {
+	case opNvGammaTipTip:
+		k.newviewGammaTipTipBlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pair, &k.pairScaleScr, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opNvGammaTipInner:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.newviewGammaTipInnerBlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.tabA, ra.tabB, ra.pa, ra.pb, sLo, sHi)
+			})
+			return
+		}
+		k.newviewGammaTipInnerBlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.tabA, ra.tabB, ra.pa, ra.pb, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opNvGammaInner:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.newviewGammaBlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb, sLo, sHi)
+			})
+			return
+		}
+		k.newviewGammaBlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opEvalGamma:
+		ra.parts[blk].lnL = k.evaluateGammaBlock(ra.oa, ra.ob, ra.pa, ra.catW, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opEvalGammaTip:
+		ra.parts[blk].lnL = k.evaluateGammaTipBlock(ra.oa, ra.ob, ra.tabB, ra.catW, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opEvalGammaLnlReps:
+		for j := lo; j < hi; j++ {
+			ra.clsVal[j] = k.evaluateGammaSiteLnl(ra.oa, ra.ob, ra.pa, ra.catW, int(ra.reps[j]))
+		}
+
+	case opPrepGamma:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.prepareGammaBlock(ra.oa, ra.ob, sLo, sHi)
+			})
+			return
+		}
+		k.prepareGammaBlock(ra.oa, ra.ob, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opPrepGammaFast:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.prepareGammaFastBlock(ra.oa, ra.ob, ra.tabA, ra.tabB, sLo, sHi)
+			})
+			return
+		}
+		k.prepareGammaFastBlock(ra.oa, ra.ob, ra.tabA, ra.tabB, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opDerivGamma:
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesGammaBlock(ra.exG, ra.lamG, ra.catW, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opDerivGammaTermsReps:
+		for j := lo; j < hi; j++ {
+			ratio, t2, ok := k.derivGammaSiteTerms(ra.exG, ra.lamG, ra.catW, int(ra.reps[j]))
+			ra.clsVal[j], ra.clsVal2[j], ra.clsOK[j] = ratio, t2, ok
+		}
+
+	case opNvPSRFast:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.newviewPSRFastBlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.tabA, ra.tabB, ra.pa, ra.pb, sLo, sHi)
+			})
+			return
+		}
+		k.newviewPSRFastBlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.tabA, ra.tabB, ra.pa, ra.pb, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opNvPSRInner:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.newviewPSRBlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb, sLo, sHi)
+			})
+			return
+		}
+		k.newviewPSRBlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opEvalPSR:
+		ra.parts[blk].lnL = k.evaluatePSRBlock(ra.oa, ra.ob, ra.pa, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opEvalPSRTip:
+		ra.parts[blk].lnL = k.evaluatePSRTipBlock(ra.oa, ra.ob, ra.tabB, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opEvalPSRLnlReps:
+		for j := lo; j < hi; j++ {
+			ra.clsVal[j] = k.evaluatePSRSiteLnl(ra.oa, ra.ob, ra.pa, int(ra.reps[j]))
+		}
+
+	case opPrepPSR:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.preparePSRBlock(ra.oa, ra.ob, sLo, sHi)
+			})
+			return
+		}
+		k.preparePSRBlock(ra.oa, ra.ob, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opPrepPSRFast:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.preparePSRFastBlock(ra.oa, ra.ob, ra.tabA, ra.tabB, sLo, sHi)
+			})
+			return
+		}
+		k.preparePSRFastBlock(ra.oa, ra.ob, ra.tabA, ra.tabB, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opDerivPSR:
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesPSRBlock(ra.exP, ra.lamP, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opDerivPSRTermsReps:
+		for j := lo; j < hi; j++ {
+			ratio, t2, ok := k.derivPSRSiteTerms(ra.exP, ra.lamP, int(ra.reps[j]))
+			ra.clsVal[j], ra.clsVal2[j], ra.clsOK[j] = ratio, t2, ok
+		}
+
+	case opNvCopyReps:
+		// Materialize duplicate sites from their representative's
+		// freshly computed column — a byte copy, so the duplicate is
+		// bit-identical to what computing it directly would produce.
+		colLen := ra.colLen
+		for i := lo; i < hi; i++ {
+			r := int(ra.reps[ra.cls[i]])
+			if r == i {
+				continue
+			}
+			copy(ra.dclv[i*colLen:(i+1)*colLen], ra.dclv[r*colLen:(r+1)*colLen])
+			ra.dscale[i] = ra.dscale[r]
+		}
+		ra.parts[blk].cols = 0
+
+	case opEvalRepsSum:
+		// Weighted per-site accumulation in the same site and block
+		// order as the plain Evaluate path; lnl values are shared per
+		// class, so the sum's bits match the uncompressed kernel.
+		t := 0.0
+		for i := lo; i < hi; i++ {
+			t += float64(k.data.Weights[i]) * ra.clsVal[ra.cls[i]]
+		}
+		ra.parts[blk].lnL = t
+		ra.parts[blk].cols = 0
+
+	case opDerivRepsSum:
+		var d1, d2 float64
+		for i := lo; i < hi; i++ {
+			c := ra.cls[i]
+			if !ra.clsOK[c] {
+				continue
+			}
+			w := float64(k.data.Weights[i])
+			d1 += w * ra.clsVal[c]
+			d2 += w * ra.clsVal2[c]
+		}
+		ra.parts[blk].d1, ra.parts[blk].d2 = d1, d2
+		ra.parts[blk].cols = 0
+	}
+}

@@ -24,42 +24,68 @@ func (k *Kernel) newviewGamma(dst int32, a, b NodeRef, ta, tb float64) {
 
 	dclv, dscale := k.slot(dst)
 	oa, ob := k.operand(a), k.operand(b)
-	parts := k.blocks()
-	if k.fastOn && oa.tips != nil && ob.tips != nil {
+	ra := &k.ra
+	ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb = dclv, dscale, oa, ob, pa, pb
+	ra.parts = k.blocks()
+	tipTip := oa.tips != nil && ob.tips != nil
+	if cls, reps, n, ok := k.newviewClasses(dst, a, b, oa, ob, tipTip); ok {
+		// Compressed path (repeats.go): one column per repeat class,
+		// computed by the plain path's own block workers one
+		// representative site at a time, then byte-copied to the
+		// duplicates.
+		ra.cls, ra.reps = cls, reps
+		ra.tabA, ra.tabB = nil, nil
+		if k.fastOn && (oa.tips != nil || ob.tips != nil) {
+			k.fp.NewviewTipInner++
+			if oa.tips != nil {
+				ra.tabA = k.tipTabScratch(0, gammaCats)
+				k.fillTipTable(ra.tabA, pa)
+			}
+			if ob.tips != nil {
+				ra.tabB = k.tipTabScratch(1, gammaCats)
+				k.fillTipTable(ra.tabB, pb)
+			}
+			ra.op, ra.overReps = opNvGammaTipInner, true
+		} else {
+			k.fp.NewviewInner++
+			ra.op, ra.overReps = opNvGammaInner, true
+		}
+		k.runBlocks(n)
+		ra.op, ra.overReps, ra.colLen = opNvCopyReps, false, gammaCats*ns
+		k.runBlocks(k.nPat)
+		k.flops.Newview += int64(n) * gammaCats
+		k.reps.Stats.NewviewOps++
+		k.reps.Stats.ColsComputed += int64(n)
+		k.reps.Stats.ColsSaved += int64(k.nPat - n)
+		return
+	}
+	if k.fastOn && tipTip {
 		k.fp.NewviewTipTip++
 		tabA := k.tipTabScratch(0, gammaCats)
 		k.fillTipTable(tabA, pa)
 		tabB := k.tipTabScratch(1, gammaCats)
 		k.fillTipTable(tabB, pb)
-		pair := k.pairTabScratch(gammaCats)
-		k.fillPairTable(pair, &k.pairScaleScr, tabA, tabB, gammaCats)
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			k.newviewGammaTipTipBlock(dclv, dscale, oa, ob, pair, &k.pairScaleScr, lo, hi)
-			parts[blk].cols = int64(hi-lo) * gammaCats
-		})
+		ra.pair = k.pairTabScratch(gammaCats)
+		k.fillPairTable(ra.pair, &k.pairScaleScr, tabA, tabB, gammaCats)
+		ra.op, ra.overReps = opNvGammaTipTip, false
 	} else if k.fastOn && (oa.tips != nil || ob.tips != nil) {
 		k.fp.NewviewTipInner++
-		var tabA, tabB []float64
+		ra.tabA, ra.tabB = nil, nil
 		if oa.tips != nil {
-			tabA = k.tipTabScratch(0, gammaCats)
-			k.fillTipTable(tabA, pa)
+			ra.tabA = k.tipTabScratch(0, gammaCats)
+			k.fillTipTable(ra.tabA, pa)
 		}
 		if ob.tips != nil {
-			tabB = k.tipTabScratch(1, gammaCats)
-			k.fillTipTable(tabB, pb)
+			ra.tabB = k.tipTabScratch(1, gammaCats)
+			k.fillTipTable(ra.tabB, pb)
 		}
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			k.newviewGammaTipInnerBlock(dclv, dscale, oa, ob, tabA, tabB, pa, pb, lo, hi)
-			parts[blk].cols = int64(hi-lo) * gammaCats
-		})
+		ra.op, ra.overReps = opNvGammaTipInner, false
 	} else {
 		k.fp.NewviewInner++
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			k.newviewGammaBlock(dclv, dscale, oa, ob, pa, pb, lo, hi)
-			parts[blk].cols = int64(hi-lo) * gammaCats
-		})
+		ra.op, ra.overReps = opNvGammaInner, false
 	}
-	k.flops.Newview += joinCols(parts)
+	k.runBlocks(k.nPat)
+	k.flops.Newview += joinCols(ra.parts)
 }
 
 // newviewGammaBlock is the generic (inner-inner) per-block worker of
@@ -215,27 +241,31 @@ func (k *Kernel) evaluateGamma(p, q NodeRef, t float64) float64 {
 	catW := k.par.CatWeight()
 
 	op, oq := k.operand(p), k.operand(q)
-	parts := k.blocks()
+	ra := &k.ra
+	ra.oa, ra.ob, ra.pa, ra.catW = op, oq, pm, catW
+	ra.parts = k.blocks()
+	if cls, reps, n, ok := k.evalClasses(p, q, op, oq); ok {
+		// Compressed path: one site-lnl per repeat class at the class's
+		// representative site, then a per-site weighted sum (repeats.go).
+		total := k.evaluateRepeats(opEvalGammaLnlReps, cls, reps, n)
+		k.flops.Evaluate += int64(n) * gammaCats
+		return total
+	}
 	if k.fastOn && oq.tips != nil {
 		k.fp.EvaluateTip++
-		tab := k.tipTabScratch(1, gammaCats)
-		k.fillTipTable(tab, pm)
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			parts[blk].lnL = k.evaluateGammaTipBlock(op, oq, tab, catW, lo, hi)
-			parts[blk].cols = int64(hi-lo) * gammaCats
-		})
+		ra.tabB = k.tipTabScratch(1, gammaCats)
+		k.fillTipTable(ra.tabB, pm)
+		ra.op, ra.overReps = opEvalGammaTip, false
 	} else {
 		k.fp.EvaluateGeneric++
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			parts[blk].lnL = k.evaluateGammaBlock(op, oq, pm, catW, lo, hi)
-			parts[blk].cols = int64(hi-lo) * gammaCats
-		})
+		ra.op, ra.overReps = opEvalGamma, false
 	}
+	k.runBlocks(k.nPat)
 	total := 0.0
-	for b := range parts {
-		total += parts[b].lnL
+	for b := range ra.parts {
+		total += ra.parts[b].lnL
 	}
-	k.flops.Evaluate += joinCols(parts)
+	k.flops.Evaluate += joinCols(ra.parts)
 	return total
 }
 
@@ -324,7 +354,9 @@ func (k *Kernel) prepareDerivativesGamma(p, q NodeRef) {
 	k.sumTab = k.sumTab[:need]
 
 	op, oq := k.operand(p), k.operand(q)
-	parts := k.blocks()
+	ra := &k.ra
+	ra.oa, ra.ob = op, oq
+	ra.parts = k.blocks()
 	if k.fastOn && (op.tips != nil || oq.tips != nil) {
 		k.fp.PrepareTip++
 		tabP, tabQ := k.prepTabScratch()
@@ -334,19 +366,30 @@ func (k *Kernel) prepareDerivativesGamma(p, q NodeRef) {
 		if oq.tips != nil {
 			k.fillPrepTipQ(tabQ)
 		}
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			k.prepareGammaFastBlock(op, oq, tabP, tabQ, lo, hi)
-			parts[blk].cols = int64(hi-lo) * gammaCats
-		})
+		ra.tabA, ra.tabB = tabP, tabQ
+		ra.op = opPrepGammaFast
 	} else {
 		k.fp.PrepareGeneric++
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			k.prepareGammaBlock(op, oq, lo, hi)
-			parts[blk].cols = int64(hi-lo) * gammaCats
-		})
+		ra.op = opPrepGamma
 	}
+	if cls, reps, n, ok := k.evalClasses(p, q, op, oq); ok {
+		// Compressed path: fill the sum table only at the representative
+		// sites and remember the classes for derivativesGamma
+		// (repeats.go). Evaluate may run between Prepare and Derivatives
+		// and reuses the eval scratch, hence the cached copy.
+		k.cachePrepClasses(cls, reps, n)
+		ra.cls, ra.reps = k.prepCls, k.prepReps
+		ra.overReps = true
+		k.runBlocks(n)
+		k.prepared = true
+		k.flops.Derivative += int64(n) * gammaCats
+		return
+	}
+	k.prepRepeats = false
+	ra.overReps = false
+	k.runBlocks(k.nPat)
 	k.prepared = true
-	k.flops.Derivative += joinCols(parts)
+	k.flops.Derivative += joinCols(ra.parts)
 }
 
 // prepareGammaBlock is the generic per-block worker of
@@ -427,8 +470,10 @@ func (k *Kernel) prepareGammaFastBlock(op, oq operand, tabP, tabQ []float64, lo,
 func (k *Kernel) derivativesGamma(t float64) (d1, d2 float64) {
 	e := k.par.Eigen
 	catW := k.par.CatWeight()
-	// Per category, e^{λ_k r_c t} and its λ·r factors.
-	var ex, lam [gammaCats][ns]float64
+	// Per category, e^{λ_k r_c t} and its λ·r factors. Kept in kernel
+	// scratch so staging their pointers in k.ra does not force a heap
+	// escape per call.
+	ex, lam := &k.exGScr, &k.lamGScr
 	for c, r := range k.par.CatRates {
 		for kk := 0; kk < ns; kk++ {
 			l := e.Vals[kk] * r
@@ -436,16 +481,24 @@ func (k *Kernel) derivativesGamma(t float64) (d1, d2 float64) {
 			ex[c][kk] = math.Exp(l * t)
 		}
 	}
-	parts := k.blocks()
-	k.pool.Run(k.nPat, func(blk, lo, hi int) {
-		parts[blk].d1, parts[blk].d2 = k.derivativesGammaBlock(&ex, &lam, catW, lo, hi)
-		parts[blk].cols = int64(hi-lo) * gammaCats
-	})
-	for b := range parts {
-		d1 += parts[b].d1
-		d2 += parts[b].d2
+	ra := &k.ra
+	ra.exG, ra.lamG, ra.catW = ex, lam, catW
+	ra.parts = k.blocks()
+	if k.prepRepeats {
+		// Compressed path: per-class Newton terms at the representative
+		// sites cached by prepareDerivativesGamma, then a per-site
+		// weighted sum (repeats.go).
+		d1, d2 = k.derivativesRepeats(opDerivGammaTermsReps)
+		k.flops.Derivative += int64(k.prepN) * gammaCats
+		return d1, d2
 	}
-	k.flops.Derivative += joinCols(parts)
+	ra.op, ra.overReps = opDerivGamma, false
+	k.runBlocks(k.nPat)
+	for b := range ra.parts {
+		d1 += ra.parts[b].d1
+		d2 += ra.parts[b].d2
+	}
+	k.flops.Derivative += joinCols(ra.parts)
 	return d1, d2
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/msa"
+	"repro/internal/repeats"
 	"repro/internal/threadpool"
 )
 
@@ -118,6 +119,45 @@ type Kernel struct {
 	prepTabQ     []float64
 	fp           FastPathStats
 
+	// Site-repeat state (repeats.go + internal/repeats): repOn enables
+	// subtree repeat compression (default on, bit-identical either
+	// way); repMaxMem bounds the stored class tables; reps is created
+	// lazily. tipClsScr/evalCls/evalReps are conversion and edge-class
+	// scratch; prepCls/prepReps/prepN cache the classes of a sparse
+	// PrepareDerivatives (prepRepeats marks the sum table as sparse);
+	// clsVal/clsVal2/clsOK hold per-class phase-1 results.
+	repOn       bool
+	repMaxMem   int64
+	reps        *repeats.State
+	tipClsScr   [2][]int32
+	evalCls     []int32
+	evalReps    []int32
+	prepCls     []int32
+	prepReps    []int32
+	prepN       int
+	prepRepeats bool
+	clsVal      []float64
+	clsVal2     []float64
+	clsOK       []bool
+
+	// exGScr/lamGScr (Γ) and exPScr/lamPScr (PSR) are the derivative
+	// exponential tables — kernel fields so the staged run arguments
+	// never point into a stack frame (which would force a per-call
+	// heap allocation).
+	exGScr, lamGScr [gammaCats][ns]float64
+	exPScr, lamPScr [][ns]float64
+
+	// ra stages the operands of the in-flight block operation and
+	// blockFn is the single cached closure handed to the pool
+	// (dispatch.go) — together they keep kernel calls allocation-free.
+	ra      runArgs
+	blockFn func(blk, lo, hi int)
+
+	// siteVecScr/siteScaleScr are EvaluateSiteAtRate's per-site
+	// pruning scratch (the PSR site-rate inner loop).
+	siteVecScr   [][ns]float64
+	siteScaleScr []int32
+
 	flops FlopCount
 }
 
@@ -203,6 +243,7 @@ func NewKernel(data *msa.PartitionData, par *model.Params, nInner int) (*Kernel,
 		scale:  make([][]int32, nInner),
 		fastOn: true,
 		pcOn:   true,
+		repOn:  true,
 	}
 	for s := msa.State(1); s <= 15; s++ {
 		k.tipVec[s] = s.TipVector()
@@ -250,14 +291,20 @@ func (k *Kernel) slot(i int32) ([]float64, []int32) {
 // InvalidateAll drops all CLVs (used after model changes that the caller
 // follows with a full traversal, and by fault-recovery redistribution).
 // The P-matrix cache is dropped too: InvalidateAll callers may mutate
-// parameters (site rates) without a Rebuild.
+// parameters (site rates) without a Rebuild. Repeat class tables go with
+// the CLVs they describe — a site-rate reassignment changes the PSR tip
+// class codes.
 func (k *Kernel) InvalidateAll() {
 	for i := range k.clv {
 		k.clv[i] = nil
 		k.scale[i] = nil
 	}
 	k.prepared = false
+	k.prepRepeats = false
 	k.pcache = nil
+	if k.reps != nil {
+		k.reps.Reset()
+	}
 }
 
 // probMatrices fills one P matrix per rate category for branch length t.

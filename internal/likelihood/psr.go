@@ -21,7 +21,9 @@ func (k *Kernel) newviewPSR(dst int32, a, b NodeRef, ta, tb float64) {
 
 	dclv, dscale := k.slot(dst)
 	oa, ob := k.operand(a), k.operand(b)
-	parts := k.blocks()
+	ra := &k.ra
+	ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb = dclv, dscale, oa, ob, pa, pb
+	ra.parts = k.blocks()
 	if k.fastOn && (oa.tips != nil || ob.tips != nil) {
 		if oa.tips != nil && ob.tips != nil {
 			k.fp.NewviewTipTip++
@@ -29,27 +31,38 @@ func (k *Kernel) newviewPSR(dst int32, a, b NodeRef, ta, tb float64) {
 			k.fp.NewviewTipInner++
 		}
 		nc := len(k.par.CatRates)
-		var tabA, tabB []float64
+		ra.tabA, ra.tabB = nil, nil
 		if oa.tips != nil {
-			tabA = k.tipTabScratch(0, nc)
-			k.fillTipTable(tabA, pa)
+			ra.tabA = k.tipTabScratch(0, nc)
+			k.fillTipTable(ra.tabA, pa)
 		}
 		if ob.tips != nil {
-			tabB = k.tipTabScratch(1, nc)
-			k.fillTipTable(tabB, pb)
+			ra.tabB = k.tipTabScratch(1, nc)
+			k.fillTipTable(ra.tabB, pb)
 		}
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			k.newviewPSRFastBlock(dclv, dscale, oa, ob, tabA, tabB, pa, pb, lo, hi)
-			parts[blk].cols = int64(hi - lo)
-		})
+		ra.op = opNvPSRFast
 	} else {
 		k.fp.NewviewInner++
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			k.newviewPSRBlock(dclv, dscale, oa, ob, pa, pb, lo, hi)
-			parts[blk].cols = int64(hi - lo)
-		})
+		ra.op = opNvPSRInner
 	}
-	k.flops.Newview += joinCols(parts)
+	// Unlike Γ, the PSR tip-tip fast path still computes per site (the
+	// per-site category forbids a pair table), so the compressed path
+	// applies to every operand shape; tipTip=false skips the Γ-only gate.
+	if cls, reps, n, ok := k.newviewClasses(dst, a, b, oa, ob, false); ok {
+		ra.cls, ra.reps = cls, reps
+		ra.overReps = true
+		k.runBlocks(n)
+		ra.op, ra.overReps, ra.colLen = opNvCopyReps, false, ns
+		k.runBlocks(k.nPat)
+		k.flops.Newview += int64(n)
+		k.reps.Stats.NewviewOps++
+		k.reps.Stats.ColsComputed += int64(n)
+		k.reps.Stats.ColsSaved += int64(k.nPat - n)
+		return
+	}
+	ra.overReps = false
+	k.runBlocks(k.nPat)
+	k.flops.Newview += joinCols(ra.parts)
 }
 
 // newviewPSRBlock is the generic per-block worker of newviewPSR.
@@ -157,27 +170,29 @@ func (k *Kernel) evaluatePSR(p, q NodeRef, t float64) float64 {
 	pm := k.probMatricesFor(t, 0)
 
 	op, oq := k.operand(p), k.operand(q)
-	parts := k.blocks()
+	ra := &k.ra
+	ra.oa, ra.ob, ra.pa = op, oq, pm
+	ra.parts = k.blocks()
+	if cls, reps, n, ok := k.evalClasses(p, q, op, oq); ok {
+		total := k.evaluateRepeats(opEvalPSRLnlReps, cls, reps, n)
+		k.flops.Evaluate += int64(n)
+		return total
+	}
 	if k.fastOn && oq.tips != nil {
 		k.fp.EvaluateTip++
-		tab := k.tipTabScratch(1, len(k.par.CatRates))
-		k.fillTipTable(tab, pm)
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			parts[blk].lnL = k.evaluatePSRTipBlock(op, oq, tab, lo, hi)
-			parts[blk].cols = int64(hi - lo)
-		})
+		ra.tabB = k.tipTabScratch(1, len(k.par.CatRates))
+		k.fillTipTable(ra.tabB, pm)
+		ra.op, ra.overReps = opEvalPSRTip, false
 	} else {
 		k.fp.EvaluateGeneric++
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			parts[blk].lnL = k.evaluatePSRBlock(op, oq, pm, lo, hi)
-			parts[blk].cols = int64(hi - lo)
-		})
+		ra.op, ra.overReps = opEvalPSR, false
 	}
+	k.runBlocks(k.nPat)
 	total := 0.0
-	for b := range parts {
-		total += parts[b].lnL
+	for b := range ra.parts {
+		total += ra.parts[b].lnL
 	}
-	k.flops.Evaluate += joinCols(parts)
+	k.flops.Evaluate += joinCols(ra.parts)
 	return total
 }
 
@@ -253,7 +268,9 @@ func (k *Kernel) prepareDerivativesPSR(p, q NodeRef) {
 	k.sumTab = k.sumTab[:need]
 
 	op, oq := k.operand(p), k.operand(q)
-	parts := k.blocks()
+	ra := &k.ra
+	ra.oa, ra.ob = op, oq
+	ra.parts = k.blocks()
 	if k.fastOn && (op.tips != nil || oq.tips != nil) {
 		k.fp.PrepareTip++
 		tabP, tabQ := k.prepTabScratch()
@@ -263,19 +280,26 @@ func (k *Kernel) prepareDerivativesPSR(p, q NodeRef) {
 		if oq.tips != nil {
 			k.fillPrepTipQ(tabQ)
 		}
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			k.preparePSRFastBlock(op, oq, tabP, tabQ, lo, hi)
-			parts[blk].cols = int64(hi - lo)
-		})
+		ra.tabA, ra.tabB = tabP, tabQ
+		ra.op = opPrepPSRFast
 	} else {
 		k.fp.PrepareGeneric++
-		k.pool.Run(k.nPat, func(blk, lo, hi int) {
-			k.preparePSRBlock(op, oq, lo, hi)
-			parts[blk].cols = int64(hi - lo)
-		})
+		ra.op = opPrepPSR
 	}
+	if cls, reps, n, ok := k.evalClasses(p, q, op, oq); ok {
+		k.cachePrepClasses(cls, reps, n)
+		ra.cls, ra.reps = k.prepCls, k.prepReps
+		ra.overReps = true
+		k.runBlocks(n)
+		k.prepared = true
+		k.flops.Derivative += int64(n)
+		return
+	}
+	k.prepRepeats = false
+	ra.overReps = false
+	k.runBlocks(k.nPat)
 	k.prepared = true
-	k.flops.Derivative += joinCols(parts)
+	k.flops.Derivative += joinCols(ra.parts)
 }
 
 // preparePSRBlock is the generic per-block worker of
@@ -344,9 +368,9 @@ func (k *Kernel) preparePSRFastBlock(op, oq operand, tabP, tabQ []float64, lo, h
 // table.
 func (k *Kernel) derivativesPSR(t float64) (d1, d2 float64) {
 	e := k.par.Eigen
-	nc := len(k.par.CatRates)
-	ex := make([][ns]float64, nc)
-	lam := make([][ns]float64, nc)
+	// Per category, e^{λ_k r_c t} and its λ·r factors, in kernel scratch
+	// so the hot path stays allocation-free.
+	ex, lam := k.psrExLamScratch(len(k.par.CatRates))
 	for c, r := range k.par.CatRates {
 		for kk := 0; kk < ns; kk++ {
 			l := e.Vals[kk] * r
@@ -354,17 +378,32 @@ func (k *Kernel) derivativesPSR(t float64) (d1, d2 float64) {
 			ex[c][kk] = math.Exp(l * t)
 		}
 	}
-	parts := k.blocks()
-	k.pool.Run(k.nPat, func(blk, lo, hi int) {
-		parts[blk].d1, parts[blk].d2 = k.derivativesPSRBlock(ex, lam, lo, hi)
-		parts[blk].cols = int64(hi - lo)
-	})
-	for b := range parts {
-		d1 += parts[b].d1
-		d2 += parts[b].d2
+	ra := &k.ra
+	ra.exP, ra.lamP = ex, lam
+	ra.parts = k.blocks()
+	if k.prepRepeats {
+		d1, d2 = k.derivativesRepeats(opDerivPSRTermsReps)
+		k.flops.Derivative += int64(k.prepN)
+		return d1, d2
 	}
-	k.flops.Derivative += joinCols(parts)
+	ra.op, ra.overReps = opDerivPSR, false
+	k.runBlocks(k.nPat)
+	for b := range ra.parts {
+		d1 += ra.parts[b].d1
+		d2 += ra.parts[b].d2
+	}
+	k.flops.Derivative += joinCols(ra.parts)
 	return d1, d2
+}
+
+// psrExLamScratch returns the kernel's reusable per-category exponent
+// and eigenvalue-factor buffers, sized for nc categories.
+func (k *Kernel) psrExLamScratch(nc int) (ex, lam [][ns]float64) {
+	if cap(k.exPScr) < nc {
+		k.exPScr = make([][ns]float64, nc)
+		k.lamPScr = make([][ns]float64, nc)
+	}
+	return k.exPScr[:nc], k.lamPScr[:nc]
 }
 
 // derivativesPSRBlock is the per-block worker of derivativesPSR.

@@ -1,0 +1,359 @@
+package likelihood
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/repeats"
+)
+
+// This file integrates subtree site-repeat compression
+// (internal/repeats, docs/PERFORMANCE.md) into the three kernels.
+//
+// Newview computes one CLV column per repeat class — using the very
+// block workers of the plain path, one representative site at a time —
+// and byte-copies it to the duplicate sites. Evaluate and the
+// derivative pipeline compute their expensive per-site quantities (the
+// site log likelihood; the Newton ratio and curvature terms) once per
+// class at the representative site with the exact per-site expressions
+// of the plain blocks, then accumulate weight-multiplied contributions
+// per site in the plain path's site and block order. Same values in the
+// same order means the same bits at any thread count — the reasoning is
+// spelled out in docs/DETERMINISM.md §5.
+//
+// Like the fast-path switches, SetRepeats is a pure ablation toggle:
+// results are bit-identical on or off (asserted by repeats_test.go on
+// both engines and both transports).
+
+// SetRepeats toggles subtree site-repeat compression (on by default).
+// Results are bit-identical either way; the switch exists for identity
+// tests, benchmarking, and as an escape hatch. Turning it off drops all
+// class tables and their counters.
+func (k *Kernel) SetRepeats(on bool) {
+	k.repOn = on
+	if !on {
+		k.reps = nil
+		k.prepRepeats = false
+		// A sum table prepared sparsely (per class) is unusable by the
+		// plain Derivatives path; force a re-preparation.
+		k.prepared = false
+	}
+}
+
+// Repeats reports whether site-repeat compression is enabled.
+func (k *Kernel) Repeats() bool { return k.repOn }
+
+// SetRepeatsMaxMem bounds the bytes of stored class tables; <= 0 means
+// unbounded (the default). When a Newview's table would exceed the
+// budget it is not stored and ancestors fall back to plain computation.
+func (k *Kernel) SetRepeatsMaxMem(b int64) {
+	k.repMaxMem = b
+	if k.reps != nil {
+		k.reps.SetMaxMem(b)
+	}
+}
+
+// RepeatStats returns the kernel's repeat activity counters.
+func (k *Kernel) RepeatStats() repeats.Stats {
+	if k.reps == nil {
+		return repeats.Stats{}
+	}
+	return k.reps.Stats
+}
+
+// RepeatMemUsed returns the bytes held by stored class tables.
+func (k *Kernel) RepeatMemUsed() int64 {
+	if k.reps == nil {
+		return 0
+	}
+	return k.reps.MemUsed()
+}
+
+// repState returns (creating on demand) the kernel's repeat state.
+func (k *Kernel) repState() *repeats.State {
+	if k.reps == nil {
+		k.reps = repeats.New(k.nPat, k.nInner, k.repMaxMem)
+	}
+	return k.reps
+}
+
+// operandClasses resolves an operand's class slice: tips are converted
+// into scratch, inner slots read their stored table (nil when the
+// table is unavailable, forcing a fallback). Under Γ the ambiguity code
+// alone determines a tip's CLV contribution; under PSR the per-site
+// rate category selects the P matrix, so it joins the code (states use
+// 4 bits; categories are < MaxPSRCategories). Inner-operand classes
+// inherit the category information inductively.
+func (k *Kernel) operandClasses(r NodeRef, o operand, side int) []int32 {
+	if o.tips != nil {
+		dst := k.tipClsScratch(side)
+		if k.par.Het == model.Gamma {
+			for i, s := range o.tips {
+				dst[i] = int32(s)
+			}
+		} else {
+			cats := k.par.SiteCats
+			for i, s := range o.tips {
+				dst[i] = int32(s) | int32(cats[i])<<4
+			}
+		}
+		return dst
+	}
+	cls, _ := k.reps.Classes(int(r.Idx))
+	return cls
+}
+
+// newviewClasses computes (and stores) dst's repeat classes from its
+// children and decides whether the compressed Newview path applies.
+// Even when the compute path is declined — too few duplicates, or the
+// tip-tip pair-table path which is already a per-site copy — the table
+// is still stored so ancestors can compress.
+func (k *Kernel) newviewClasses(dst int32, a, b NodeRef, oa, ob operand, tipTip bool) (cls, reps []int32, n int, ok bool) {
+	if !k.repOn {
+		return nil, nil, 0, false
+	}
+	st := k.repState()
+	ca := k.operandClasses(a, oa, 0)
+	cb := k.operandClasses(b, ob, 1)
+	if ca == nil || cb == nil {
+		// A child's subtree classes are unknown; dst's would be wrong,
+		// so drop its table too and compute plainly.
+		st.Drop(int(dst))
+		st.Stats.NewviewFallbacks++
+		return nil, nil, 0, false
+	}
+	cls, reps, n = st.Assign(int(dst), ca, cb)
+	// Compute-path gate (strictly a performance heuristic — both paths
+	// are bit-identical): require at least 1/8 duplicate sites, and
+	// skip the Γ/PSR tip-tip fast path, which already collapses the
+	// per-site work to a table copy.
+	if 8*n > 7*k.nPat || (k.fastOn && tipTip) {
+		st.Stats.NewviewFallbacks++
+		return nil, nil, 0, false
+	}
+	return cls, reps, n, true
+}
+
+// evalClasses computes the transient classes of the virtual-root edge
+// (p, q) for Evaluate/PrepareDerivatives, without storing anything.
+func (k *Kernel) evalClasses(p, q NodeRef, op, oq operand) (cls, reps []int32, n int, ok bool) {
+	if !k.repOn {
+		return nil, nil, 0, false
+	}
+	st := k.repState()
+	cp := k.operandClasses(p, op, 0)
+	cq := k.operandClasses(q, oq, 1)
+	if cp == nil || cq == nil {
+		st.Stats.EvalFallbacks++
+		return nil, nil, 0, false
+	}
+	cls, reps = k.evalClsScratch()
+	n = st.AssignInto(cp, cq, cls, reps)
+	if 8*n > 7*k.nPat {
+		st.Stats.EvalFallbacks++
+		return nil, nil, 0, false
+	}
+	st.Stats.EvalOps++
+	return cls, reps, n, true
+}
+
+// evaluateRepeats runs the two-phase compressed Evaluate: one site log
+// likelihood per class at its representative (lnlOp), then the
+// weight-multiplied per-site accumulation in plain block order.
+func (k *Kernel) evaluateRepeats(lnlOp runOp, cls, reps []int32, n int) float64 {
+	ra := &k.ra
+	ra.cls, ra.reps = cls, reps
+	ra.clsVal = k.clsValScratch(n)
+	ra.op, ra.overReps = lnlOp, true
+	k.runBlocks(n)
+	ra.op, ra.overReps = opEvalRepsSum, false
+	k.runBlocks(k.nPat)
+	total := 0.0
+	for b := range ra.parts {
+		total += ra.parts[b].lnL
+	}
+	return total
+}
+
+// derivativesRepeats runs the two-phase compressed Derivatives against
+// the classes cached by the sparse PrepareDerivatives.
+func (k *Kernel) derivativesRepeats(termsOp runOp) (d1, d2 float64) {
+	ra := &k.ra
+	n := k.prepN
+	ra.cls, ra.reps = k.prepCls, k.prepReps
+	ra.clsVal, ra.clsVal2, ra.clsOK = k.clsTermScratch(n)
+	ra.op, ra.overReps = termsOp, true
+	k.runBlocks(n)
+	ra.op, ra.overReps = opDerivRepsSum, false
+	k.runBlocks(k.nPat)
+	for b := range ra.parts {
+		d1 += ra.parts[b].d1
+		d2 += ra.parts[b].d2
+	}
+	return d1, d2
+}
+
+// cachePrepClasses copies the edge classes into prep-owned buffers:
+// the eval scratch is clobbered by any Evaluate between
+// PrepareDerivatives and the Derivatives calls that consume it.
+func (k *Kernel) cachePrepClasses(cls, reps []int32, n int) {
+	k.prepCls = append(k.prepCls[:0], cls...)
+	k.prepReps = append(k.prepReps[:0], reps[:n]...)
+	k.prepN = n
+	k.prepRepeats = true
+}
+
+// --- per-site mirrors of the plain block workers ------------------------
+//
+// Each helper below must stay in lockstep with its block worker: the
+// compressed path is bit-identical to the plain path only because these
+// bodies evaluate the same expressions on the same operands in the same
+// order (minus the pattern-weight multiply, which moves to the ordered
+// per-site accumulation phase).
+
+// evaluateGammaSiteLnl mirrors one site of evaluateGammaBlock.
+func (k *Kernel) evaluateGammaSiteLnl(op, oq operand, pm [][ns * ns]float64, catW float64, i int) float64 {
+	freqs := &k.par.Freqs
+	site := 0.0
+	base := i * gammaCats * ns
+	for c := 0; c < gammaCats; c++ {
+		pc := &pm[c]
+		var vp, vq [ns]float64
+		if op.tips != nil {
+			vp = k.tipVec[op.tips[i]]
+		} else {
+			off := base + c*ns
+			vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
+		}
+		if oq.tips != nil {
+			vq = k.tipVec[oq.tips[i]]
+		} else {
+			off := base + c*ns
+			vq[0], vq[1], vq[2], vq[3] = oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
+		}
+		for x := 0; x < ns; x++ {
+			right := pc[x*ns]*vq[0] + pc[x*ns+1]*vq[1] + pc[x*ns+2]*vq[2] + pc[x*ns+3]*vq[3]
+			site += freqs[x] * vp[x] * right * catW
+		}
+	}
+	var sc int32
+	if op.scale != nil {
+		sc += op.scale[i]
+	}
+	if oq.scale != nil {
+		sc += oq.scale[i]
+	}
+	return math.Log(site) + float64(sc)*LogScaleStep
+}
+
+// evaluatePSRSiteLnl mirrors one site of evaluatePSRBlock.
+func (k *Kernel) evaluatePSRSiteLnl(op, oq operand, pm [][ns * ns]float64, i int) float64 {
+	cats := k.par.SiteCats
+	freqs := &k.par.Freqs
+	pc := &pm[cats[i]]
+	var vp, vq [ns]float64
+	off := i * ns
+	if op.tips != nil {
+		vp = k.tipVec[op.tips[i]]
+	} else {
+		vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
+	}
+	if oq.tips != nil {
+		vq = k.tipVec[oq.tips[i]]
+	} else {
+		vq[0], vq[1], vq[2], vq[3] = oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
+	}
+	site := 0.0
+	for x := 0; x < ns; x++ {
+		right := pc[x*ns]*vq[0] + pc[x*ns+1]*vq[1] + pc[x*ns+2]*vq[2] + pc[x*ns+3]*vq[3]
+		site += freqs[x] * vp[x] * right
+	}
+	var sc int32
+	if op.scale != nil {
+		sc += op.scale[i]
+	}
+	if oq.scale != nil {
+		sc += oq.scale[i]
+	}
+	return math.Log(site) + float64(sc)*LogScaleStep
+}
+
+// derivGammaSiteTerms mirrors one site of derivativesGammaBlock up to
+// (but not including) the weight multiply, returning the Newton ratio
+// and curvature terms; ok is false for the sites the plain path skips.
+func (k *Kernel) derivGammaSiteTerms(ex, lam *[gammaCats][ns]float64, catW float64, i int) (ratio, t2 float64, ok bool) {
+	var f, fp, fpp float64
+	base := i * gammaCats * ns
+	for c := 0; c < gammaCats; c++ {
+		off := base + c*ns
+		for kk := 0; kk < ns; kk++ {
+			term := k.sumTab[off+kk] * ex[c][kk]
+			l := lam[c][kk]
+			f += term
+			fp += l * term
+			fpp += l * l * term
+		}
+	}
+	f *= catW
+	fp *= catW
+	fpp *= catW
+	if f <= 0 || math.IsNaN(f) {
+		return 0, 0, false
+	}
+	ratio = fp / f
+	return ratio, fpp/f - ratio*ratio, true
+}
+
+// derivPSRSiteTerms mirrors one site of derivativesPSRBlock.
+func (k *Kernel) derivPSRSiteTerms(ex, lam [][ns]float64, i int) (ratio, t2 float64, ok bool) {
+	c := k.par.SiteCats[i]
+	off := i * ns
+	var f, fp, fpp float64
+	for kk := 0; kk < ns; kk++ {
+		term := k.sumTab[off+kk] * ex[c][kk]
+		l := lam[c][kk]
+		f += term
+		fp += l * term
+		fpp += l * l * term
+	}
+	if f <= 0 || math.IsNaN(f) {
+		return 0, 0, false
+	}
+	ratio = fp / f
+	return ratio, fpp/f - ratio*ratio, true
+}
+
+// --- scratch ------------------------------------------------------------
+
+func (k *Kernel) tipClsScratch(side int) []int32 {
+	if cap(k.tipClsScr[side]) < k.nPat {
+		k.tipClsScr[side] = make([]int32, k.nPat)
+	}
+	return k.tipClsScr[side][:k.nPat]
+}
+
+func (k *Kernel) evalClsScratch() (cls, reps []int32) {
+	if cap(k.evalCls) < k.nPat {
+		k.evalCls = make([]int32, k.nPat)
+		k.evalReps = make([]int32, k.nPat)
+	}
+	return k.evalCls[:k.nPat], k.evalReps[:k.nPat]
+}
+
+func (k *Kernel) clsValScratch(n int) []float64 {
+	if cap(k.clsVal) < n {
+		k.clsVal = make([]float64, n)
+	}
+	return k.clsVal[:n]
+}
+
+func (k *Kernel) clsTermScratch(n int) (v1, v2 []float64, ok []bool) {
+	if cap(k.clsVal) < n {
+		k.clsVal = make([]float64, n)
+	}
+	if cap(k.clsVal2) < n {
+		k.clsVal2 = make([]float64, n)
+		k.clsOK = make([]bool, n)
+	}
+	return k.clsVal[:n], k.clsVal2[:n], k.clsOK[:n]
+}

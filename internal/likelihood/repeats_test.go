@@ -1,0 +1,108 @@
+package likelihood_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/threadpool"
+)
+
+// repFixture rebuilds the deterministic threaded fixture with site-repeat
+// compression switched on or off (the fast paths stay at their default —
+// enabled — so the compressed path composes with them exactly as in
+// production).
+func repFixture(t *testing.T, het model.Heterogeneity, threads int, repeats bool) (*fixture, *threadpool.Pool) {
+	t.Helper()
+	f, pool := threadedFixture(t, het, threads)
+	f.kern.SetRepeats(repeats)
+	return f, pool
+}
+
+// TestRepeatsBitIdenticalToPlain is the site-repeat determinism contract
+// (docs/DETERMINISM.md §5): with subtree repeat compression enabled,
+// every observable kernel output — log likelihood, both derivatives at
+// several branch lengths, and every inner CLV byte — matches the plain
+// per-site path exactly, for both rate models and across thread counts.
+// Representative columns are byte-copied to their duplicates and the
+// per-class combines run in plain site order, so this equality holds by
+// construction; the test pins it.
+func TestRepeatsBitIdenticalToPlain(t *testing.T) {
+	for _, het := range []model.Heterogeneity{model.Gamma, model.PSR} {
+		for _, threads := range []int{0, 1, 4} {
+			plain, plainPool := repFixture(t, het, threads, false)
+			want, wantRev := traceKernelFull(plain)
+			if rs := plain.kern.RepeatStats(); rs.NewviewOps != 0 || rs.EvalOps != 0 {
+				t.Fatalf("%v T=%d: disabled repeats still dispatched: %+v", het, threads, rs)
+			}
+			plainPool.Close()
+
+			f, pool := repFixture(t, het, threads, true)
+			got, gotRev := traceKernelFull(f)
+			compareTraces(t, het.String()+" repeats", got, want, gotRev, wantRev)
+
+			// The fixture has subtree-repeating sites at the lower
+			// vertices, so the compressed path must actually have fired
+			// and saved columns — otherwise this test pins nothing.
+			rs := f.kern.RepeatStats()
+			if rs.NewviewOps == 0 {
+				t.Errorf("%v T=%d: compressed newview never fired: %+v", het, threads, rs)
+			}
+			if rs.ColsSaved == 0 {
+				t.Errorf("%v T=%d: no CLV columns saved: %+v", het, threads, rs)
+			}
+			if f.kern.RepeatMemUsed() == 0 {
+				t.Errorf("%v T=%d: no class tables stored", het, threads)
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestRepeatsMemoryCapFallback squeezes the class-table budget to a
+// single table: most Newview calls must fall back to plain computation
+// (counted as store skips and fallbacks), and the results must still be
+// bit-identical — the cap is a memory knob, never a semantics knob.
+func TestRepeatsMemoryCapFallback(t *testing.T) {
+	for _, het := range []model.Heterogeneity{model.Gamma, model.PSR} {
+		plain, plainPool := repFixture(t, het, 0, false)
+		want, wantRev := traceKernelFull(plain)
+		plainPool.Close()
+
+		f, _ := repFixture(t, het, 0, true)
+		f.kern.SetRepeatsMaxMem(int64(4 * f.kern.NPatterns())) // one table
+		got, gotRev := traceKernelFull(f)
+		compareTraces(t, het.String()+" capped repeats", got, want, gotRev, wantRev)
+
+		rs := f.kern.RepeatStats()
+		if rs.StoreSkips == 0 {
+			t.Errorf("%v: budget of one table produced no store skips: %+v", het, rs)
+		}
+		if rs.NewviewFallbacks == 0 {
+			t.Errorf("%v: missing child tables produced no fallbacks: %+v", het, rs)
+		}
+		if used := f.kern.RepeatMemUsed(); used > int64(4*f.kern.NPatterns()) {
+			t.Errorf("%v: %d bytes stored exceeds the cap", het, used)
+		}
+	}
+}
+
+// TestRepeatsToggleMidStream flips compression off and on again on a
+// live kernel: each phase must reproduce the plain kernel bit-for-bit
+// (the off-switch also invalidates the sparse derivative preparation, so
+// a stale prepared state can never leak across the toggle).
+func TestRepeatsToggleMidStream(t *testing.T) {
+	plain, _ := repFixture(t, model.Gamma, 0, false)
+	want, wantRev := traceKernelFull(plain)
+
+	f, _ := repFixture(t, model.Gamma, 0, true)
+	got, gotRev := traceKernelFull(f)
+	compareTraces(t, "phase on", got, want, gotRev, wantRev)
+
+	f.kern.SetRepeats(false)
+	got, gotRev = traceKernelFull(f)
+	compareTraces(t, "phase off", got, want, gotRev, wantRev)
+
+	f.kern.SetRepeats(true)
+	got, gotRev = traceKernelFull(f)
+	compareTraces(t, "phase on again", got, want, gotRev, wantRev)
+}

@@ -157,10 +157,14 @@ func (p *Params) Check() error {
 // fork-join master broadcasts whenever a proposal changes them, and the
 // quantity Table I meters as "model parameters" traffic.
 func (p *Params) EncodeShared() []float64 {
-	out := make([]float64, 0, 1+NumRates)
+	return p.AppendShared(make([]float64, 0, 1+NumRates))
+}
+
+// AppendShared appends the EncodeShared vector to out, allocation-free
+// when out has capacity.
+func (p *Params) AppendShared(out []float64) []float64 {
 	out = append(out, p.Alpha)
-	out = append(out, p.Rates[:]...)
-	return out
+	return append(out, p.Rates[:]...)
 }
 
 // SharedLen is the number of doubles EncodeShared produces.

@@ -194,6 +194,14 @@ func (c *Comm) Size() int { return c.size }
 // over a network transport, where rank 0's meter carries the totals).
 func (c *Comm) Meter() *Meter { return c.meter }
 
+// MeterOp accounts one logical collective of the given class carrying
+// `bytes` payload bytes without performing any communication. Engines use
+// it on paths where the real payload is provably elided — e.g. a
+// single-rank fork-join master that skips encoding a descriptor nobody
+// would receive — so Table I accounting stays identical to a multi-rank
+// run's per-collective charges.
+func (c *Comm) MeterOp(class CommClass, bytes int) { c.meter.addOp(class, bytes) }
+
 // send transmits a payload to rank `to`; the transport owns (and, if it
 // must, copies) the payload. A transport failure raises *CommError.
 func (c *Comm) send(to int, m Message) {
@@ -328,10 +336,13 @@ func (c *Comm) Reduce(root int, data []float64, op Op, class CommClass) []float6
 		c.meter.addOp(class, 8*len(data))
 	}
 	size := c.size
-	acc := append([]float64(nil), data...)
 	if size == 1 {
-		return acc
+		// No combination happens in a single-rank world; return the
+		// caller's own slice rather than a copy so the steady-state
+		// serial path stays allocation-free.
+		return data
 	}
+	acc := append([]float64(nil), data...)
 	v := vrank(c.rank, root, size)
 	for mask := 1; mask < size; mask <<= 1 {
 		if v&mask != 0 {

@@ -1,0 +1,232 @@
+// Package repeats computes subtree site-repeat classes for the
+// likelihood kernels: two alignment sites whose tip states agree across
+// an entire subtree have bit-identical conditional likelihood vectors
+// (CLVs) at that subtree's root, so a kernel only needs to compute one
+// representative column per class and byte-copy it to the duplicates
+// (cf. the pattern-reuse kernels in BEAGLE and the site-repeats work in
+// PAPERS.md).
+//
+// Classes propagate bottom-up exactly like the CLVs they describe: a
+// tip's class is its (state, rate-category) code, and an inner vertex's
+// class is the first-occurrence index of its children's class pair —
+// two sites share a class at a vertex iff they share a class at both
+// children, which inductively means their whole-subtree tip patterns
+// (and per-site rate categories, under PSR) agree. Because the class
+// table of a CLV slot is (re)assigned exactly when that slot's Newview
+// executes, table validity tracks CLV validity through partial
+// traversals, reorientations, and topology moves for free: a table can
+// only be stale where the CLV itself is stale, and the traversal layer
+// never lets a stale CLV be read.
+//
+// The package is deliberately tree- and model-agnostic: callers feed
+// int32 class slices per operand (tips are converted by the kernel) and
+// get back a class table, the representative site per class, and the
+// class count. First-occurrence class numbering makes the assignment a
+// pure function of the operand tables, so every rank computes identical
+// classes — the same determinism argument the distribution layer uses.
+package repeats
+
+// slot is one inner CLV slot's stored class table.
+type slot struct {
+	// cls[i] is pattern i's class id; nil marks "unavailable" (never
+	// assigned, dropped by fallback, or rejected by the memory bound).
+	cls []int32
+	// n is the number of distinct classes in cls.
+	n int
+}
+
+// Stats counts repeat activity. All counters are out-of-band: they
+// never influence a computed value (the fastpath.go convention).
+type Stats struct {
+	// NewviewOps counts Newview calls that took the compressed path;
+	// NewviewFallbacks counts Newview calls with repeats enabled that
+	// could not (missing operand table, too few duplicates, or the
+	// tip-tip pair-table path, which is already a per-site copy).
+	NewviewOps, NewviewFallbacks int64
+	// ColsComputed / ColsSaved count CLV pattern columns computed at
+	// representative sites vs. materialized by copy on the compressed
+	// Newview path.
+	ColsComputed, ColsSaved int64
+	// EvalOps / EvalFallbacks count Evaluate and PrepareDerivatives
+	// calls that used (or declined) per-class compression.
+	EvalOps, EvalFallbacks int64
+	// StoreSkips counts class tables not stored because storing them
+	// would exceed the RepeatsMaxMem budget.
+	StoreSkips int64
+}
+
+// State holds one kernel's repeat bookkeeping: a stored class table per
+// inner CLV slot plus reusable scratch for the pair-hash and the
+// in-flight class assignment. All methods are single-goroutine (kernel
+// calls within a rank are serial) and allocation-free in steady state.
+type State struct {
+	nPat   int
+	maxMem int64
+	used   int64
+
+	slots []slot
+	// spare recycles the array of the most recently dropped or
+	// replaced table so steady-state stores do not allocate.
+	spare []int32
+
+	// Open-addressing hash from child-class pair key to parent class
+	// id. Entries are invalidated in O(1) per Assign by generation
+	// stamping rather than clearing.
+	hkeys []uint64
+	hvals []int32
+	hgen  []uint32
+	gen   uint32
+	mask  uint32
+
+	// clsScr / repsScr hold the assignment being built; clsScr is
+	// swapped into a slot on store (and replaced by a recycled array),
+	// so steady-state Assign calls do not allocate.
+	clsScr  []int32
+	repsScr []int32
+
+	// Stats counts repeat activity (exported; incremented by the
+	// kernel integration as well as by Assign itself).
+	Stats Stats
+}
+
+// New creates repeat state for a kernel with nPat patterns and nSlots
+// inner CLV slots. maxMem bounds the total bytes of stored class
+// tables; maxMem <= 0 means unbounded. (Tables cost 4 bytes per
+// pattern per slot — 1/32 of a Γ CLV — so the default unbounded setting
+// is safe; the knob exists to mirror the paper's memory-wall concerns.)
+func New(nPat, nSlots int, maxMem int64) *State {
+	size := 64
+	for size < 2*nPat {
+		size *= 2
+	}
+	return &State{
+		nPat:    nPat,
+		maxMem:  maxMem,
+		slots:   make([]slot, nSlots),
+		hkeys:   make([]uint64, size),
+		hvals:   make([]int32, size),
+		hgen:    make([]uint32, size),
+		mask:    uint32(size - 1),
+		clsScr:  make([]int32, nPat),
+		repsScr: make([]int32, nPat),
+	}
+}
+
+// NPatterns returns the pattern count the state was built for.
+func (s *State) NPatterns() int { return s.nPat }
+
+// MemUsed returns the bytes currently held by stored class tables.
+func (s *State) MemUsed() int64 { return s.used }
+
+// SetMaxMem updates the class-table memory budget (<= 0 is unbounded).
+// Already-stored tables are kept; the bound applies to future stores.
+func (s *State) SetMaxMem(b int64) { s.maxMem = b }
+
+// Classes returns slot i's stored class table and class count, or
+// (nil, 0) when unavailable. The table is valid until the slot's next
+// Assign, Drop, or Reset.
+func (s *State) Classes(i int) ([]int32, int) {
+	if i < 0 || i >= len(s.slots) || s.slots[i].cls == nil {
+		return nil, 0
+	}
+	return s.slots[i].cls, s.slots[i].n
+}
+
+// Drop marks slot i's table unavailable (the owning Newview fell back
+// to plain computation, so nothing is known about the slot's subtree).
+func (s *State) Drop(i int) {
+	if i < 0 || i >= len(s.slots) || s.slots[i].cls == nil {
+		return
+	}
+	s.spare = s.slots[i].cls
+	s.slots[i].cls = nil
+	s.used -= s.tableBytes()
+}
+
+// Reset drops every stored table (used when all CLVs are invalidated —
+// a site-rate reassignment changes the tip class codes too).
+func (s *State) Reset() {
+	for i := range s.slots {
+		s.slots[i].cls = nil
+	}
+	s.used = 0
+}
+
+// tableBytes is the storage cost of one class table.
+func (s *State) tableBytes() int64 { return int64(4 * s.nPat) }
+
+// AssignInto computes the pairwise class partition of (ca, cb) into the
+// caller-owned cls (len nPat) and reps (len nPat) buffers without
+// touching stored tables, and returns the class count. Used for the
+// transient classes of an Evaluate/PrepareDerivatives edge.
+func (s *State) AssignInto(ca, cb, cls, reps []int32) int {
+	return s.assign(ca, cb, cls, reps)
+}
+
+// Assign computes slot dst's class table from its children's class
+// slices and stores it when it compresses (n < nPat) and fits the
+// memory budget. It returns the table, the representative site per
+// class, and the class count; cls is valid until dst's next Assign (or
+// Drop/Reset), reps until the next Assign/AssignInto on this State.
+func (s *State) Assign(dst int, ca, cb []int32) (cls, reps []int32, n int) {
+	n = s.assign(ca, cb, s.clsScr, s.repsScr)
+	sl := &s.slots[dst]
+	if sl.cls != nil {
+		s.spare = sl.cls
+		sl.cls = nil
+		s.used -= s.tableBytes()
+	}
+	if n < s.nPat && (s.maxMem <= 0 || s.used+s.tableBytes() <= s.maxMem) {
+		// Swap the freshly built scratch in as the stored table and
+		// recycle a retired array as the next scratch — zero copies,
+		// zero steady-state allocations.
+		stored := s.clsScr
+		if s.spare != nil {
+			s.clsScr, s.spare = s.spare, nil
+		} else {
+			s.clsScr = make([]int32, s.nPat)
+		}
+		sl.cls, sl.n = stored, n
+		s.used += s.tableBytes()
+		return stored, s.repsScr, n
+	}
+	if n < s.nPat {
+		s.Stats.StoreSkips++
+	}
+	return s.clsScr, s.repsScr, n
+}
+
+// assign is the shared class-partition core: first-occurrence numbering
+// over the pair keys (ca[i], cb[i]).
+func (s *State) assign(ca, cb, cls, reps []int32) int {
+	s.gen++
+	if s.gen == 0 {
+		for i := range s.hgen {
+			s.hgen[i] = 0
+		}
+		s.gen = 1
+	}
+	gen := s.gen
+	n := 0
+	for i := 0; i < s.nPat; i++ {
+		key := uint64(uint32(ca[i]))<<32 | uint64(uint32(cb[i]))
+		h := uint32((key*0x9e3779b97f4a7c15)>>32) & s.mask
+		for {
+			if s.hgen[h] != gen {
+				s.hgen[h] = gen
+				s.hkeys[h] = key
+				s.hvals[h] = int32(n)
+				cls[i] = int32(n)
+				reps[n] = int32(i)
+				n++
+				break
+			}
+			if s.hkeys[h] == key {
+				cls[i] = s.hvals[h]
+				break
+			}
+			h = (h + 1) & s.mask
+		}
+	}
+	return n
+}

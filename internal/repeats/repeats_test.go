@@ -1,0 +1,224 @@
+package repeats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// refAssign is an obviously correct reimplementation of the
+// first-occurrence pair partition, used as the oracle.
+func refAssign(ca, cb []int32) (cls, reps []int32, n int) {
+	type pair struct{ a, b int32 }
+	seen := map[pair]int32{}
+	cls = make([]int32, len(ca))
+	for i := range ca {
+		p := pair{ca[i], cb[i]}
+		id, ok := seen[p]
+		if !ok {
+			id = int32(len(seen))
+			seen[p] = id
+			reps = append(reps, int32(i))
+		}
+		cls[i] = id
+	}
+	return cls, reps, len(seen)
+}
+
+func TestAssignMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nPat := 1 + rng.Intn(300)
+		alphabet := 1 + rng.Intn(20)
+		ca := make([]int32, nPat)
+		cb := make([]int32, nPat)
+		for i := range ca {
+			ca[i] = int32(rng.Intn(alphabet))
+			cb[i] = int32(rng.Intn(alphabet))
+		}
+		s := New(nPat, 4, 0)
+		cls, reps, n := s.Assign(0, ca, cb)
+		wantCls, wantReps, wantN := refAssign(ca, cb)
+		if n != wantN {
+			t.Fatalf("trial %d: %d classes, want %d", trial, n, wantN)
+		}
+		if !reflect.DeepEqual(cls[:nPat], wantCls) {
+			t.Fatalf("trial %d: class table mismatch", trial)
+		}
+		if !reflect.DeepEqual(append([]int32(nil), reps[:n]...), wantReps) {
+			t.Fatalf("trial %d: representative mismatch", trial)
+		}
+	}
+}
+
+func TestFirstOccurrenceOrdering(t *testing.T) {
+	// Class ids must be assigned in order of first appearance, making
+	// the numbering a pure function of the operand tables (the
+	// determinism the engines rely on).
+	ca := []int32{3, 3, 0, 3, 0, 1}
+	cb := []int32{1, 1, 2, 1, 2, 0}
+	s := New(len(ca), 1, 0)
+	cls, reps, n := s.Assign(0, ca, cb)
+	if n != 3 {
+		t.Fatalf("got %d classes, want 3", n)
+	}
+	wantCls := []int32{0, 0, 1, 0, 1, 2}
+	wantReps := []int32{0, 2, 5}
+	if !reflect.DeepEqual(cls[:len(ca)], wantCls) {
+		t.Fatalf("cls = %v, want %v", cls[:len(ca)], wantCls)
+	}
+	if !reflect.DeepEqual(append([]int32(nil), reps[:n]...), wantReps) {
+		t.Fatalf("reps = %v, want %v", reps[:n], wantReps)
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nPat := 257
+	ca := make([]int32, nPat)
+	cb := make([]int32, nPat)
+	for i := range ca {
+		ca[i] = int32(rng.Intn(6))
+		cb[i] = int32(rng.Intn(6))
+	}
+	s1 := New(nPat, 2, 0)
+	s2 := New(nPat, 2, 0)
+	// Perturb s2's hash generation with unrelated work first: the
+	// result must not depend on internal hash state.
+	for k := 0; k < 50; k++ {
+		s2.AssignInto(cb, ca, make([]int32, nPat), make([]int32, nPat))
+	}
+	c1, r1, n1 := s1.Assign(0, ca, cb)
+	c2, r2, n2 := s2.Assign(0, ca, cb)
+	if n1 != n2 || !reflect.DeepEqual(c1[:nPat], c2[:nPat]) || !reflect.DeepEqual(r1[:n1], r2[:n2]) {
+		t.Fatal("assignment depends on prior hash state")
+	}
+}
+
+func TestStoreAndDrop(t *testing.T) {
+	nPat := 100
+	s := New(nPat, 3, 0)
+	ca := make([]int32, nPat) // all zero: 1 class, compresses
+	cb := make([]int32, nPat)
+	if _, _, n := s.Assign(1, ca, cb); n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+	if got, n := s.Classes(1); got == nil || n != 1 {
+		t.Fatalf("Classes(1) = (%v, %d), want stored table", got, n)
+	}
+	if s.MemUsed() != int64(4*nPat) {
+		t.Fatalf("MemUsed = %d, want %d", s.MemUsed(), 4*nPat)
+	}
+	// Unassigned and out-of-range slots are unavailable.
+	if got, _ := s.Classes(0); got != nil {
+		t.Fatal("Classes(0) should be nil")
+	}
+	if got, _ := s.Classes(-1); got != nil {
+		t.Fatal("Classes(-1) should be nil")
+	}
+	s.Drop(1)
+	if got, _ := s.Classes(1); got != nil {
+		t.Fatal("Classes(1) should be nil after Drop")
+	}
+	if s.MemUsed() != 0 {
+		t.Fatalf("MemUsed = %d after Drop, want 0", s.MemUsed())
+	}
+}
+
+func TestIncompressibleNotStored(t *testing.T) {
+	nPat := 64
+	s := New(nPat, 2, 0)
+	ca := make([]int32, nPat)
+	cb := make([]int32, nPat)
+	for i := range ca {
+		ca[i] = int32(i) // every site its own class
+	}
+	if _, _, n := s.Assign(0, ca, cb); n != nPat {
+		t.Fatalf("n = %d, want %d", n, nPat)
+	}
+	if got, _ := s.Classes(0); got != nil {
+		t.Fatal("incompressible table must not be stored")
+	}
+	if s.Stats.StoreSkips != 0 {
+		t.Fatal("n == nPat is not a budget skip")
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	nPat := 50
+	s := New(nPat, 4, int64(4*nPat)) // room for exactly one table
+	ca := make([]int32, nPat)
+	cb := make([]int32, nPat)
+	s.Assign(0, ca, cb)
+	if got, _ := s.Classes(0); got == nil {
+		t.Fatal("first table should fit the budget")
+	}
+	s.Assign(1, ca, cb)
+	if got, _ := s.Classes(1); got != nil {
+		t.Fatal("second table should be rejected by the budget")
+	}
+	if s.Stats.StoreSkips != 1 {
+		t.Fatalf("StoreSkips = %d, want 1", s.Stats.StoreSkips)
+	}
+	// Reassigning the stored slot frees its old table first, so the
+	// replacement fits again.
+	s.Assign(0, ca, cb)
+	if got, _ := s.Classes(0); got == nil {
+		t.Fatal("replacing a stored table must stay within budget")
+	}
+	if s.MemUsed() != int64(4*nPat) {
+		t.Fatalf("MemUsed = %d, want %d", s.MemUsed(), 4*nPat)
+	}
+	// Raising the budget admits new tables.
+	s.SetMaxMem(int64(8 * nPat))
+	s.Assign(2, ca, cb)
+	if got, _ := s.Classes(2); got == nil {
+		t.Fatal("raised budget should admit a second table")
+	}
+}
+
+func TestReset(t *testing.T) {
+	nPat := 10
+	s := New(nPat, 3, 0)
+	ca := make([]int32, nPat)
+	cb := make([]int32, nPat)
+	for i := 0; i < 3; i++ {
+		s.Assign(i, ca, cb)
+	}
+	s.Reset()
+	for i := 0; i < 3; i++ {
+		if got, _ := s.Classes(i); got != nil {
+			t.Fatalf("Classes(%d) should be nil after Reset", i)
+		}
+	}
+	if s.MemUsed() != 0 {
+		t.Fatalf("MemUsed = %d after Reset, want 0", s.MemUsed())
+	}
+	// The state stays usable after Reset.
+	if _, _, n := s.Assign(0, ca, cb); n != 1 {
+		t.Fatalf("post-Reset Assign n = %d, want 1", n)
+	}
+}
+
+func TestAssignSteadyStateAllocFree(t *testing.T) {
+	nPat := 128
+	s := New(nPat, 4, 0)
+	ca := make([]int32, nPat)
+	cb := make([]int32, nPat)
+	for i := range ca {
+		ca[i] = int32(i % 7)
+		cb[i] = int32(i % 5)
+	}
+	cls := make([]int32, nPat)
+	reps := make([]int32, nPat)
+	// Warm up: first stores may allocate the recycled spare.
+	s.Assign(0, ca, cb)
+	s.Assign(1, ca, cb)
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.Assign(0, ca, cb)
+		s.Assign(1, ca, cb)
+		s.AssignInto(ca, cb, cls, reps)
+	}); allocs != 0 {
+		t.Fatalf("steady-state Assign allocates %.1f times per run", allocs)
+	}
+}

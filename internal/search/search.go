@@ -143,6 +143,28 @@ type Searcher struct {
 	// invalidates them) and before the verification's exact evaluation.
 	touched  []bool
 	touching bool
+
+	// Reusable buffers for the Newton and golden-section loops and for
+	// per-probe copies of engine results. Engine result slices are only
+	// valid until the engine's next call (enginecore.Local), so any
+	// result that must survive one — the paired golden-section probes,
+	// the cached per-partition vector — is copied into searcher-owned
+	// storage. Keeps the steady-state optimization loops
+	// allocation-free (docs/PERFORMANCE.md; asserted by alloc tests).
+	brTs, brLo, brHi                          []float64
+	brDone                                    []bool
+	optA, optB, optX1, optX2, optBest, optCur []float64
+	probeSaved                                []float64
+	probeF1, probeF2, probeFBest, probeFCur   []float64
+}
+
+// grow returns *buf resized to n, reallocating only on growth. Contents
+// are unspecified; callers overwrite every element.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
 }
 
 // NewSearcher builds the search state: the starting tree (deterministic
@@ -262,7 +284,9 @@ func (s *Searcher) evaluateFull() float64 {
 // byte-identical to a forced full traversal there.
 func (s *Searcher) evaluateFullAt(p *tree.Node) float64 {
 	d := s.buildFull(p)
-	s.perPart = s.eng.Evaluate(d)
+	out := s.eng.Evaluate(d)
+	s.perPart = grow(&s.perPart, len(out))
+	copy(s.perPart, out)
 	s.lnL = sum(s.perPart)
 	return s.lnL
 }
@@ -355,14 +379,18 @@ func (s *Searcher) updateBranch(p *tree.Node) {
 	s.eng.PrepareBranch(d)
 
 	classes := s.Tree.BLClasses
-	ts := make([]float64, classes)
-	lo := make([]float64, classes)
-	hi := make([]float64, classes)
-	done := make([]bool, classes)
+	ts := grow(&s.brTs, classes)
+	lo := grow(&s.brLo, classes)
+	hi := grow(&s.brHi, classes)
+	if cap(s.brDone) < classes {
+		s.brDone = make([]bool, classes)
+	}
+	done := s.brDone[:classes]
 	for c := 0; c < classes; c++ {
 		ts[c] = p.Length(c)
 		lo[c] = tree.MinBranchLength
 		hi[c] = tree.MaxBranchLength
+		done[c] = false
 	}
 	for iter := 0; iter < s.cfg.NewtonIterations; iter++ {
 		s.cfg.Telemetry.Inc(telemetry.CounterNewtonIters, 1)
@@ -514,10 +542,10 @@ func (s *Searcher) optimizeSharedScalar(get func(*model.Params) float64, set fun
 	const probes = 12 // golden-section iterations; deterministic count
 	invPhi := (math.Sqrt(5) - 1) / 2
 
-	a := make([]float64, s.nPart)
-	b := make([]float64, s.nPart)
-	x1 := make([]float64, s.nPart)
-	x2 := make([]float64, s.nPart)
+	a := grow(&s.optA, s.nPart)
+	b := grow(&s.optB, s.nPart)
+	x1 := grow(&s.optX1, s.nPart)
+	x2 := grow(&s.optX2, s.nPart)
 	for i, p := range s.shared {
 		cur := get(p)
 		// Local bracket around the current value, clipped to bounds.
@@ -526,8 +554,8 @@ func (s *Searcher) optimizeSharedScalar(get func(*model.Params) float64, set fun
 		x1[i] = b[i] - invPhi*(b[i]-a[i])
 		x2[i] = a[i] + invPhi*(b[i]-a[i])
 	}
-	f1 := s.probeShared(set, x1)
-	f2 := s.probeShared(set, x2)
+	f1 := s.probeShared(set, x1, &s.probeF1)
+	f2 := s.probeShared(set, x2, &s.probeF2)
 	for it := 0; it < probes; it++ {
 		for i := range s.shared {
 			if f1[i] >= f2[i] { // maximize
@@ -542,10 +570,10 @@ func (s *Searcher) optimizeSharedScalar(get func(*model.Params) float64, set fun
 		}
 		// Re-probe both points (2 regions per iteration, vectors of p
 		// values each — coordinated across partitions).
-		f1 = s.probeShared(set, x1)
-		f2 = s.probeShared(set, x2)
+		f1 = s.probeShared(set, x1, &s.probeF1)
+		f2 = s.probeShared(set, x2, &s.probeF2)
 	}
-	best := make([]float64, s.nPart)
+	best := grow(&s.optBest, s.nPart)
 	for i := range s.shared {
 		if f1[i] >= f2[i] {
 			best[i] = x1[i]
@@ -555,12 +583,12 @@ func (s *Searcher) optimizeSharedScalar(get func(*model.Params) float64, set fun
 	}
 	// Keep the new value only where it actually improves on the current
 	// one (final verification probe).
-	fBest := s.probeShared(set, best)
-	cur := make([]float64, s.nPart)
+	fBest := s.probeShared(set, best, &s.probeFBest)
+	cur := grow(&s.optCur, s.nPart)
 	for i, p := range s.shared {
 		cur[i] = get(p)
 	}
-	fCur := s.probeShared(set, cur)
+	fCur := s.probeShared(set, cur, &s.probeFCur)
 	for i, p := range s.shared {
 		if fBest[i] > fCur[i] {
 			set(p, best[i])
@@ -575,12 +603,15 @@ func (s *Searcher) optimizeSharedScalar(get func(*model.Params) float64, set fun
 
 // probeShared evaluates the per-partition lnL with candidate values
 // applied to every partition: one SetShared broadcast + one full traversal
-// + one evaluation region.
-func (s *Searcher) probeShared(set func(*model.Params, float64), xs []float64) []float64 {
-	saved := make([]float64, 0, s.nPart*model.SharedLen)
+// + one evaluation region. The result is copied into *dst (resized as
+// needed), because the engine's result slice is only valid until its
+// next call and the golden-section loop keeps two probes alive at once.
+func (s *Searcher) probeShared(set func(*model.Params, float64), xs []float64, dst *[]float64) []float64 {
+	saved := s.probeSaved[:0]
 	for _, p := range s.shared {
-		saved = append(saved, p.EncodeShared()...)
+		saved = p.AppendShared(saved)
 	}
+	s.probeSaved = saved
 	for i, p := range s.shared {
 		set(p, xs[i])
 		if err := p.Rebuild(); err != nil {
@@ -597,7 +628,9 @@ func (s *Searcher) probeShared(set func(*model.Params, float64), xs []float64) [
 			panic(fmt.Sprintf("search: restore params: %v", err))
 		}
 	}
-	return out
+	res := grow(dst, len(out))
+	copy(res, out)
+	return res
 }
 
 // ---------- SPR topology moves ----------

@@ -37,6 +37,11 @@ type RankStats struct {
 	GenericOps   int64 `json:"generic_ops,omitempty"`
 	PCacheHits   int64 `json:"pcache_hits,omitempty"`
 	PCacheMisses int64 `json:"pcache_misses,omitempty"`
+	// RepeatColsComputed/RepeatColsSaved are the rank's site-repeat
+	// compression counters: CLV pattern columns computed at
+	// representative sites vs materialized by copy (docs/PERFORMANCE.md).
+	RepeatColsComputed int64 `json:"repeat_cols_computed,omitempty"`
+	RepeatColsSaved    int64 `json:"repeat_cols_saved,omitempty"`
 }
 
 // KernelStat is one kernel class's run-wide aggregate.
@@ -106,6 +111,10 @@ type Report struct {
 	// PCacheHitRate is P-matrix cache hits over lookups, summed across
 	// ranks (0 when the cache saw no lookups).
 	PCacheHitRate float64 `json:"pcache_hit_rate"`
+	// RepeatShare is the fraction of compressed-Newview CLV columns
+	// materialized by copy rather than computed, summed across ranks
+	// (0 when the compressed path never ran).
+	RepeatShare float64 `json:"repeat_share"`
 
 	// Counters holds the search-progress counters (from rank 0 —
 	// identical on every rank under the de-centralized scheme).
@@ -130,6 +139,7 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 	var sumCompute, sumComm, maxCompute int64
 	var poolRuns, poolBlocks int64
 	var fastOps, genericOps, pcHits, pcMiss int64
+	var repComputed, repSaved int64
 	poolThreads := 0
 	for _, r := range c.recs {
 		rs := RankStats{
@@ -147,6 +157,9 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 			GenericOps:    r.genericOps,
 			PCacheHits:    r.pcacheHits,
 			PCacheMisses:  r.pcacheMiss,
+
+			RepeatColsComputed: r.repColsComputed,
+			RepeatColsSaved:    r.repColsSaved,
 		}
 		rep.PerRank = append(rep.PerRank, rs)
 		sumCompute += rs.ComputeNS
@@ -163,12 +176,17 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 		genericOps += r.genericOps
 		pcHits += r.pcacheHits
 		pcMiss += r.pcacheMiss
+		repComputed += r.repColsComputed
+		repSaved += r.repColsSaved
 	}
 	if tot := fastOps + genericOps; tot > 0 {
 		rep.FastPathShare = float64(fastOps) / float64(tot)
 	}
 	if tot := pcHits + pcMiss; tot > 0 {
 		rep.PCacheHitRate = float64(pcHits) / float64(tot)
+	}
+	if tot := repComputed + repSaved; tot > 0 {
+		rep.RepeatShare = float64(repSaved) / float64(tot)
 	}
 
 	for k := KernelClass(0); k < NumKernelClasses; k++ {
@@ -277,6 +295,9 @@ func (r *Report) String() string {
 	}
 	if r.PCacheHitRate > 0 {
 		fmt.Fprintf(&b, "  P-matrix cache hit rate                %8.3f\n", r.PCacheHitRate)
+	}
+	if r.RepeatShare > 0 {
+		fmt.Fprintf(&b, "  site-repeat CLV columns saved          %8.3f\n", r.RepeatShare)
 	}
 
 	fmt.Fprintf(&b, "\nper-rank compute vs collective time:\n")

@@ -206,6 +206,11 @@ type Recorder struct {
 	// P-matrix cache activity.
 	fastOps, genericOps    int64
 	pcacheHits, pcacheMiss int64
+
+	// Site-repeat counters (harvested once at engine close): CLV pattern
+	// columns computed at representative sites vs materialized by copy
+	// on the compressed Newview path (docs/PERFORMANCE.md).
+	repColsComputed, repColsSaved int64
 }
 
 // now returns nanoseconds since the collector's start (monotonic).
@@ -298,6 +303,23 @@ func (r *Recorder) SetKernelPerf(fastOps, genericOps, pcacheHits, pcacheMiss int
 		c.mu.Lock()
 		fmt.Fprintf(c.trace, "{\"ev\":\"perf\",\"rank\":%d,\"fast_ops\":%d,\"generic_ops\":%d,\"pcache_hits\":%d,\"pcache_misses\":%d}\n",
 			r.rank, fastOps, genericOps, pcacheHits, pcacheMiss)
+		c.mu.Unlock()
+	}
+}
+
+// SetRepeatStats records the rank's site-repeat compression counters
+// (harvested once, when the rank's engine closes) and emits a "repeats"
+// JSONL event carrying them.
+func (r *Recorder) SetRepeatStats(colsComputed, colsSaved int64) {
+	if r == nil {
+		return
+	}
+	r.repColsComputed = colsComputed
+	r.repColsSaved = colsSaved
+	if c := r.col; c != nil && c.trace != nil {
+		c.mu.Lock()
+		fmt.Fprintf(c.trace, "{\"ev\":\"repeats\",\"rank\":%d,\"cols_computed\":%d,\"cols_saved\":%d}\n",
+			r.rank, colsComputed, colsSaved)
 		c.mu.Unlock()
 	}
 }

@@ -208,10 +208,19 @@ func fillClasses(t *tree.Tree, p *tree.Node, base []likelihood.Step) *Descriptor
 // WireSize returns the number of bytes Encode produces — the quantity the
 // fork-join engine's Table I metering charges per descriptor broadcast.
 func (d *Descriptor) WireSize() int {
-	size := 4 + 4 + 2*9 + 8*len(d.T) // header: classes, steps, P, Q, T
+	return d.WireSizeForClasses(len(d.T))
+}
+
+// WireSizeForClasses returns the encoded size this descriptor would have
+// after replicating its single class across `classes` branch-length
+// classes (the fork-join engine's padDescriptor). It lets a single-rank
+// master meter the historically faithful byte count without building and
+// encoding the padded copy.
+func (d *Descriptor) WireSizeForClasses(classes int) int {
+	size := 4 + 4 + 2*9 + 8*classes // header: classes, steps, P, Q, T
 	if len(d.Steps) > 0 {
-		size += len(d.Steps[0]) * (4 + 2*9)         // structure: dst + two refs
-		size += len(d.Steps) * len(d.Steps[0]) * 16 // per-class lengths
+		size += len(d.Steps[0]) * (4 + 2*9)    // structure: dst + two refs
+		size += classes * len(d.Steps[0]) * 16 // per-class lengths
 	}
 	return size
 }

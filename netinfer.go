@@ -109,6 +109,8 @@ func InferNet(d *Dataset, cfg Config, nc NetConfig) (*NetResult, error) {
 				HybridRanksPerNode: cfg.HybridRanksPerNode,
 				Threads:            cfg.Threads,
 				Telemetry:          collector,
+				DisableRepeats:     cfg.DisableRepeats,
+				RepeatsMaxMem:      cfg.RepeatsMaxMem,
 			},
 			MaxRecoveries: nc.MaxRecoveries,
 		})
@@ -132,10 +134,12 @@ func InferNet(d *Dataset, cfg Config, nc NetConfig) (*NetResult, error) {
 		comm := mpi.NewComm(tr, nc.Rank, nc.Size, mpi.NewMeter())
 		defer comm.Close()
 		res, stats, err := forkjoin.RunOnComm(comm, d.d, forkjoin.RunConfig{
-			Search:    scfg,
-			Strategy:  strategyOf(cfg),
-			Threads:   cfg.Threads,
-			Telemetry: collector,
+			Search:         scfg,
+			Strategy:       strategyOf(cfg),
+			Threads:        cfg.Threads,
+			Telemetry:      collector,
+			DisableRepeats: cfg.DisableRepeats,
+			RepeatsMaxMem:  cfg.RepeatsMaxMem,
 		})
 		if err != nil {
 			return nil, err

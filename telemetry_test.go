@@ -101,6 +101,7 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 	}
 	lines := 0
 	perfEvents := 0
+	repeatEvents := 0
 	sc := bufio.NewScanner(&trace)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -112,6 +113,7 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 			Class   string `json:"class"`
 			DurNS   int64  `json:"dur_ns"`
 			FastOps int64  `json:"fast_ops"`
+			Cols    int64  `json:"cols_computed"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("line %d: %v: %s", lines, err, sc.Text())
@@ -134,6 +136,13 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 			if ev.FastOps <= 0 {
 				t.Fatalf("line %d: perf event without fast-path ops %+v", lines, ev)
 			}
+		case "repeats":
+			// Site-repeat compression summary, emitted once per rank at
+			// engine close; columns were computed on this dataset.
+			repeatEvents++
+			if ev.Cols <= 0 {
+				t.Fatalf("line %d: repeats event without computed columns %+v", lines, ev)
+			}
 		default:
 			t.Fatalf("line %d: unknown event type %q", lines, ev.Ev)
 		}
@@ -146,5 +155,8 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 	}
 	if perfEvents != 2 {
 		t.Fatalf("expected one perf event per rank, got %d", perfEvents)
+	}
+	if repeatEvents != 2 {
+		t.Fatalf("expected one repeats event per rank, got %d", repeatEvents)
 	}
 }
