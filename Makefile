@@ -19,9 +19,10 @@ RACE_PKGS = ./internal/threadpool/... \
             ./internal/mpi/... \
             ./internal/mpinet/... \
             ./internal/telemetry/... \
+            ./internal/service/... \
             .
 
-.PHONY: all fmt vet build test race bench bench-json smoke-net ci clean
+.PHONY: all fmt vet build test race bench bench-json bench-service smoke-net smoke-service ci clean
 
 all: ci
 
@@ -70,7 +71,27 @@ smoke-net:
 	test -s $$tmp/smoke.bestTree.nwk && \
 	echo "smoke-net: 4-process loopback run OK"
 
-ci: fmt vet build test race smoke-net
+# smoke-service runs the inference-service acceptance drill
+# (docs/SERVICE.md): start the daemon machinery with a warm loopback
+# pool, submit a 2-rank job over HTTP with an injected rank death, and
+# require the job to migrate onto a spare worker and still return a
+# result bit-identical to a one-shot run of the examl CLI.
+smoke-service:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/ ./cmd/benchservice ./cmd/examl && \
+	$$tmp/benchservice -smoke -examl $$tmp/examl && \
+	echo "smoke-service: migration drill OK"
+
+# bench-service measures the service's job throughput and latency
+# (docs/BENCHMARKS.md): a warm worker pool serving a stream of small
+# inference jobs over the HTTP API, written to BENCH_service.json as
+# jobs/sec plus p50/p90/p99 latency.
+bench-service:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/ ./cmd/benchservice && \
+	$$tmp/benchservice -out BENCH_service.json
+
+ci: fmt vet build test race smoke-net smoke-service
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,446 @@
+// Command benchservice drives the inference service end to end.
+//
+// Default mode is the throughput benchmark behind `make bench-service`:
+// start an in-process service with a warm worker pool (workers are
+// re-execed copies of this binary), submit a stream of small jobs over
+// the HTTP API with bounded client concurrency, and write jobs/sec and
+// latency percentiles to BENCH_service.json.
+//
+// -smoke runs the acceptance drill behind `make smoke-service`: one
+// job on a 2-rank loopback pool with an injected rank death, asserting
+// the job migrates onto a spare worker and still returns a result
+// bit-identical to a one-shot run (and to the examl CLI when -examl
+// points at the binary).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	examl "repro"
+	"repro/internal/msa"
+	"repro/internal/seqgen"
+	"repro/internal/service"
+)
+
+// The smoke recipe mirrors the repo's network tests: a tiny dataset
+// that still exercises multi-partition traversal, 3 iterations, 2
+// ranks.
+const (
+	smokeTaxa     = 10
+	smokeParts    = 2
+	smokeGeneLen  = 60
+	smokeDataSeed = 33
+	smokeSeed     = 7
+	smokeIters    = 3
+)
+
+func main() {
+	var (
+		worker      = flag.Bool("worker", false, "run as a pool worker (pool address is the positional argument)")
+		smoke       = flag.Bool("smoke", false, "run the smoke drill instead of the benchmark")
+		examlPath   = flag.String("examl", "", "smoke: also cross-check against this examl CLI binary")
+		out         = flag.String("out", "BENCH_service.json", "benchmark output file")
+		jobs        = flag.Int("jobs", 32, "benchmark: total jobs to run")
+		concurrency = flag.Int("concurrency", 8, "benchmark: concurrent submitters")
+		workers     = flag.Int("workers", 4, "warm worker pool size")
+		ranks       = flag.Int("ranks", 1, "benchmark: ranks per job")
+		taxa        = flag.Int("taxa", 8, "benchmark: taxa per job dataset")
+		partitions  = flag.Int("partitions", 1, "benchmark: partitions per job dataset")
+		geneLen     = flag.Int("genelen", 40, "benchmark: gene length per job dataset")
+		iters       = flag.Int("iters", 2, "benchmark: search iterations per job")
+	)
+	flag.Parse()
+
+	if *worker {
+		if flag.NArg() < 1 {
+			log.Fatal("benchservice -worker needs the pool address as an argument")
+		}
+		if err := service.RunWorker(flag.Arg(0)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *smoke {
+		if err := runSmoke(*examlPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runBench(*out, *jobs, *concurrency, *workers, *ranks, *taxa, *partitions, *geneLen, *iters); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// harness is a running service plus an HTTP client against it.
+type harness struct {
+	srv  *service.Server
+	ln   net.Listener
+	base string
+}
+
+func startHarness(workers int, hbInterval, hbTimeout time.Duration, logf func(string, ...any)) (*harness, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	srv, err := service.New(service.Options{
+		Workers:           workers,
+		WorkerArgv:        []string{self, "-worker"},
+		HeartbeatInterval: hbInterval,
+		HeartbeatTimeout:  hbTimeout,
+		Logf:              logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	go http.Serve(ln, srv.Handler())
+	if err := srv.WaitWorkers(workers, 30*time.Second); err != nil {
+		ln.Close()
+		srv.Close()
+		return nil, err
+	}
+	return &harness{srv: srv, ln: ln, base: "http://" + ln.Addr().String() + "/api/v1"}, nil
+}
+
+func (h *harness) close() {
+	h.ln.Close()
+	h.srv.Close()
+}
+
+func (h *harness) postJSON(path string, body, into any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(h.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if into == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, into)
+}
+
+func (h *harness) getJSON(path string, into any) error {
+	resp, err := http.Get(h.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	return json.Unmarshal(raw, into)
+}
+
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+type jobResult struct {
+	Tree             string  `json:"tree"`
+	LogLikelihood    float64 `json:"log_likelihood"`
+	LnLBits          string  `json:"lnl_bits"`
+	Iterations       int     `json:"iterations"`
+	Ranks            int     `json:"ranks"`
+	Epochs           int     `json:"epochs"`
+	Recovered        bool    `json:"recovered"`
+	ResumedIteration int     `json:"resumed_iteration"`
+}
+
+// runJob submits one job and polls it to a terminal state.
+func (h *harness) runJob(spec map[string]any, timeout time.Duration) (*jobResult, error) {
+	var st jobStatus
+	if err := h.postJSON("/jobs", spec, &st); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := h.getJSON("/jobs/"+st.ID, &st); err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case "done":
+			var res jobResult
+			if err := h.getJSON("/jobs/"+st.ID+"/result", &res); err != nil {
+				return nil, err
+			}
+			return &res, nil
+		case "failed", "canceled":
+			return nil, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s still %s after %v", st.ID, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func runBench(out string, jobs, concurrency, workers, ranks, taxa, partitions, geneLen, iters int) error {
+	h, err := startHarness(workers, 100*time.Millisecond, 2*time.Second, nil)
+	if err != nil {
+		return err
+	}
+	defer h.close()
+	log.Printf("bench-service: pool of %d workers up, running %d jobs (%d ranks each, concurrency %d)",
+		workers, jobs, ranks, concurrency)
+
+	spec := func(i int) map[string]any {
+		return map[string]any{
+			"simulate": map[string]any{
+				"taxa": taxa, "partitions": partitions, "gene_length": geneLen,
+				// Vary the dataset per job so the benchmark measures real
+				// inference, not a warmed microarchitectural state.
+				"seed": int64(1000 + i),
+			},
+			"ranks":          ranks,
+			"seed":           int64(i + 1),
+			"max_iterations": iters,
+		}
+	}
+
+	// Warmup: one job settles the pool (binary paging, first GC).
+	if _, err := h.runJob(spec(-1), 2*time.Minute); err != nil {
+		return fmt.Errorf("warmup job: %w", err)
+	}
+
+	latencies := make([]time.Duration, jobs)
+	errs := make([]error, jobs)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				_, err := h.runJob(spec(i), 5*time.Minute)
+				latencies[i] = time.Since(t0)
+				errs[i] = err
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	failures := 0
+	var ok []time.Duration
+	for i, err := range errs {
+		if err != nil {
+			failures++
+			log.Printf("bench-service: job %d: %v", i, err)
+			continue
+		}
+		ok = append(ok, latencies[i])
+	}
+	if len(ok) == 0 {
+		return fmt.Errorf("every benchmark job failed")
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	pct := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(ok)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return float64(ok[idx].Microseconds()) / 1000
+	}
+	var sum time.Duration
+	for _, d := range ok {
+		sum += d
+	}
+
+	report := map[string]any{
+		"benchmark": "service-throughput",
+		"config": map[string]any{
+			"workers":        workers,
+			"ranks_per_job":  ranks,
+			"concurrency":    concurrency,
+			"jobs":           jobs,
+			"taxa":           taxa,
+			"partitions":     partitions,
+			"gene_length":    geneLen,
+			"max_iterations": iters,
+			"gomaxprocs":     runtime.GOMAXPROCS(0),
+			"num_cpu":        runtime.NumCPU(),
+		},
+		"jobs_per_sec": float64(len(ok)) / wall.Seconds(),
+		"latency_ms": map[string]any{
+			"p50":  pct(0.50),
+			"p90":  pct(0.90),
+			"p99":  pct(0.99),
+			"max":  float64(ok[len(ok)-1].Microseconds()) / 1000,
+			"mean": float64(sum.Microseconds()) / float64(len(ok)) / 1000,
+		},
+		"wall_seconds": wall.Seconds(),
+		"failures":     failures,
+	}
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(payload, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("bench-service: %d jobs in %.2fs → %.2f jobs/sec (p50 %.1fms, p99 %.1fms, %d failures) → %s",
+		len(ok), wall.Seconds(), report["jobs_per_sec"], pct(0.50), pct(0.99), failures, out)
+	return nil
+}
+
+// runSmoke is the acceptance drill: a warm 2-rank pool plus one spare,
+// an injected rank death mid-search, and three bit-identity checks —
+// service result vs in-process run, vs the examl CLI's one-shot tree
+// file (when -examl is given), and a post-migration job reusing the
+// healed pool.
+func runSmoke(examlPath string) error {
+	// Reference: the identical search through the in-process engine —
+	// the same code path `examl -np 2` runs.
+	d, err := examl.Simulate(smokeTaxa, smokeParts, smokeGeneLen, smokeDataSeed)
+	if err != nil {
+		return err
+	}
+	ref, err := examl.Infer(d, examl.Config{Ranks: 2, Seed: smokeSeed, MaxIterations: smokeIters})
+	if err != nil {
+		return err
+	}
+	refBits := fmt.Sprintf("%016x", math.Float64bits(ref.LogLikelihood))
+	log.Printf("smoke-service: reference 2-rank run: lnl %.6f, bits %s", ref.LogLikelihood, refBits)
+
+	if examlPath != "" {
+		if err := smokeCLICrossCheck(examlPath, ref.Tree); err != nil {
+			return err
+		}
+		log.Printf("smoke-service: examl CLI one-shot tree matches byte-for-byte")
+	}
+
+	// Tight failure-detection settings: the drill should migrate in
+	// about a second, not the LAN-conservative defaults.
+	h, err := startHarness(3, 50*time.Millisecond, time.Second, log.Printf)
+	if err != nil {
+		return err
+	}
+	defer h.close()
+
+	spec := map[string]any{
+		"simulate": map[string]any{
+			"taxa": smokeTaxa, "partitions": smokeParts,
+			"gene_length": smokeGeneLen, "seed": smokeDataSeed,
+		},
+		"ranks":          2,
+		"seed":           smokeSeed,
+		"max_iterations": smokeIters,
+		"inject_failure": map[string]any{"rank": 1, "after_iteration": 1},
+	}
+	res, err := h.runJob(spec, 2*time.Minute)
+	if err != nil {
+		return fmt.Errorf("smoke job: %w", err)
+	}
+	if !res.Recovered {
+		return fmt.Errorf("smoke job finished without recovering — the injected death did not happen?")
+	}
+	if res.Ranks != 2 {
+		return fmt.Errorf("smoke job finished on %d ranks, want the migrated full world of 2", res.Ranks)
+	}
+	if res.LnLBits != refBits {
+		return fmt.Errorf("smoke job lnl bits %s differ from the one-shot run's %s", res.LnLBits, refBits)
+	}
+	if res.Tree != ref.Tree {
+		return fmt.Errorf("smoke job tree differs from the one-shot run")
+	}
+	log.Printf("smoke-service: injected rank death survived; result bit-identical after migration (resumed from iteration %d)", res.ResumedIteration)
+
+	// The healed pool must serve the next job as new: same submission
+	// without the failure drill, same bits.
+	delete(spec, "inject_failure")
+	res2, err := h.runJob(spec, 2*time.Minute)
+	if err != nil {
+		return fmt.Errorf("post-migration job: %w", err)
+	}
+	if res2.LnLBits != refBits || res2.Tree != ref.Tree || res2.Recovered {
+		return fmt.Errorf("post-migration job diverged (recovered=%v bits=%s)", res2.Recovered, res2.LnLBits)
+	}
+	log.Printf("smoke-service: healed pool served a clean job with identical bits — OK")
+	return nil
+}
+
+// smokeCLICrossCheck materializes the smoke dataset as files and runs
+// the actual examl binary one-shot, comparing its .bestTree.nwk
+// byte-for-byte against the reference tree (Newick branch lengths use
+// the shortest round-tripping form, so byte equality is bit equality).
+func smokeCLICrossCheck(examlPath, refTree string) error {
+	tmp, err := os.MkdirTemp("", "smoke-service-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	gen, err := seqgen.Generate(seqgen.PartitionedGenes(smokeTaxa, smokeParts, smokeGeneLen, smokeDataSeed))
+	if err != nil {
+		return err
+	}
+	phy, err := os.Create(filepath.Join(tmp, "smoke.phy"))
+	if err != nil {
+		return err
+	}
+	if err := msa.WritePhylip(phy, gen.Alignment); err != nil {
+		phy.Close()
+		return err
+	}
+	if err := phy.Close(); err != nil {
+		return err
+	}
+	parts := filepath.Join(tmp, "smoke.parts.txt")
+	if err := os.WriteFile(parts, []byte(msa.FormatPartitionFile(gen.Partitions)), 0o644); err != nil {
+		return err
+	}
+
+	cmd := exec.Command(examlPath,
+		"-s", filepath.Join(tmp, "smoke.phy"), "-q", parts,
+		"-np", "2", "-p", fmt.Sprint(smokeSeed), "-iter", fmt.Sprint(smokeIters),
+		"-n", filepath.Join(tmp, "oneshot"))
+	if outp, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("examl CLI one-shot run: %v\n%s", err, outp)
+	}
+	tree, err := os.ReadFile(filepath.Join(tmp, "oneshot.bestTree.nwk"))
+	if err != nil {
+		return err
+	}
+	if string(tree) != refTree+"\n" {
+		return fmt.Errorf("examl CLI tree differs from the in-process reference")
+	}
+	return nil
+}

@@ -281,6 +281,19 @@ type Config struct {
 	// span as a JSONL event (implies Telemetry). The writer is shared by
 	// all ranks; writes are serialized internally.
 	TraceWriter io.Writer
+	// TraceLabel, when non-empty, namespaces every JSONL telemetry event
+	// of this run with a `"job"` field. The inference service
+	// (cmd/examld) sets it to the job ID so concurrent jobs never
+	// interleave unattributable events into one stream; one-shot runs
+	// leave it empty.
+	TraceLabel string
+	// OnProgress, when set, is invoked after every completed outer
+	// search iteration with the 1-based iteration number and the current
+	// log likelihood. Under the in-process transport every rank replica
+	// calls it (like the checkpoint hook); in network mode each process
+	// calls it exactly once per iteration. Observational only — it must
+	// not mutate search state.
+	OnProgress func(iteration int, lnL float64)
 	// DisableRepeats turns off subtree site-repeat compression in the
 	// likelihood kernels (docs/PERFORMANCE.md). Ablation switch only:
 	// results are bit-identical with compression on or off.
@@ -438,6 +451,15 @@ func searchConfig(cfg Config) (search.Config, error) {
 			writeCheckpoint(cfg.CheckpointPath, s.Snapshot(iter))
 		}
 	}
+	if cfg.OnProgress != nil {
+		prev := scfg.OnIteration
+		scfg.OnIteration = func(s *search.Searcher, iter int, lnL float64) {
+			if prev != nil {
+				prev(s, iter, lnL)
+			}
+			cfg.OnProgress(iter, lnL)
+		}
+	}
 	return scfg, nil
 }
 
@@ -462,6 +484,7 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 	var collector *telemetry.Collector
 	if cfg.Telemetry || cfg.TraceWriter != nil {
 		collector = telemetry.NewCollector(cfg.Ranks, int(mpi.NumCommClasses), cfg.TraceWriter)
+		collector.SetJob(cfg.TraceLabel)
 	}
 
 	var (

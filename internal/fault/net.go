@@ -22,8 +22,22 @@ type NetPlan struct {
 	Run decentral.RunConfig
 	// MaxRecoveries bounds how many times the survivors may re-form the
 	// world after peer failures; 0 disables recovery entirely (a peer
-	// loss is then returned as the error it is).
+	// loss is then returned as the error it is). It counts epochs, so a
+	// replacement joining at JoinEpoch needs MaxRecoveries ≥ JoinEpoch.
 	MaxRecoveries int
+	// JoinEpoch, when > 0, makes this process a replacement worker: it
+	// skips the initial rendezvous (that world is already gone) and
+	// enters the recovery protocol directly at the given epoch, claiming
+	// Net.Rank — the dead process's rank. It carries no snapshot, so the
+	// restore exchange always adopts a survivor's checkpoint. Joining a
+	// replacement restores the world to its previous size, which keeps
+	// the resumed trajectory bit-identical to an undisturbed run.
+	JoinEpoch int
+	// OnRecovered, when set, is invoked after every successful recovery
+	// (including a replacement's join) with this process's rank and the
+	// world size in the new epoch, the epoch number, and the iteration
+	// the search resumed from. Observational only.
+	OnRecovered func(rank, size, epoch, resumedIteration int)
 }
 
 // NetReport describes how a fault-tolerant network run unfolded.
@@ -80,24 +94,40 @@ func RunNet(d *msa.Dataset, plan NetPlan) (*search.Result, *decentral.RunStats, 
 		return uint64(snap.Iteration)
 	}
 
-	tr, err := mpinet.Connect(plan.Net)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	comm := mpi.NewComm(tr, plan.Net.Rank, plan.Net.Size, mpi.NewMeter())
 	report := &NetReport{Epochs: 1, FinalRank: plan.Net.Rank, FinalSize: plan.Net.Size}
-
 	cur := plan.Net // tracks this process's rank/size in the live world
 	epoch := 0
-	for {
-		res, stats, runErr := decentral.RunOnComm(comm, d, runCfg)
-		comm.Close()
-		if runErr == nil {
-			return res, stats, report, nil
+	var comm *mpi.Comm
+	var runErr error
+
+	if plan.JoinEpoch > 0 {
+		// Replacement worker: the world it would rendezvous with is
+		// already dead, so it enters the recovery protocol directly at
+		// the epoch the survivors are converging on. comm stays nil so
+		// the loop below goes straight to the recovery phase.
+		epoch = plan.JoinEpoch - 1
+		report.Epochs = 0
+		runErr = fmt.Errorf("fault: joining as a replacement at epoch %d", plan.JoinEpoch)
+	} else {
+		tr, err := mpinet.Connect(plan.Net)
+		if err != nil {
+			return nil, nil, nil, err
 		}
-		var pd *mpinet.PeerDownError
-		if !errors.As(runErr, &pd) {
-			return nil, nil, report, runErr
+		comm = mpi.NewComm(tr, plan.Net.Rank, plan.Net.Size, mpi.NewMeter())
+	}
+
+	for {
+		if comm != nil {
+			res, stats, err := decentral.RunOnComm(comm, d, runCfg)
+			comm.Close()
+			if err == nil {
+				return res, stats, report, nil
+			}
+			var pd *mpinet.PeerDownError
+			if !errors.As(err, &pd) {
+				return nil, nil, report, err
+			}
+			runErr = err
 		}
 
 		// Survivor recovery: re-rendezvous on the next epoch port. The
@@ -121,6 +151,7 @@ func RunNet(d *msa.Dataset, plan NetPlan) (*search.Result, *decentral.RunStats, 
 				break
 			}
 			comm.Close()
+			var pd *mpinet.PeerDownError
 			if !errors.As(exErr, &pd) {
 				return nil, nil, report, exErr
 			}
@@ -129,6 +160,12 @@ func RunNet(d *msa.Dataset, plan NetPlan) (*search.Result, *decentral.RunStats, 
 		// The restore exchange is recovery traffic, not part of the
 		// resumed schedule's Table-I accounting.
 		comm.Meter().Reset()
+		if plan.Run.Telemetry != nil {
+			plan.Run.Telemetry.EmitRecovery(cur.Rank, cur.Size, epoch, report.ResumedIteration)
+		}
+		if plan.OnRecovered != nil {
+			plan.OnRecovered(cur.Rank, cur.Size, epoch, report.ResumedIteration)
+		}
 	}
 }
 

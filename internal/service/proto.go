@@ -1,0 +1,79 @@
+// Package service implements the inference-as-a-service layer behind
+// cmd/examld: a warm pool of worker processes (each hosting one rank of
+// a multi-process decentralized run at a time), a FIFO-with-backfill
+// scheduler multiplexing concurrent jobs across the pool, an HTTP/JSON
+// control API, and checkpoint-based job migration off dead ranks.
+//
+// The daemon and its workers speak a small JSON-lines control protocol
+// over the pool's TCP listener; the inference traffic itself flows over
+// the usual internal/mpinet rank mesh, which the daemon never touches —
+// it only hands out the rendezvous coordinates. See docs/SERVICE.md.
+package service
+
+import "encoding/json"
+
+// Control-protocol message types, worker → daemon.
+const (
+	// msgHello is the first message on a fresh worker connection.
+	msgHello = "hello"
+	// msgProgress reports one completed search iteration of a job.
+	msgProgress = "progress"
+	// msgRecovered reports a completed fault recovery (this worker's
+	// rank and the world size in the new epoch).
+	msgRecovered = "recovered"
+	// msgTrace forwards one JSONL telemetry event of a traced job.
+	msgTrace = "trace"
+	// msgDone carries the final result of a job rank.
+	msgDone = "done"
+	// msgFailed reports a job rank that ended in an error.
+	msgFailed = "failed"
+)
+
+// Control-protocol message types, daemon → worker.
+const (
+	// msgRun assigns one rank of a job to an idle worker.
+	msgRun = "run"
+	// msgCancel aborts the worker's current job; the worker exits (the
+	// search has no safe interruption point) and the daemon respawns it.
+	msgCancel = "cancel"
+)
+
+// wireMsg is the single envelope both directions share; unused fields
+// stay at their zero values and are omitted from the encoding.
+type wireMsg struct {
+	Type string `json:"type"`
+	Job  string `json:"job,omitempty"`
+
+	// hello
+	PID int `json:"pid,omitempty"`
+
+	// run: world placement and tuning for one rank of a job. A
+	// JoinEpoch > 0 marks a migration: the worker skips the initial
+	// rendezvous and joins the recovery protocol directly, claiming
+	// Rank (the dead worker's rank).
+	Rank             int      `json:"rank"`
+	Size             int      `json:"size,omitempty"`
+	Addr             string   `json:"addr,omitempty"`
+	Nonce            uint64   `json:"nonce,omitempty"`
+	JoinEpoch        int      `json:"join_epoch,omitempty"`
+	MaxRecoveries    int      `json:"max_recoveries,omitempty"`
+	HbIntervalMS     int      `json:"hb_interval_ms,omitempty"`
+	HbTimeoutMS      int      `json:"hb_timeout_ms,omitempty"`
+	RecoveryWindowMS int      `json:"recovery_window_ms,omitempty"`
+	DieAfter         int      `json:"die_after,omitempty"`
+	Spec             *JobSpec `json:"spec,omitempty"`
+
+	// progress / recovered
+	Iteration        int     `json:"iteration,omitempty"`
+	LnL              float64 `json:"lnl,omitempty"`
+	Epoch            int     `json:"epoch,omitempty"`
+	WorldSize        int     `json:"world_size,omitempty"`
+	ResumedIteration int     `json:"resumed_iteration,omitempty"`
+
+	// trace
+	Line json.RawMessage `json:"line,omitempty"`
+
+	// done / failed
+	Result *JobResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}

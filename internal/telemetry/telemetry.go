@@ -27,6 +27,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -134,8 +135,29 @@ type Collector struct {
 	recs    []*Recorder
 	numComm int
 
+	// jobFrag is the pre-rendered `,"job":"<id>"` JSON fragment appended
+	// to every trace event when the collector is namespaced to a job
+	// (SetJob). Empty for plain runs, so the event format is unchanged.
+	jobFrag string
+
 	mu    sync.Mutex
 	trace io.Writer
+}
+
+// SetJob namespaces every JSONL event this collector emits with a
+// `"job"` field. The multi-job service daemon (cmd/examld) sets it to
+// the job ID so concurrent jobs sharing a sink never interleave
+// unattributable events; one-shot runs leave it empty and emit the
+// historical event format. Call it before the run starts; nil-safe.
+func (c *Collector) SetJob(id string) {
+	if c == nil || id == "" {
+		return
+	}
+	frag, err := json.Marshal(id)
+	if err != nil {
+		return
+	}
+	c.jobFrag = `,"job":` + string(frag)
 }
 
 // NewCollector provisions recorders for `ranks` ranks and collective
@@ -177,8 +199,23 @@ func (c *Collector) emit(rank int, kind, class string, startNS, durNS int64) {
 		return
 	}
 	c.mu.Lock()
-	fmt.Fprintf(c.trace, "{\"ev\":\"span\",\"rank\":%d,\"kind\":%q,\"class\":%q,\"t_ns\":%d,\"dur_ns\":%d}\n",
-		rank, kind, class, startNS, durNS)
+	fmt.Fprintf(c.trace, "{\"ev\":\"span\",\"rank\":%d,\"kind\":%q,\"class\":%q,\"t_ns\":%d,\"dur_ns\":%d%s}\n",
+		rank, kind, class, startNS, durNS, c.jobFrag)
+	c.mu.Unlock()
+}
+
+// EmitRecovery appends a JSONL "recovery" event: the fault-tolerant
+// network driver (fault.RunNet) calls it after the world re-forms, so a
+// job's event stream records every migration epoch alongside its spans.
+// resumedIteration is 0 when the failure hit before the first completed
+// iteration (fresh restart on the re-formed world). Nil-safe no-op.
+func (c *Collector) EmitRecovery(rank, size, epoch, resumedIteration int) {
+	if c == nil || c.trace == nil {
+		return
+	}
+	c.mu.Lock()
+	fmt.Fprintf(c.trace, "{\"ev\":\"recovery\",\"rank\":%d,\"size\":%d,\"epoch\":%d,\"resumed_iteration\":%d%s}\n",
+		rank, size, epoch, resumedIteration, c.jobFrag)
 	c.mu.Unlock()
 }
 
@@ -301,8 +338,8 @@ func (r *Recorder) SetKernelPerf(fastOps, genericOps, pcacheHits, pcacheMiss int
 	r.pcacheMiss = pcacheMiss
 	if c := r.col; c != nil && c.trace != nil {
 		c.mu.Lock()
-		fmt.Fprintf(c.trace, "{\"ev\":\"perf\",\"rank\":%d,\"fast_ops\":%d,\"generic_ops\":%d,\"pcache_hits\":%d,\"pcache_misses\":%d}\n",
-			r.rank, fastOps, genericOps, pcacheHits, pcacheMiss)
+		fmt.Fprintf(c.trace, "{\"ev\":\"perf\",\"rank\":%d,\"fast_ops\":%d,\"generic_ops\":%d,\"pcache_hits\":%d,\"pcache_misses\":%d%s}\n",
+			r.rank, fastOps, genericOps, pcacheHits, pcacheMiss, c.jobFrag)
 		c.mu.Unlock()
 	}
 }
@@ -318,8 +355,8 @@ func (r *Recorder) SetRepeatStats(colsComputed, colsSaved int64) {
 	r.repColsSaved = colsSaved
 	if c := r.col; c != nil && c.trace != nil {
 		c.mu.Lock()
-		fmt.Fprintf(c.trace, "{\"ev\":\"repeats\",\"rank\":%d,\"cols_computed\":%d,\"cols_saved\":%d}\n",
-			r.rank, colsComputed, colsSaved)
+		fmt.Fprintf(c.trace, "{\"ev\":\"repeats\",\"rank\":%d,\"cols_computed\":%d,\"cols_saved\":%d%s}\n",
+			r.rank, colsComputed, colsSaved, c.jobFrag)
 		c.mu.Unlock()
 	}
 }

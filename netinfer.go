@@ -39,6 +39,22 @@ type NetConfig struct {
 	// HeartbeatInterval and HeartbeatTimeout tune failure detection;
 	// zero values use the mpinet defaults.
 	HeartbeatInterval, HeartbeatTimeout time.Duration
+	// RecoveryWindow bounds how long the recovery coordinator waits for
+	// survivors (and replacements) to re-register before sealing the new
+	// world; zero uses the mpinet default (2 × HeartbeatTimeout).
+	RecoveryWindow time.Duration
+	// JoinEpoch, when > 0, makes this process a replacement worker: it
+	// skips the initial rendezvous and joins the world directly at
+	// recovery epoch JoinEpoch, claiming Rank (the dead process's rank).
+	// The service daemon uses this to migrate a job onto a warm spare at
+	// the original world size, which keeps the final result bit-identical
+	// to an undisturbed run (a shrunken world would change the summation
+	// order). Decentralized scheme only.
+	JoinEpoch int
+	// OnRecovered, when set, is invoked after every successful recovery
+	// with the rank and world size this process holds in the new epoch
+	// and the iteration the search resumed from. Observational only.
+	OnRecovered func(rank, size, epoch, resumedIteration int)
 }
 
 // NetResult is the per-process outcome of a network run.
@@ -89,6 +105,7 @@ func InferNet(d *Dataset, cfg Config, nc NetConfig) (*NetResult, error) {
 	if cfg.Telemetry || cfg.TraceWriter != nil {
 		// One recorder: the collector describes this process alone.
 		collector = telemetry.NewCollector(1, int(mpi.NumCommClasses), cfg.TraceWriter)
+		collector.SetJob(cfg.TraceLabel)
 	}
 	netCfg := mpinet.Config{
 		Rank:              nc.Rank,
@@ -97,6 +114,7 @@ func InferNet(d *Dataset, cfg Config, nc NetConfig) (*NetResult, error) {
 		Nonce:             nc.Nonce,
 		HeartbeatInterval: nc.HeartbeatInterval,
 		HeartbeatTimeout:  nc.HeartbeatTimeout,
+		RecoveryWindow:    nc.RecoveryWindow,
 	}
 
 	switch cfg.Scheme {
@@ -113,6 +131,8 @@ func InferNet(d *Dataset, cfg Config, nc NetConfig) (*NetResult, error) {
 				RepeatsMaxMem:      cfg.RepeatsMaxMem,
 			},
 			MaxRecoveries: nc.MaxRecoveries,
+			JoinEpoch:     nc.JoinEpoch,
+			OnRecovered:   nc.OnRecovered,
 		})
 		if err != nil {
 			return nil, err
@@ -127,6 +147,9 @@ func InferNet(d *Dataset, cfg Config, nc NetConfig) (*NetResult, error) {
 		}, nil
 
 	case ForkJoin:
+		if nc.JoinEpoch > 0 {
+			return nil, fmt.Errorf("examl: replacement joins (JoinEpoch) require the decentralized scheme")
+		}
 		tr, err := mpinet.Connect(netCfg)
 		if err != nil {
 			return nil, err
