@@ -4,13 +4,20 @@
 // writes BENCH_kernels.json for the experiments harness and CI trend
 // tracking.
 //
-// Each benchmark line becomes one record:
+// The output is one document with the environment the benchmarks ran
+// under — a KernelThreadsGamma speedup means nothing without knowing
+// GOMAXPROCS — followed by one record per benchmark line:
 //
-//	{"name": "KernelThreadsGamma/T=4", "ns_per_op": 123456,
-//	 "iterations": 100, "flops_per_sec": 1.2e9, "metrics": {...}}
+//	{"env": {"go_version": "go1.24", "goos": "linux", "goarch": "amd64",
+//	         "cpu": "...", "num_cpu": 16, "gomaxprocs": 16},
+//	 "benchmarks": [
+//	   {"name": "KernelThreadsGamma/T=4", "ns_per_op": 123456,
+//	    "iterations": 100, "flops_per_sec": 1.2e9, "metrics": {...}}]}
 //
-// flops_per_sec is derived from the benchmark's reported flops/op metric
-// when present (0 otherwise).
+// goos/goarch/cpu come from the `go test` header lines when present;
+// gomaxprocs comes from the benchmark names' "-N" suffix (the value the
+// test binary actually ran with, not this process's). flops_per_sec is
+// derived from the benchmark's reported flops/op metric (0 otherwise).
 package main
 
 import (
@@ -20,9 +27,20 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
+
+// Env records where and how the benchmarks ran.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu,omitempty"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+}
 
 // Record is one benchmark result row.
 type Record struct {
@@ -41,26 +59,41 @@ type Record struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Document is the whole output file.
+type Document struct {
+	Env        Env      `json:"env"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "BENCH_kernels.json", "output JSON file")
 	flag.Parse()
 
-	var records []Record
+	doc := Document{Env: Env{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass the raw output through for the log
-		if rec, ok := parseBenchLine(line); ok {
-			records = append(records, rec)
+		parseHeaderLine(line, &doc.Env)
+		if rec, procs, ok := parseBenchLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, rec)
+			if procs > 0 {
+				doc.Env.GOMAXPROCS = procs
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
-	if len(records) == 0 {
+	if len(doc.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found on stdin (pipe `go test -bench` output in)")
 	}
 	f, err := os.Create(*out)
@@ -69,37 +102,56 @@ func main() {
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(records); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s\n", len(records), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s (gomaxprocs %d)\n",
+		len(doc.Benchmarks), *out, doc.Env.GOMAXPROCS)
+}
+
+// parseHeaderLine harvests the `go test` preamble ("goos: linux",
+// "goarch: amd64", "cpu: ...") — the test binary's view, which beats
+// this process's runtime constants when they are present.
+func parseHeaderLine(line string, env *Env) {
+	switch {
+	case strings.HasPrefix(line, "goos: "):
+		env.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+	case strings.HasPrefix(line, "goarch: "):
+		env.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+	case strings.HasPrefix(line, "cpu: "):
+		env.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+	}
 }
 
 // parseBenchLine parses one "BenchmarkName-8  N  V unit  V unit ..."
 // line; ok is false for non-benchmark lines (headers, PASS, ok ...).
-func parseBenchLine(line string) (Record, bool) {
+// procs is the -GOMAXPROCS suffix (0 when the name carries none).
+func parseBenchLine(line string) (rec Record, procs int, ok bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Record{}, false
+		return Record{}, 0, false
 	}
 	name := strings.TrimPrefix(fields[0], "Benchmark")
 	// Strip the -GOMAXPROCS suffix from the last path element.
 	if i := strings.LastIndex(name, "-"); i > strings.LastIndex(name, "/") {
-		name = name[:i]
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			procs = n
+			name = name[:i]
+		}
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Record{}, false
+		return Record{}, 0, false
 	}
-	rec := Record{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	rec = Record{Name: name, Iterations: iters, Metrics: map[string]float64{}}
 	// The remainder is value/unit pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Record{}, false
+			return Record{}, 0, false
 		}
 		switch unit := fields[i+1]; unit {
 		case "ns/op":
@@ -109,7 +161,7 @@ func parseBenchLine(line string) (Record, bool) {
 		}
 	}
 	if rec.NsPerOp <= 0 {
-		return Record{}, false
+		return Record{}, 0, false
 	}
 	if flops, ok := rec.Metrics["flops/op"]; ok && flops > 0 {
 		rec.FlopsPerSec = flops / rec.NsPerOp * 1e9
@@ -117,5 +169,5 @@ func parseBenchLine(line string) (Record, bool) {
 	if len(rec.Metrics) == 0 {
 		rec.Metrics = nil
 	}
-	return rec, true
+	return rec, procs, true
 }

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	rec, procs, ok := parseBenchLine(
+		"BenchmarkKernelThreadsGamma/T=4-16    100    123456 ns/op    500 flops/op    4.0 threads")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if rec.Name != "KernelThreadsGamma/T=4" {
+		t.Fatalf("name = %q", rec.Name)
+	}
+	if procs != 16 {
+		t.Fatalf("gomaxprocs suffix = %d, want 16", procs)
+	}
+	if rec.NsPerOp != 123456 || rec.Iterations != 100 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.Metrics["threads"] != 4 {
+		t.Fatalf("metrics = %v", rec.Metrics)
+	}
+	wantFlops := rec.Metrics["flops/op"] / rec.NsPerOp * 1e9
+	if rec.FlopsPerSec != wantFlops {
+		t.Fatalf("flops/s = %v, want %v", rec.FlopsPerSec, wantFlops)
+	}
+
+	// A dashed sub-benchmark name without a numeric suffix keeps its
+	// trailing element.
+	rec, procs, ok = parseBenchLine("BenchmarkFoo/mode=fast-path    10    5 ns/op")
+	if !ok || procs != 0 || rec.Name != "Foo/mode=fast-path" {
+		t.Fatalf("rec = %+v procs = %d ok = %v", rec, procs, ok)
+	}
+
+	for _, junk := range []string{"PASS", "ok  \trepro\t1.2s", "goos: linux", ""} {
+		if _, _, ok := parseBenchLine(junk); ok {
+			t.Fatalf("junk line %q accepted", junk)
+		}
+	}
+}
+
+func TestParseHeaderLine(t *testing.T) {
+	var env Env
+	parseHeaderLine("goos: linux", &env)
+	parseHeaderLine("goarch: arm64", &env)
+	parseHeaderLine("cpu: Apple M3", &env)
+	parseHeaderLine("BenchmarkFoo-8 1 1 ns/op", &env)
+	if env.GOOS != "linux" || env.GOARCH != "arm64" || env.CPU != "Apple M3" {
+		t.Fatalf("env = %+v", env)
+	}
+}

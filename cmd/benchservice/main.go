@@ -297,6 +297,7 @@ func runBench(out string, jobs, concurrency, workers, ranks, taxa, partitions, g
 			"max_iterations": iters,
 			"gomaxprocs":     runtime.GOMAXPROCS(0),
 			"num_cpu":        runtime.NumCPU(),
+			"go_version":     runtime.Version(),
 		},
 		"jobs_per_sec": float64(len(ok)) / wall.Seconds(),
 		"latency_ms": map[string]any{

@@ -29,7 +29,11 @@
 //	-stats            print the end-of-run telemetry report (kernel
 //	                  spans, collective timing, load imbalance)
 //	-stats-json FILE  write that report as JSON
-//	-trace FILE       stream a JSONL span-event trace
+//	-trace FILE       stream a JSONL span-event trace (merge multi-rank
+//	                  traces with cmd/phytrace)
+//	-metrics-addr A   serve Prometheus metrics at GET /metrics on A for
+//	                  the duration of the run (net mode: rank 0 only)
+//	-pprof            also mount /debug/pprof/ on the metrics listener
 //
 // Example:
 //

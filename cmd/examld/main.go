@@ -14,6 +14,14 @@
 //
 //	examld -worker -pool <daemon-pool-addr>
 //
+// The daemon also serves a live observability plane (on by default):
+// GET /metrics exposes Prometheus text-format metrics — scheduler queue
+// depth, pool strength, job latency histograms, migration counters,
+// plus the process-wide mpinet frame and kernel span totals — and
+// /debug/pprof/ serves the standard Go profiles of the daemon process.
+// Worker processes are profiled through the control protocol:
+// GET /api/v1/pool/{id}/profile?name=heap. See docs/OBSERVABILITY.md.
+//
 // See docs/SERVICE.md for the API and operational behavior.
 package main
 
@@ -23,11 +31,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/service"
 )
 
@@ -42,6 +52,8 @@ func main() {
 		hbInterval  = flag.Duration("hb-interval", 100*time.Millisecond, "rank-mesh heartbeat interval")
 		hbTimeout   = flag.Duration("hb-timeout", 2*time.Second, "rank-mesh heartbeat timeout (failure detection latency)")
 		recoveryWin = flag.Duration("recovery-window", 0, "recovery membership window (default 2x hb-timeout)")
+		withMetrics = flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
+		withPprof   = flag.Bool("pprof", true, "serve net/http/pprof at /debug/pprof/")
 		quiet       = flag.Bool("quiet", false, "suppress operational logging")
 		versionOnly = flag.Bool("version", false, "print version and exit")
 	)
@@ -99,7 +111,26 @@ func main() {
 	logf("examld: API on http://%s, worker pool on %s (%d warm workers)",
 		ln.Addr(), srv.PoolAddr(), *workers)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// The API mounts under a top-level mux so the observability plane
+	// (docs/OBSERVABILITY.md) can ride alongside: /metrics merges the
+	// server's registry (queue, pool, job latency) with the process one
+	// (mpinet frames, kernel spans), and /debug/pprof profiles the
+	// daemon itself — worker processes are profiled through
+	// GET /api/v1/pool/{id}/profile instead.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *withMetrics {
+		mux.Handle("GET /metrics", metrics.Handler(srv.Metrics(), metrics.Default()))
+	}
+	if *withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	hs := &http.Server{Handler: mux}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,106 @@
+// Command phytrace merges the per-rank JSONL telemetry traces written
+// by `examl -trace` into one Chrome trace-event file and attributes the
+// run's wall time: per-iteration critical path, per-rank time spent
+// waiting on peers inside collectives, and a straggler ranking.
+//
+//	examl -s data.phy -np 4 -net-launch -trace run.jsonl ...
+//	phytrace -o run.chrome.json run.jsonl.rank*
+//
+// The output loads directly in chrome://tracing or https://ui.perfetto.dev;
+// the text report prints to stdout. Traces from different processes are
+// aligned via the wall-clock epoch in each stream's "meta" header, and
+// the global rank of a ".rank<N>" file's events is offset by N (net-mode
+// processes each record a single-rank collector). A daemon event stream
+// holding several jobs is split into one trace "process" per job.
+//
+//	-o FILE    write the Chrome trace JSON here (default trace.chrome.json, "" = skip)
+//	-report    print the attribution report (default true)
+//	-job ID    only this job's events
+//	-check     exit nonzero unless a nonzero critical path was found
+//
+// See docs/OBSERVABILITY.md for the event schema and a walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/phytrace"
+)
+
+func main() {
+	var (
+		outPath = flag.String("o", "trace.chrome.json", "output Chrome trace JSON path (empty = no trace file)")
+		report  = flag.Bool("report", true, "print the critical-path / straggler report")
+		jobID   = flag.String("job", "", "restrict to one job ID (daemon traces hold several)")
+		check   = flag.Bool("check", false, "exit nonzero unless a nonzero critical path was found")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: phytrace [flags] trace.jsonl [trace.jsonl.rank1 ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	sources := make([]*phytrace.Source, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		s, err := phytrace.ParseFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, s)
+	}
+	merged := phytrace.MergeSources(sources)
+	if *jobID != "" {
+		kept := merged.Jobs[:0]
+		for _, jt := range merged.Jobs {
+			if jt.Job == *jobID {
+				kept = append(kept, jt)
+			}
+		}
+		merged.Jobs = kept
+	}
+	if len(merged.Jobs) == 0 {
+		fatal(fmt.Errorf("no matching trace events in %d file(s)", flag.NArg()))
+	}
+
+	analyses := make([]*phytrace.Analysis, 0, len(merged.Jobs))
+	var criticalNS int64
+	for _, jt := range merged.Jobs {
+		a := phytrace.Analyze(jt)
+		criticalNS += a.CriticalPathNS
+		analyses = append(analyses, a)
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := phytrace.WriteChromeTrace(f, merged, analyses); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *outPath)
+	}
+	if *report {
+		for i, a := range analyses {
+			if i > 0 {
+				fmt.Println()
+			}
+			a.WriteReport(os.Stdout)
+		}
+	}
+	if *check && criticalNS == 0 {
+		fatal(fmt.Errorf("critical path is zero: the trace holds no attributable kernel spans"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phytrace:", err)
+	os.Exit(1)
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/decentral"
 	"repro/internal/distrib"
 	"repro/internal/forkjoin"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/msa"
@@ -570,7 +571,11 @@ func finalizeTelemetry(c *telemetry.Collector, wall time.Duration, threads int, 
 	if threads < 1 {
 		threads = 1
 	}
-	return c.Finalize(wall, threads, names, comm.Ops[:], comm.Bytes[:])
+	rep := c.Finalize(wall, threads, names, comm.Ops[:], comm.Bytes[:])
+	// Mirror the run summary onto the process metrics registry so a live
+	// /metrics scrape (-metrics-addr, or the examld daemon) sees it.
+	rep.Publish(metrics.Default())
+	return rep
 }
 
 // writeCheckpoint writes atomically via a temp file + rename.

@@ -9,9 +9,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"repro"
+	"repro/internal/metrics"
 )
 
 // Args carries every inference flag.
@@ -38,6 +42,14 @@ type Args struct {
 	// TracePath, when non-empty, streams a JSONL span-event trace to the
 	// given file (implies telemetry collection).
 	TracePath string
+	// MetricsAddr, when non-empty, serves Prometheus text metrics at
+	// GET /metrics on this address for the duration of the run (implies
+	// telemetry collection). In network mode only rank 0 binds it, so a
+	// locally launched world does not collide on the port.
+	MetricsAddr string
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/ on
+	// the metrics listener (requires MetricsAddr).
+	Pprof bool
 
 	// Network mode (docs/NETWORKING.md): ranks as separate OS processes
 	// over TCP instead of goroutines. NetRank ≥ 0 makes this process one
@@ -85,6 +97,8 @@ func Register(a *Args) {
 	flag.BoolVar(&a.Stats, "stats", false, "print the end-of-run telemetry report (kernel spans, collective timing, load imbalance)")
 	flag.StringVar(&a.StatsJSON, "stats-json", "", "write the telemetry report as JSON to this file")
 	flag.StringVar(&a.TracePath, "trace", "", "stream a JSONL telemetry event trace to this file")
+	flag.StringVar(&a.MetricsAddr, "metrics-addr", "", "serve Prometheus metrics at GET /metrics on this address during the run (network mode: rank 0 only)")
+	flag.BoolVar(&a.Pprof, "pprof", false, "also serve net/http/pprof at /debug/pprof/ on the metrics listener (requires -metrics-addr)")
 }
 
 // Validate rejects impossible or inconsistent flag combinations before
@@ -132,12 +146,46 @@ func Validate(a Args) error {
 	if a.RepeatsMaxMem < 0 {
 		return fmt.Errorf("-repeats-max-mem must be >= 0 (got %d)", a.RepeatsMaxMem)
 	}
+	if a.Pprof && a.MetricsAddr == "" {
+		return fmt.Errorf("-pprof serves on the metrics listener; it requires -metrics-addr")
+	}
 	return nil
 }
 
 // telemetryRequested reports whether any telemetry sink is enabled.
+// A live /metrics endpoint counts: the kernel and collective gauges it
+// exposes are fed by the telemetry spans.
 func (a Args) telemetryRequested() bool {
-	return a.Stats || a.StatsJSON != "" || a.TracePath != ""
+	return a.Stats || a.StatsJSON != "" || a.TracePath != "" || a.MetricsAddr != ""
+}
+
+// startObservability binds the -metrics-addr listener and serves the
+// process-wide metrics registry (and, with -pprof, the standard Go
+// profiles) for the duration of the run. The returned shutdown func is
+// safe to call always — it is a no-op when no address was requested.
+// Instrumentation is scrape-only and never feeds back into the search,
+// so the determinism contract holds (docs/DETERMINISM.md).
+func startObservability(a Args) (shutdown func(), err error) {
+	if a.MetricsAddr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", a.MetricsAddr)
+	if err != nil {
+		return nil, fmt.Errorf("binding -metrics-addr %s: %w", a.MetricsAddr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", metrics.Handler())
+	if a.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	hs := &http.Server{Handler: mux}
+	go hs.Serve(ln)
+	fmt.Printf("observability: /metrics on http://%s\n", ln.Addr())
+	return func() { hs.Close() }, nil
 }
 
 // loadDataset opens and parses the alignment named by the args.
@@ -254,6 +302,11 @@ func Run(a Args) (*examl.Result, error) {
 		defer traceBuf.Flush()
 		cfg.TraceWriter = traceBuf
 	}
+	stopObs, err := startObservability(a)
+	if err != nil {
+		return nil, err
+	}
+	defer stopObs()
 	printBanner(a, d, cfg)
 	res, err := examl.Infer(d, cfg)
 	if err != nil {

@@ -1,6 +1,8 @@
 package cli
 
 import (
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -32,6 +34,7 @@ func TestValidateRejectsBadValues(t *testing.T) {
 		{"ranks-per-node exceeds ranks", Args{Ranks: 2, Threads: 1, RanksPerNode: 4}, "-ranks-per-node"},
 		{"ranks-per-node under fork-join", Args{Ranks: 4, Threads: 1, RanksPerNode: 2, Scheme: examl.ForkJoin}, "decentralized"},
 		{"negative iterations", Args{Ranks: 1, Threads: 1, MaxIter: -1}, "-iter"},
+		{"pprof without metrics addr", Args{Ranks: 1, Threads: 1, NetRank: -1, Pprof: true}, "-metrics-addr"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -44,6 +47,82 @@ func TestValidateRejectsBadValues(t *testing.T) {
 			}
 		})
 	}
+}
+
+func TestMetricsAddrImpliesTelemetry(t *testing.T) {
+	a := Args{Ranks: 1, Threads: 1, NetRank: -1}
+	if a.telemetryRequested() {
+		t.Fatal("bare args should not request telemetry")
+	}
+	a.MetricsAddr = "127.0.0.1:0"
+	if !a.telemetryRequested() {
+		t.Fatal("-metrics-addr must imply telemetry collection (it feeds the kernel gauges)")
+	}
+	if err := Validate(a); err != nil {
+		t.Fatalf("metrics-addr args rejected: %v", err)
+	}
+}
+
+// TestStartObservability serves a real listener and checks that
+// /metrics renders Prometheus text and that pprof only mounts when
+// asked for.
+func TestStartObservability(t *testing.T) {
+	get := func(addr Args) (metricsStatus, pprofStatus int, body string) {
+		t.Helper()
+		stop, err := startObservability(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer stop()
+		// startObservability prints the bound address but does not
+		// return it; bind a fixed port instead of parsing stdout.
+		resp, err := http.Get("http://" + addr.MetricsAddr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		pr, err := http.Get("http://" + addr.MetricsAddr + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, pr.Body)
+		pr.Body.Close()
+		return resp.StatusCode, pr.StatusCode, string(raw)
+	}
+
+	addr := freeAddr(t)
+	ms, ps, body := get(Args{MetricsAddr: addr})
+	if ms != http.StatusOK {
+		t.Fatalf("/metrics: %d", ms)
+	}
+	if ps != http.StatusNotFound {
+		t.Fatalf("pprof mounted without -pprof: %d", ps)
+	}
+	if !strings.Contains(body, "# TYPE ") {
+		t.Fatalf("scrape is not Prometheus text:\n%s", body)
+	}
+
+	addr = freeAddr(t)
+	if _, ps, _ = get(Args{MetricsAddr: addr, Pprof: true}); ps != http.StatusOK {
+		t.Fatalf("pprof index with -pprof: %d", ps)
+	}
+
+	stop, err := startObservability(Args{})
+	if err != nil {
+		t.Fatalf("empty metrics addr must be a no-op: %v", err)
+	}
+	stop()
+}
+
+// freeAddr reserves a currently-free loopback host:port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	addr, err := freeLoopbackAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
 }
 
 func TestRunRejectsInvalidArgsBeforeIO(t *testing.T) {

@@ -43,6 +43,14 @@ func RunNet(a Args) (*examl.NetResult, error) {
 		cfg.CheckpointPath = rankPath(cfg.CheckpointPath, a.NetRank)
 	}
 	if a.NetRank == 0 {
+		// Only the initial rank 0 binds -metrics-addr: a locally
+		// launched world re-execs this binary with identical flags, and
+		// every rank racing for one port would fail all but one of them.
+		stopObs, err := startObservability(a)
+		if err != nil {
+			return nil, err
+		}
+		defer stopObs()
 		printBanner(a, d, cfg)
 		fmt.Printf("transport: tcp, world of %d processes at %s\n", a.NetSize, a.NetAddr)
 	}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Total jobs.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	g.Set(7)
+	g.Dec()
+
+	got := render(t, r)
+	want := "# HELP jobs_total Total jobs.\n" +
+		"# TYPE jobs_total counter\n" +
+		"jobs_total 3\n" +
+		"# HELP queue_depth Jobs waiting.\n" +
+		"# TYPE queue_depth gauge\n" +
+		"queue_depth 6\n"
+	if got != want {
+		t.Fatalf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSameNameReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h").Inc()
+	r.Counter("x_total", "h").Inc()
+	if v := r.Counter("x_total", "h").Value(); v != 2 {
+		t.Fatalf("counter identity broken: got %v, want 2", v)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic re-registering counter as gauge")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("frames_total", "Frames.", "class")
+	cv.With(`a"b\c` + "\n").Add(4)
+
+	got := render(t, r)
+	want := "# HELP frames_total Frames.\n" +
+		"# TYPE frames_total counter\n" +
+		"frames_total{class=\"a\\\"b\\\\c\\n\"} 4\n"
+	if got != want {
+		t.Fatalf("escaping mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "line1\nline2\\end").Inc()
+	got := render(t, r)
+	if !strings.Contains(got, `# HELP x_total line1\nline2\\end`+"\n") {
+		t.Fatalf("help not escaped: %q", got)
+	}
+}
+
+func TestVecChildrenSorted(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("g", "h", "k")
+	gv.With("zeta").Set(1)
+	gv.With("alpha").Set(2)
+	got := render(t, r)
+	if strings.Index(got, `k="alpha"`) > strings.Index(got, `k="zeta"`) {
+		t.Fatalf("children not sorted by label value:\n%s", got)
+	}
+}
+
+func TestHistogramBucketsSumCount(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, x := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(x)
+	}
+
+	got := render(t, r)
+	want := "# HELP lat_seconds Latency.\n" +
+		"# TYPE lat_seconds histogram\n" +
+		"lat_seconds_bucket{le=\"0.1\"} 2\n" + // 0.05, 0.1 (le is inclusive)
+		"lat_seconds_bucket{le=\"1\"} 3\n" +
+		"lat_seconds_bucket{le=\"10\"} 4\n" +
+		"lat_seconds_bucket{le=\"+Inf\"} 5\n" +
+		"lat_seconds_sum 105.65\n" +
+		"lat_seconds_count 5\n"
+	if got != want {
+		t.Fatalf("histogram mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-105.65) > 1e-9 {
+		t.Fatalf("Sum = %v, want 105.65", h.Sum())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 3
+	r.GaugeFunc("live", "Live value.", func() float64 { return float64(n) })
+	if !strings.Contains(render(t, r), "live 3\n") {
+		t.Fatal("gauge func not rendered")
+	}
+	n = 9
+	if !strings.Contains(render(t, r), "live 9\n") {
+		t.Fatal("gauge func not re-evaluated at scrape")
+	}
+	// Rebinding replaces the callback instead of panicking.
+	r.GaugeFunc("live", "Live value.", func() float64 { return 42 })
+	if !strings.Contains(render(t, r), "live 42\n") {
+		t.Fatal("gauge func not rebindable")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHandlerServesMergedRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("a_total", "A.").Inc()
+	b.Counter("b_total", "B.").Add(2)
+
+	rec := httptest.NewRecorder()
+	Handler(a, b).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	if !strings.Contains(string(body), "a_total 1\n") || !strings.Contains(string(body), "b_total 2\n") {
+		t.Fatalf("merged page missing metrics:\n%s", body)
+	}
+}
+
+func TestHandlerDefaultsToDefaultRegistry(t *testing.T) {
+	Default().Counter("default_probe_total", "Probe.").Inc()
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "default_probe_total") {
+		t.Fatal("Handler() did not serve the Default registry")
+	}
+}
+
+// TestConcurrentUpdates exercises the lock-free update paths under the
+// race detector (this package is in the Makefile RACE_PKGS gate).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h", "h", []float64{1, 10})
+	cv := r.CounterVec("cv_total", "h", "k")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 20))
+				cv.With([]string{"a", "b"}[i%2]).Inc()
+			}
+		}(i)
+	}
+	// Scrape concurrently with the writers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			_ = r.WriteText(&b)
+		}()
+	}
+	wg.Wait()
+
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if got := cv.With("a").Value() + cv.With("b").Value(); got != 8000 {
+		t.Fatalf("vec total = %v, want 8000", got)
+	}
+}

@@ -72,6 +72,18 @@ func (c CommClass) String() string {
 	return fmt.Sprintf("CommClass(%d)", int(c))
 }
 
+// init registers the traffic-class labels with the telemetry layer
+// (which deliberately does not import this package), so collective span
+// events and /metrics labels carry "likelihood-eval" rather than the
+// positional "class-N" fallback.
+func init() {
+	names := make([]string, NumCommClasses)
+	for c := CommClass(0); c < NumCommClasses; c++ {
+		names[c] = c.String()
+	}
+	telemetry.SetCommClassNames(names)
+}
+
 // Op selects a reduction operator.
 type Op int
 

@@ -145,6 +145,9 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	buf = append(buf, typ)
 	buf = append(buf, payload...)
 	_, err := w.Write(buf)
+	if err == nil {
+		sentCounters.count(typ, len(buf))
+	}
 	return err
 }
 
@@ -165,5 +168,6 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 			return 0, nil, fmt.Errorf("mpinet: frame truncated: %w", err)
 		}
 	}
+	recvCounters.count(typ, 5+len(payload))
 	return typ, payload, nil
 }

@@ -180,6 +180,7 @@ func dialRetry(addr string, cfg Config, deadline time.Time, what string) (net.Co
 		if i == attempts-1 {
 			break
 		}
+		dialRetries.Inc()
 		sleep := backoff
 		if rem := time.Until(deadline); sleep > rem {
 			sleep = rem

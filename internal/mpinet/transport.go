@@ -58,6 +58,7 @@ func (p *peerConn) fail(err error) {
 	if p.failErr == nil && err != nil {
 		p.failErr = err
 		p.failed.Store(true)
+		peerFailures.Inc()
 	}
 	p.failMu.Unlock()
 	p.c.Close()
@@ -202,6 +203,7 @@ func (t *Transport) heartbeatLoop() {
 			default:
 			}
 			if now.UnixNano()-p.lastHeard.Load() > t.hbTimeout.Nanoseconds() {
+				heartbeatMisses.Inc()
 				p.fail(&PeerDownError{
 					Peer:   p.peer,
 					Reason: fmt.Sprintf("heartbeat timeout: no traffic for %s", t.hbTimeout),

@@ -1,0 +1,221 @@
+package phytrace
+
+import "sort"
+
+// Wall-time attribution. The decentralized scheme is bulk-synchronous
+// per iteration: every rank computes its partition share (kernel
+// spans), then meets the others in Allreduce (collective spans). A
+// rank's collective span therefore conflates true communication with
+// waiting for the slowest peer. phytrace separates the two with the
+// standard BSP decomposition, per iteration window:
+//
+//	work_r  = Σ kernel span ns on rank r in the window
+//	comm_r  = Σ collective span ns on rank r in the window
+//	comm    ≈ min_r comm_r      (the last rank to arrive waits least)
+//	wait_r  = comm_r − comm     (time rank r spent blocked on peers)
+//	critical = max_r work_r + comm
+//
+// The iteration windows come from the per-rank "iter" markers; spans
+// after a rank's last marker (final evaluation, engine close) land in a
+// tail window that counts toward totals but not the critical path.
+
+// IterStat is the attribution of one iteration window.
+type IterStat struct {
+	Iter       int
+	CriticalNS int64   // max work + min comm
+	Straggler  int     // rank with the most work (-1 when no work)
+	Imbalance  float64 // max work / mean work (0 when no work)
+	WorkNS     map[int]int64
+	CommNS     map[int]int64
+	EndT       int64 // latest iter-marker time in the window
+	LnL        float64
+	HasLnL     bool
+}
+
+// RankTotals is one rank's whole-run attribution.
+type RankTotals struct {
+	Rank           int
+	WorkNS         int64
+	CommNS         int64
+	WaitNS         int64 // Σ per-iteration (comm_r − min comm)
+	StragglerIters int   // windows where this rank had the most work
+}
+
+// Analysis is the merged attribution of one job's trace.
+type Analysis struct {
+	Job            string
+	Ranks          []int
+	Iterations     []IterStat
+	Totals         []RankTotals // parallel to Ranks
+	CriticalPathNS int64        // Σ per-iteration critical path
+	WallNS         int64        // last event end − first span start
+	TotalWorkNS    int64
+	TotalCommNS    int64
+	TotalWaitNS    int64
+}
+
+// Analyze attributes one job's merged trace. A trace with no iter
+// markers (a crashed or truncated run) is treated as a single window so
+// the critical path is still defined.
+func Analyze(jt *JobTrace) *Analysis {
+	a := &Analysis{Job: jt.Job, Ranks: jt.RankIDs()}
+	idx := map[int]int{}
+	a.Totals = make([]RankTotals, len(a.Ranks))
+	for i, r := range a.Ranks {
+		idx[r] = i
+		a.Totals[i].Rank = r
+	}
+
+	// Per-rank iteration-marker times, sorted, for window lookup.
+	markT := map[int][]int64{} // rank -> marker times ascending
+	markN := map[int][]int{}   // rank -> iteration numbers, parallel
+	for _, im := range jt.Iters {
+		markT[im.Rank] = append(markT[im.Rank], im.T)
+		markN[im.Rank] = append(markN[im.Rank], im.Iter)
+	}
+	for r := range markT {
+		ts, ns := markT[r], markN[r]
+		sort.Sort(&markSorter{ts, ns})
+	}
+
+	// Bucket spans into windows: a span belongs to the iteration whose
+	// marker is the first at-or-after its start time on its own rank;
+	// spans past the last marker fall into the tail (iter sentinel -1).
+	const tail = -1
+	work := map[int]map[int]int64{} // iter -> rank -> ns
+	comm := map[int]map[int]int64{}
+	add := func(m map[int]map[int]int64, iter, rank int, ns int64) {
+		row := m[iter]
+		if row == nil {
+			row = map[int]int64{}
+			m[iter] = row
+		}
+		row[rank] += ns
+	}
+	var firstStart, lastEnd int64
+	firstStart = -1
+	for _, s := range jt.Spans {
+		if firstStart < 0 || s.Start < firstStart {
+			firstStart = s.Start
+		}
+		if end := s.Start + s.Dur; end > lastEnd {
+			lastEnd = end
+		}
+		iter := tail
+		ts := markT[s.Rank]
+		if i := sort.Search(len(ts), func(i int) bool { return ts[i] >= s.Start }); i < len(ts) {
+			iter = markN[s.Rank][i]
+		} else if len(ts) == 0 {
+			iter = 1 // no markers anywhere on this rank: one synthetic window
+		}
+		switch s.Kind {
+		case "kernel":
+			add(work, iter, s.Rank, s.Dur)
+			a.Totals[idx[s.Rank]].WorkNS += s.Dur
+			a.TotalWorkNS += s.Dur
+		case "collective":
+			add(comm, iter, s.Rank, s.Dur)
+			a.Totals[idx[s.Rank]].CommNS += s.Dur
+			a.TotalCommNS += s.Dur
+		}
+	}
+	for _, im := range jt.Iters {
+		if im.T > lastEnd {
+			lastEnd = im.T
+		}
+	}
+	if firstStart < 0 {
+		firstStart = 0
+	}
+	a.WallNS = lastEnd - firstStart
+
+	// Iteration numbers, in order, excluding the tail.
+	iterSet := map[int]bool{}
+	for it := range work {
+		iterSet[it] = true
+	}
+	for it := range comm {
+		iterSet[it] = true
+	}
+	delete(iterSet, tail)
+	iters := make([]int, 0, len(iterSet))
+	for it := range iterSet {
+		iters = append(iters, it)
+	}
+	sort.Ints(iters)
+
+	for _, it := range iters {
+		st := IterStat{Iter: it, Straggler: -1, WorkNS: work[it], CommNS: comm[it]}
+		if st.WorkNS == nil {
+			st.WorkNS = map[int]int64{}
+		}
+		if st.CommNS == nil {
+			st.CommNS = map[int]int64{}
+		}
+		var maxWork, sumWork int64
+		nWork := 0
+		for _, r := range a.Ranks {
+			w := st.WorkNS[r]
+			if w > 0 {
+				nWork++
+				sumWork += w
+				if w > maxWork {
+					maxWork = w
+					st.Straggler = r
+				}
+			}
+		}
+		minComm := int64(-1)
+		for _, r := range a.Ranks {
+			if c, ok := st.CommNS[r]; ok && (minComm < 0 || c < minComm) {
+				minComm = c
+			}
+		}
+		if minComm < 0 {
+			minComm = 0
+		}
+		for _, r := range a.Ranks {
+			if c, ok := st.CommNS[r]; ok {
+				wait := c - minComm
+				a.Totals[idx[r]].WaitNS += wait
+				a.TotalWaitNS += wait
+			}
+		}
+		st.CriticalNS = maxWork + minComm
+		if nWork > 0 {
+			mean := float64(sumWork) / float64(nWork)
+			if mean > 0 {
+				st.Imbalance = float64(maxWork) / mean
+			}
+		}
+		if st.Straggler >= 0 {
+			a.Totals[idx[st.Straggler]].StragglerIters++
+		}
+		for _, im := range jt.Iters {
+			if im.Iter == it {
+				if im.T > st.EndT {
+					st.EndT = im.T
+				}
+				if im.HasLnL {
+					st.LnL, st.HasLnL = im.LnL, true
+				}
+			}
+		}
+		a.CriticalPathNS += st.CriticalNS
+		a.Iterations = append(a.Iterations, st)
+	}
+	return a
+}
+
+// markSorter sorts marker times and iteration numbers together.
+type markSorter struct {
+	t []int64
+	n []int
+}
+
+func (m *markSorter) Len() int           { return len(m.t) }
+func (m *markSorter) Less(i, k int) bool { return m.t[i] < m.t[k] }
+func (m *markSorter) Swap(i, k int) {
+	m.t[i], m.t[k] = m.t[k], m.t[i]
+	m.n[i], m.n[k] = m.n[k], m.n[i]
+}

@@ -1,0 +1,103 @@
+package phytrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event rendering (the JSON Array/Object format loaded by
+// chrome://tracing and Perfetto). Each job becomes one "process" (pid),
+// each global rank one "thread" (tid); kernel and collective spans are
+// complete ("X") events, iteration markers are instants, the analyzer's
+// imbalance ratio and log likelihood ride along as counter ("C")
+// tracks. Timestamps are microseconds on the merged timeline.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace renders the merged traces (with each job's analysis
+// attached as counter tracks) as one Chrome trace JSON document.
+func WriteChromeTrace(w io.Writer, m *Merge, analyses []*Analysis) error {
+	byJob := map[string]*Analysis{}
+	for _, a := range analyses {
+		byJob[a.Job] = a
+	}
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for pid, jt := range m.Jobs {
+		pname := jt.Job
+		if pname == "" {
+			pname = "run"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": pname},
+		})
+		for _, r := range jt.RankIDs() {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: r,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+			})
+		}
+		for _, s := range jt.Spans {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: s.Class, Cat: s.Kind, Ph: "X",
+				TS: us(s.Start), Dur: us(s.Dur), PID: pid, TID: s.Rank,
+			})
+		}
+		for _, im := range jt.Iters {
+			ev := chromeEvent{
+				Name: fmt.Sprintf("iteration %d", im.Iter), Cat: "iteration",
+				Ph: "i", S: "t", TS: us(im.T), PID: pid, TID: im.Rank,
+			}
+			if im.HasLnL {
+				ev.Args = map[string]any{"lnl": im.LnL}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+		for _, rec := range jt.Recoveries {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("recovery epoch %d (world %d)", rec.Epoch, rec.Size),
+				Cat:  "recovery", Ph: "i", S: "p", PID: pid, TID: rec.Rank,
+				Args: map[string]any{"resumed_iteration": rec.ResumedIteration},
+			})
+		}
+		if a := byJob[jt.Job]; a != nil {
+			for _, st := range a.Iterations {
+				if st.EndT == 0 {
+					continue
+				}
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: "imbalance (max/mean work)", Ph: "C",
+					TS: us(st.EndT), PID: pid,
+					Args: map[string]any{"ratio": st.Imbalance},
+				})
+				if st.HasLnL {
+					doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+						Name: "log likelihood", Ph: "C",
+						TS: us(st.EndT), PID: pid,
+						Args: map[string]any{"lnl": st.LnL},
+					})
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}

@@ -1,0 +1,78 @@
+package phytrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// WriteReport prints the human-readable attribution of one job.
+func (a *Analysis) WriteReport(w io.Writer) {
+	name := a.Job
+	if name == "" {
+		name = "(run)"
+	}
+	fmt.Fprintf(w, "job %s: %d ranks, %d iterations, wall %.2f ms\n",
+		name, len(a.Ranks), len(a.Iterations), ms(a.WallNS))
+	fmt.Fprintf(w, "critical path: %.2f ms", ms(a.CriticalPathNS))
+	if a.WallNS > 0 {
+		fmt.Fprintf(w, " (%.1f%% of wall)", 100*float64(a.CriticalPathNS)/float64(a.WallNS))
+	}
+	fmt.Fprintf(w, "\n")
+	if a.TotalWorkNS+a.TotalCommNS > 0 {
+		fmt.Fprintf(w, "totals: work %.2f ms, collectives %.2f ms (of which waiting on peers %.2f ms)\n",
+			ms(a.TotalWorkNS), ms(a.TotalCommNS), ms(a.TotalWaitNS))
+	}
+
+	fmt.Fprintf(w, "\n  %-6s %12s %12s %12s %11s\n", "rank", "work ms", "comm ms", "wait ms", "straggler")
+	for _, t := range a.Totals {
+		frac := ""
+		if n := len(a.Iterations); n > 0 {
+			frac = fmt.Sprintf("%d/%d", t.StragglerIters, n)
+		}
+		fmt.Fprintf(w, "  %-6d %12.2f %12.2f %12.2f %11s\n",
+			t.Rank, ms(t.WorkNS), ms(t.CommNS), ms(t.WaitNS), frac)
+	}
+
+	if rs := a.stragglerRanking(); len(rs) > 0 && len(a.Iterations) > 0 {
+		top := rs[0]
+		fmt.Fprintf(w, "\nstraggler: rank %d was slowest in %d of %d iterations\n",
+			top.Rank, top.StragglerIters, len(a.Iterations))
+	}
+
+	if len(a.Iterations) > 0 {
+		fmt.Fprintf(w, "\nimbalance timeline (max/mean work per iteration):\n")
+		show := a.Iterations
+		const maxRows = 20
+		if len(show) > maxRows {
+			fmt.Fprintf(w, "  (last %d of %d iterations)\n", maxRows, len(show))
+			show = show[len(show)-maxRows:]
+		}
+		for _, st := range show {
+			lnl := ""
+			if st.HasLnL {
+				lnl = fmt.Sprintf("  lnL %.4f", st.LnL)
+			}
+			strag := ""
+			if st.Straggler >= 0 {
+				strag = fmt.Sprintf("  straggler rank %d", st.Straggler)
+			}
+			fmt.Fprintf(w, "  iter %-4d critical %9.2f ms  imbalance %5.2f%s%s\n",
+				st.Iter, ms(st.CriticalNS), st.Imbalance, strag, lnl)
+		}
+	}
+}
+
+// stragglerRanking sorts ranks by how often they were the slowest.
+func (a *Analysis) stragglerRanking() []RankTotals {
+	rs := append([]RankTotals(nil), a.Totals...)
+	sort.Slice(rs, func(i, k int) bool {
+		if rs[i].StragglerIters != rs[k].StragglerIters {
+			return rs[i].StragglerIters > rs[k].StragglerIters
+		}
+		return rs[i].WorkNS > rs[k].WorkNS
+	})
+	return rs
+}

@@ -346,6 +346,7 @@ func (s *Searcher) Run() (*Result, error) {
 		if s.cfg.OnIteration != nil {
 			s.cfg.OnIteration(s, iterations, cur)
 		}
+		s.cfg.Telemetry.EmitIteration(iterations, cur)
 		if cur < best+s.cfg.Epsilon {
 			best = math.Max(best, cur)
 			break

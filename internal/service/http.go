@@ -76,6 +76,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /api/v1/pool", s.handlePool)
+	mux.HandleFunc("GET /api/v1/pool/{id}/profile", s.handleWorkerProfile)
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
@@ -122,6 +123,38 @@ func (s *Server) handlePool(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
 	writeJSON(w, http.StatusOK, map[string]any{"workers": views, "idle": idle, "busy": busy})
+}
+
+// handleWorkerProfile relays a pprof capture from a worker process:
+// GET /api/v1/pool/{id}/profile?name=heap[&seconds=5]. The body is the
+// raw pprof protobuf, ready for `go tool pprof`.
+func (s *Server) handleWorkerProfile(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "heap"
+	}
+	if !profileNames[name] {
+		writeErr(w, http.StatusBadRequest, "bad_request", "unknown profile %q", name)
+		return
+	}
+	seconds := 0
+	if q := r.URL.Query().Get("seconds"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > maxProfileSeconds {
+			writeErr(w, http.StatusBadRequest, "bad_request", "seconds must be in [1,%d]", maxProfileSeconds)
+			return
+		}
+		seconds = n
+	}
+	id := r.PathValue("id")
+	data, err := s.CaptureProfile(id, name, seconds, time.Duration(seconds+10)*time.Second)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "profile_failed", "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf(`attachment; filename=%q`, id+"-"+name+".pb.gz"))
+	w.Write(data)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// scrape renders a server's metrics registry through the shared
+// handler, exactly as cmd/examld mounts it.
+func scrape(t *testing.T, srv *Server) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	metrics.Handler(srv.Metrics()).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body, _ := io.ReadAll(rec.Body)
+	return string(body)
+}
+
+// TestServerMetricsLifecycle checks the scheduler-side metric surface
+// without workers: submissions count, queue depth tracks queued jobs,
+// and a cancel lands in the finished-by-state counter.
+func TestServerMetricsLifecycle(t *testing.T) {
+	srv, hs := newAPITest(t)
+
+	code, sub := doJSON(t, "POST", hs.URL+"/api/v1/jobs", validSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+
+	page := scrape(t, srv)
+	for _, want := range []string{
+		"examld_jobs_submitted_total 1\n",
+		"examld_queue_depth 1\n",
+		"examld_jobs_running 0\n",
+		"examld_workers_connected 0\n",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, page)
+		}
+	}
+
+	if code, _ := doJSON(t, "POST", hs.URL+"/api/v1/jobs/"+id+"/cancel", ""); code != http.StatusOK {
+		t.Fatalf("cancel: %d", code)
+	}
+	page = scrape(t, srv)
+	for _, want := range []string{
+		`examld_jobs_finished_total{state="canceled"} 1` + "\n",
+		"examld_queue_depth 0\n",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("post-cancel scrape missing %q:\n%s", want, page)
+		}
+	}
+}
+
+// TestTwoServersIndependentMetrics pins the reason Server metrics live
+// on a private registry: two servers in one process must not share (or
+// collide on) gauges.
+func TestTwoServersIndependentMetrics(t *testing.T) {
+	a, ha := newAPITest(t)
+	b, _ := newAPITest(t)
+	if code, _ := doJSON(t, "POST", ha.URL+"/api/v1/jobs", validSpec); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	if !strings.Contains(scrape(t, a), "examld_jobs_submitted_total 1\n") {
+		t.Fatal("server A missing its submission")
+	}
+	if !strings.Contains(scrape(t, b), "examld_jobs_submitted_total 0\n") {
+		t.Fatal("server B saw server A's submission")
+	}
+}
+
+// TestWorkerProfileCapture relays a heap profile from a real re-execed
+// worker process over the control protocol and the HTTP endpoint.
+func TestWorkerProfileCapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process service test")
+	}
+	srv, hs := newPoolTest(t, 1)
+
+	srv.mu.Lock()
+	var workerID string
+	for id := range srv.workers {
+		workerID = id
+	}
+	srv.mu.Unlock()
+	if workerID == "" {
+		t.Fatal("no registered worker")
+	}
+
+	data, err := srv.CaptureProfile(workerID, "heap", 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty heap profile")
+	}
+
+	resp, err := http.Get(hs.URL + "/api/v1/pool/" + workerID + "/profile?name=goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile endpoint: %d %s", resp.StatusCode, body)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty goroutine profile over HTTP")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	if code, body := doJSON(t, "GET", hs.URL+"/api/v1/pool/"+workerID+"/profile?name=nope", ""); code != http.StatusBadRequest {
+		t.Fatalf("unknown profile: %d %v", code, body)
+	}
+	if _, err := srv.CaptureProfile("w999", "heap", 0, time.Second); err == nil {
+		t.Fatal("capture from unknown worker succeeded")
+	}
+
+	if !strings.Contains(scrape(t, srv), "examld_worker_profiles_total 2\n") {
+		t.Fatalf("profile counter wrong:\n%s", scrape(t, srv))
+	}
+}

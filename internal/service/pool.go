@@ -101,6 +101,7 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 	s.nextWorker++
 	s.workers[w.id] = w
+	s.metrics.workersRegistered.Inc()
 	s.logf("service: worker %s registered (pid %d), pool size %d", w.id, w.pid, len(s.workers))
 	s.kickLocked()
 	s.mu.Unlock()
@@ -119,6 +120,15 @@ func (s *Server) handleConn(c net.Conn) {
 func (s *Server) handleMsg(w *worker, m wireMsg) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if m.Type == msgProfileResult {
+		// Profiles are per-worker, not per-job: deliver before the job
+		// gate below (which would drop the jobless message).
+		if ch := s.profileWaiters[m.ProfileID]; ch != nil {
+			delete(s.profileWaiters, m.ProfileID)
+			ch <- profileReply{data: m.Data, err: m.Error}
+		}
+		return
+	}
 	j := s.jobs[m.Job]
 	if j == nil || w.job != m.Job {
 		return // stale message from a reassigned or canceled run
@@ -152,6 +162,7 @@ func (s *Server) handleMsg(w *worker, m wireMsg) {
 			j.finished = now
 			j.result = m.Result
 			j.appendEvent(now, Event{Type: "done", Worker: w.id})
+			s.finishMetricsLocked(j, JobDone, now)
 			s.logf("service: job %s done (%d iterations, lnl %.6f)", j.id, m.Result.Iterations, m.Result.LogLikelihood)
 		}
 		s.kickLocked()
@@ -162,6 +173,7 @@ func (s *Server) handleMsg(w *worker, m wireMsg) {
 			j.finished = now
 			j.err = m.Error
 			j.appendEvent(now, Event{Type: "failed", Message: m.Error, Worker: w.id})
+			s.finishMetricsLocked(j, JobFailed, now)
 			s.logf("service: job %s failed: %s", j.id, m.Error)
 		}
 		s.kickLocked()
@@ -192,6 +204,7 @@ func (s *Server) workerGone(w *worker) {
 	w.state = workerDead
 	delete(s.workers, w.id)
 	w.conn.Close()
+	s.metrics.workersLost.Inc()
 	s.logf("service: worker %s lost, pool size %d", w.id, len(s.workers))
 	if j := s.jobs[w.job]; j != nil {
 		deadRank := w.rank
@@ -215,6 +228,7 @@ func (s *Server) migrateLocked(j *job, deadRank int, deadWorker string) {
 	now := time.Now()
 	j.epoch++
 	if j.epoch > j.spec.MaxRecoveries {
+		s.metrics.degraded.Inc()
 		j.appendEvent(now, Event{
 			Type: "degraded", Epoch: j.epoch, Worker: deadWorker,
 			Message: fmt.Sprintf("rank %d lost and the recovery budget (%d) is exhausted", deadRank, j.spec.MaxRecoveries),
@@ -224,6 +238,8 @@ func (s *Server) migrateLocked(j *job, deadRank int, deadWorker string) {
 	rw := s.idleWorkersLocked()
 	if len(rw) == 0 {
 		j.shrinks++
+		s.metrics.shrinks.Inc()
+		s.metrics.degraded.Inc()
 		j.appendEvent(now, Event{
 			Type: "degraded", Rank: deadRank, Epoch: j.epoch, Worker: deadWorker,
 			Message: "no idle worker for migration; survivors continue on a shrunken world",
@@ -237,6 +253,7 @@ func (s *Server) migrateLocked(j *job, deadRank int, deadWorker string) {
 	r.rank = deadRank
 	j.workers[r.id] = deadRank
 	j.migrations++
+	s.metrics.migrations.Inc()
 	j.appendEvent(now, Event{
 		Type: "migrated", Rank: deadRank, Epoch: j.epoch, Worker: r.id,
 		Message: fmt.Sprintf("rank %d migrated from %s to %s", deadRank, deadWorker, r.id),

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"time"
+)
+
+// Worker-process profile capture, relayed over the JSON-lines control
+// protocol. The daemon's own /debug/pprof handlers only see the daemon
+// process; the interesting state (kernel CPU, CLV heap) lives in the
+// worker processes. CaptureProfile asks a worker for a runtime/pprof
+// profile of itself; the worker's control-connection read loop serves
+// the request on a goroutine, concurrently with any rank it is hosting,
+// so live jobs can be profiled in place. Capture never touches the
+// likelihood path — it only samples it — so the determinism contract
+// holds (docs/DETERMINISM.md).
+
+// profileReply is the daemon-side result of one capture.
+type profileReply struct {
+	data []byte
+	err  string
+}
+
+// profileNames is the allowlist of capturable profiles: the standard
+// runtime/pprof lookups plus "cpu" (StartCPUProfile sampling).
+var profileNames = map[string]bool{
+	"cpu": true, "heap": true, "allocs": true, "goroutine": true,
+	"block": true, "mutex": true, "threadcreate": true,
+}
+
+// maxProfileSeconds bounds a CPU capture so a mistyped request cannot
+// hold the worker's profiler for minutes (Go allows one CPU profile at
+// a time per process).
+const maxProfileSeconds = 30
+
+// CaptureProfile requests a pprof profile from a registered worker and
+// blocks for the reply. name must be in the allowlist ("cpu" samples
+// for seconds, default 5); other profiles snapshot immediately and
+// ignore seconds. The timeout covers the whole round trip — a worker
+// that dies mid-capture surfaces as a timeout.
+func (s *Server) CaptureProfile(workerID, name string, seconds int, timeout time.Duration) ([]byte, error) {
+	if !profileNames[name] {
+		return nil, fmt.Errorf("service: unknown profile %q", name)
+	}
+	if seconds <= 0 {
+		seconds = 5
+	}
+	if seconds > maxProfileSeconds {
+		seconds = maxProfileSeconds
+	}
+
+	s.mu.Lock()
+	w := s.workers[workerID]
+	if w == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: no worker %q", workerID)
+	}
+	id := s.nextProfileID
+	s.nextProfileID++
+	ch := make(chan profileReply, 1)
+	s.profileWaiters[id] = ch
+	s.mu.Unlock()
+
+	w.sendAsync(wireMsg{Type: msgProfile, Profile: name, Seconds: seconds, ProfileID: id})
+
+	select {
+	case rep := <-ch:
+		if rep.err != "" {
+			return nil, fmt.Errorf("service: worker %s profile %s: %s", workerID, name, rep.err)
+		}
+		s.metrics.profilesCaptured.Inc()
+		return rep.data, nil
+	case <-time.After(timeout):
+		s.mu.Lock()
+		delete(s.profileWaiters, id)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: worker %s profile %s timed out after %v", workerID, name, timeout)
+	}
+}
+
+// captureProfile is the worker-process side: produce the requested
+// profile bytes. Runs on its own goroutine off the read loop.
+func captureProfile(name string, seconds int) ([]byte, error) {
+	var buf bytes.Buffer
+	if name == "cpu" {
+		if seconds <= 0 {
+			seconds = 5
+		}
+		if seconds > maxProfileSeconds {
+			seconds = maxProfileSeconds
+		}
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			return nil, err
+		}
+		time.Sleep(time.Duration(seconds) * time.Second)
+		pprof.StopCPUProfile()
+		return buf.Bytes(), nil
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		return nil, fmt.Errorf("no such profile %q", name)
+	}
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -27,6 +27,9 @@ const (
 	msgDone = "done"
 	// msgFailed reports a job rank that ended in an error.
 	msgFailed = "failed"
+	// msgProfileResult answers a msgProfile with the captured pprof
+	// bytes (or an error). Carries no job: profiles are per-worker.
+	msgProfileResult = "profile_result"
 )
 
 // Control-protocol message types, daemon → worker.
@@ -36,6 +39,10 @@ const (
 	// msgCancel aborts the worker's current job; the worker exits (the
 	// search has no safe interruption point) and the daemon respawns it.
 	msgCancel = "cancel"
+	// msgProfile asks the worker for a runtime/pprof profile of itself
+	// (heap, goroutine, cpu, …) — captured concurrently with whatever
+	// rank it is hosting, so a live job can be profiled in place.
+	msgProfile = "profile"
 )
 
 // wireMsg is the single envelope both directions share; unused fields
@@ -72,6 +79,14 @@ type wireMsg struct {
 
 	// trace
 	Line json.RawMessage `json:"line,omitempty"`
+
+	// profile / profile_result. Profile is the runtime/pprof profile
+	// name ("cpu" samples for Seconds); ProfileID correlates the reply;
+	// Data is the raw pprof protobuf (base64 on the JSON wire).
+	Profile   string `json:"profile,omitempty"`
+	Seconds   int    `json:"seconds,omitempty"`
+	ProfileID uint64 `json:"profile_id,omitempty"`
+	Data      []byte `json:"data,omitempty"`
 
 	// done / failed
 	Result *JobResult `json:"result,omitempty"`

@@ -28,6 +28,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.queue = append(s.queue, j.id)
+	s.metrics.jobsSubmitted.Inc()
 	j.appendEvent(j.created, Event{Type: "queued", Message: fmt.Sprintf("requested %d rank(s)", spec.Ranks)})
 	s.kickLocked()
 	return j, nil
@@ -87,6 +88,7 @@ func (s *Server) startJobLocked(j *job, ws []*worker) {
 	j.started = now
 	j.addr = addr
 	j.nonce = s.nonce
+	s.metrics.queueWait.Observe(now.Sub(j.created).Seconds())
 	// Recovery epochs derive their nonce from the base (+1, +2, …);
 	// keep job nonces far apart so they can never collide.
 	s.nonce += 1 << 16
@@ -132,6 +134,7 @@ func (s *Server) cancel(j *job) bool {
 	j.finished = now
 	j.canceling = true
 	j.appendEvent(now, Event{Type: "canceled"})
+	s.finishMetricsLocked(j, JobCanceled, now)
 	s.logf("service: job %s canceled", j.id)
 	if wasRunning {
 		for id := range j.workers {

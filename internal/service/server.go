@@ -69,6 +69,13 @@ type Server struct {
 	nonce      uint64
 	spawned    map[*exec.Cmd]bool
 
+	// profileWaiters holds the reply channels of in-flight worker
+	// profile captures, keyed by capture ID (guarded by mu).
+	profileWaiters map[uint64]chan profileReply
+	nextProfileID  uint64
+
+	metrics *serverMetrics
+
 	wg sync.WaitGroup
 }
 
@@ -84,13 +91,15 @@ func New(opts Options) (*Server, error) {
 		return nil, fmt.Errorf("service: pool listener: %w", err)
 	}
 	s := &Server{
-		opts:    opts,
-		ln:      ln,
-		jobs:    map[string]*job{},
-		workers: map[string]*worker{},
-		nonce:   uint64(time.Now().UnixNano())<<16 | uint64(os.Getpid())&0xffff,
-		spawned: map[*exec.Cmd]bool{},
+		opts:           opts,
+		ln:             ln,
+		jobs:           map[string]*job{},
+		workers:        map[string]*worker{},
+		nonce:          uint64(time.Now().UnixNano())<<16 | uint64(os.Getpid())&0xffff,
+		spawned:        map[*exec.Cmd]bool{},
+		profileWaiters: map[uint64]chan profileReply{},
 	}
+	s.metrics = newServerMetrics(s)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	s.mu.Lock()

@@ -52,6 +52,19 @@ func RunWorker(poolAddr string) error {
 				if w.current() == m.Job {
 					os.Exit(2)
 				}
+			case msgProfile:
+				// Served off the read loop so a capture (a CPU profile
+				// samples for seconds) never blocks run orders, and so a
+				// worker mid-job can be profiled live.
+				go func(m wireMsg) {
+					data, err := captureProfile(m.Profile, m.Seconds)
+					rep := wireMsg{Type: msgProfileResult, ProfileID: m.ProfileID, Profile: m.Profile, Data: data}
+					if err != nil {
+						rep.Error = err.Error()
+						rep.Data = nil
+					}
+					w.send(rep)
+				}(m)
 			}
 		}
 	}()

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// This file bridges the per-rank recorders onto the process-wide
+// Prometheus registry (internal/metrics), so a live scrape of a running
+// daemon or CLI sees kernel and collective totals while the run is still
+// in flight — the same numbers Finalize aggregates after the fact, but
+// continuously. The bridge obeys the telemetry contract: metric updates
+// are atomic adds on the scrape side only and never feed anything back
+// into the computation (docs/DETERMINISM.md), and a nil Recorder still
+// costs nothing because the update sites live inside the existing
+// nil-guarded methods.
+
+// spanMetrics is the (seconds, ops) counter pair of one span class.
+type spanMetrics struct {
+	seconds *metrics.Counter
+	ops     *metrics.Counter
+}
+
+var (
+	kernelSecondsVec = metrics.Default().CounterVec("examl_kernel_seconds_total",
+		"Likelihood kernel span time by class, summed over ranks.", "class")
+	kernelOpsVec = metrics.Default().CounterVec("examl_kernel_ops_total",
+		"Likelihood kernel invocations by class, summed over ranks.", "class")
+	collSecondsVec = metrics.Default().CounterVec("examl_collective_seconds_total",
+		"Collective span time by traffic class, summed over ranks.", "class")
+	collOpsVec = metrics.Default().CounterVec("examl_collective_ops_total",
+		"Collective operations by traffic class, summed over ranks.", "class")
+	iterationsTotal = metrics.Default().Counter("examl_search_iterations_total",
+		"Completed outer search iterations, summed over concurrent runs.")
+
+	// kernelMetrics pre-resolves the counter pair per kernel class so
+	// EndKernel pays no map lookup on the hot path.
+	kernelMetrics = func() [NumKernelClasses]spanMetrics {
+		var m [NumKernelClasses]spanMetrics
+		for k := KernelClass(0); k < NumKernelClasses; k++ {
+			m[k] = spanMetrics{
+				seconds: kernelSecondsVec.With(k.String()),
+				ops:     kernelOpsVec.With(k.String()),
+			}
+		}
+		return m
+	}()
+)
+
+// collMetricsCache caches the counter pair per collective class index.
+// Class names can be registered after startup (SetCommClassNames runs
+// when the first run wires up), so resolution is lazy; once a class is
+// resolved its label is fixed for the process lifetime.
+var (
+	collMetricsMu    sync.RWMutex
+	collMetricsCache = map[int]spanMetrics{}
+)
+
+func collectiveMetrics(class int) spanMetrics {
+	collMetricsMu.RLock()
+	m, ok := collMetricsCache[class]
+	collMetricsMu.RUnlock()
+	if ok {
+		return m
+	}
+	collMetricsMu.Lock()
+	defer collMetricsMu.Unlock()
+	if m, ok = collMetricsCache[class]; ok {
+		return m
+	}
+	name := CommClassName(class)
+	m = spanMetrics{seconds: collSecondsVec.With(name), ops: collOpsVec.With(name)}
+	collMetricsCache[class] = m
+	return m
+}
+
+// Publish mirrors the report's derived metrics onto a registry as
+// gauges, so the most recent completed run's summary is scrapeable
+// alongside the live counters. Called by examl.Infer at finalize time;
+// nil-safe on both sides.
+func (r *Report) Publish(reg *metrics.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	reg.Gauge("examl_run_imbalance_ratio",
+		"Max/mean per-rank kernel time of the last completed run.").Set(r.ImbalanceRatio)
+	reg.Gauge("examl_run_comm_fraction",
+		"Collective/(collective+compute) time share of the last completed run.").Set(r.CommFraction)
+	reg.Gauge("examl_run_collectives_per_sec",
+		"Logical collective rate of the last completed run.").Set(r.CollectivesPerSec)
+	reg.Gauge("examl_run_wall_seconds",
+		"Wall-clock duration of the last completed run.").Set(r.WallSeconds)
+	reg.Gauge("examl_run_fastpath_share",
+		"Specialized kernel dispatch share of the last completed run.").Set(r.FastPathShare)
+	reg.Gauge("examl_run_pcache_hit_rate",
+		"P-matrix cache hit rate of the last completed run.").Set(r.PCacheHitRate)
+	reg.Gauge("examl_run_repeat_share",
+		"Site-repeat CLV columns saved share of the last completed run.").Set(r.RepeatShare)
+	reg.Gauge("examl_run_pool_utilization",
+		"Thread-pool block utilization of the last completed run.").Set(r.PoolUtilization)
+}

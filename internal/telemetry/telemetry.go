@@ -30,6 +30,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -140,9 +142,15 @@ type Collector struct {
 	// (SetJob). Empty for plain runs, so the event format is unchanged.
 	jobFrag string
 
-	mu    sync.Mutex
-	trace io.Writer
+	mu       sync.Mutex
+	trace    io.Writer
+	buf      []byte // reusable line buffer, guarded by mu
+	metaSent bool   // the one-time "meta" header event went out
 }
+
+// emitBufCap bounds the reusable line buffer: a line that grew past it
+// (a pathological job label) is not kept around for the rest of the run.
+const emitBufCap = 64 << 10
 
 // SetJob namespaces every JSONL event this collector emits with a
 // `"job"` field. The multi-job service daemon (cmd/examld) sets it to
@@ -192,16 +200,41 @@ func (c *Collector) Recorder(rank int) *Recorder {
 	return c.recs[rank]
 }
 
-// emit appends one JSONL span event to the trace sink (no-op without
-// one). Hand-rolled formatting keeps the hot path free of reflection.
-func (c *Collector) emit(rank int, kind, class string, startNS, durNS int64) {
+// emitLine formats one JSONL event and hands it to the trace sink as a
+// SINGLE Write call, under the collector's lock. That single-write
+// discipline is what keeps lines whole even when several collectors (the
+// service daemon runs one per job) funnel into one shared writer whose
+// own Write is atomic (an *os.File, the daemon's trace forwarder): the
+// lock serializes writers within a collector, the one-Write-per-line
+// rule prevents tearing across collectors. The first line is preceded by
+// a one-time "meta" header event carrying the rank count and the
+// collector's wall-clock epoch, which cmd/phytrace uses to align traces
+// from different processes onto one timeline.
+func (c *Collector) emitLine(format string, args ...any) {
 	if c.trace == nil {
 		return
 	}
 	c.mu.Lock()
-	fmt.Fprintf(c.trace, "{\"ev\":\"span\",\"rank\":%d,\"kind\":%q,\"class\":%q,\"t_ns\":%d,\"dur_ns\":%d%s}\n",
+	defer c.mu.Unlock()
+	if !c.metaSent {
+		c.metaSent = true
+		c.buf = fmt.Appendf(c.buf[:0], "{\"ev\":\"meta\",\"ranks\":%d,\"start_unix_ns\":%d%s}\n",
+			len(c.recs), c.start.UnixNano(), c.jobFrag)
+		c.trace.Write(c.buf)
+	}
+	c.buf = fmt.Appendf(c.buf[:0], format, args...)
+	c.buf = append(c.buf, '\n')
+	c.trace.Write(c.buf)
+	if cap(c.buf) > emitBufCap {
+		c.buf = nil
+	}
+}
+
+// emit appends one JSONL span event to the trace sink (no-op without
+// one). Hand-rolled formatting keeps the hot path free of reflection.
+func (c *Collector) emit(rank int, kind, class string, startNS, durNS int64) {
+	c.emitLine("{\"ev\":\"span\",\"rank\":%d,\"kind\":%q,\"class\":%q,\"t_ns\":%d,\"dur_ns\":%d%s}",
 		rank, kind, class, startNS, durNS, c.jobFrag)
-	c.mu.Unlock()
 }
 
 // EmitRecovery appends a JSONL "recovery" event: the fault-tolerant
@@ -210,13 +243,11 @@ func (c *Collector) emit(rank int, kind, class string, startNS, durNS int64) {
 // resumedIteration is 0 when the failure hit before the first completed
 // iteration (fresh restart on the re-formed world). Nil-safe no-op.
 func (c *Collector) EmitRecovery(rank, size, epoch, resumedIteration int) {
-	if c == nil || c.trace == nil {
+	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	fmt.Fprintf(c.trace, "{\"ev\":\"recovery\",\"rank\":%d,\"size\":%d,\"epoch\":%d,\"resumed_iteration\":%d%s}\n",
+	c.emitLine("{\"ev\":\"recovery\",\"rank\":%d,\"size\":%d,\"epoch\":%d,\"resumed_iteration\":%d%s}",
 		rank, size, epoch, resumedIteration, c.jobFrag)
-	c.mu.Unlock()
 }
 
 // Recorder is one rank's instrumentation endpoint. It must be used by a
@@ -270,6 +301,8 @@ func (r *Recorder) EndKernel(k KernelClass, start int64) {
 	end := r.now()
 	r.kernelNS[k] += end - start
 	r.kernelOps[k]++
+	kernelMetrics[k].seconds.Add(float64(end-start) / 1e9)
+	kernelMetrics[k].ops.Inc()
 	r.col.emit(r.rank, "kernel", k.String(), start, end-start)
 }
 
@@ -303,7 +336,25 @@ func (r *Recorder) EndCollective(class int, start int64) {
 		r.collNS[class] += end - start
 		r.collOps[class]++
 	}
-	r.col.emit(r.rank, "collective", fmt.Sprintf("class-%d", class), start, end-start)
+	m := collectiveMetrics(class)
+	m.seconds.Add(float64(end-start) / 1e9)
+	m.ops.Inc()
+	r.col.emit(r.rank, "collective", CommClassName(class), start, end-start)
+}
+
+// EmitIteration appends a JSONL "iter" event marking the completion of
+// one outer search iteration at the current log-likelihood. cmd/phytrace
+// uses these markers to cut each rank's span stream into per-iteration
+// windows for critical-path and straggler attribution. Nil-safe no-op.
+func (r *Recorder) EmitIteration(iter int, lnl float64) {
+	if r == nil {
+		return
+	}
+	iterationsTotal.Inc()
+	if c := r.col; c != nil && c.trace != nil {
+		c.emitLine("{\"ev\":\"iter\",\"rank\":%d,\"iter\":%d,\"lnl\":%s,\"t_ns\":%d%s}",
+			r.rank, iter, jsonFloat(lnl), r.now(), c.jobFrag)
+	}
 }
 
 // Inc bumps a search-progress counter by n.
@@ -336,11 +387,9 @@ func (r *Recorder) SetKernelPerf(fastOps, genericOps, pcacheHits, pcacheMiss int
 	r.genericOps = genericOps
 	r.pcacheHits = pcacheHits
 	r.pcacheMiss = pcacheMiss
-	if c := r.col; c != nil && c.trace != nil {
-		c.mu.Lock()
-		fmt.Fprintf(c.trace, "{\"ev\":\"perf\",\"rank\":%d,\"fast_ops\":%d,\"generic_ops\":%d,\"pcache_hits\":%d,\"pcache_misses\":%d%s}\n",
+	if c := r.col; c != nil {
+		c.emitLine("{\"ev\":\"perf\",\"rank\":%d,\"fast_ops\":%d,\"generic_ops\":%d,\"pcache_hits\":%d,\"pcache_misses\":%d%s}",
 			r.rank, fastOps, genericOps, pcacheHits, pcacheMiss, c.jobFrag)
-		c.mu.Unlock()
 	}
 }
 
@@ -353,12 +402,49 @@ func (r *Recorder) SetRepeatStats(colsComputed, colsSaved int64) {
 	}
 	r.repColsComputed = colsComputed
 	r.repColsSaved = colsSaved
-	if c := r.col; c != nil && c.trace != nil {
-		c.mu.Lock()
-		fmt.Fprintf(c.trace, "{\"ev\":\"repeats\",\"rank\":%d,\"cols_computed\":%d,\"cols_saved\":%d%s}\n",
+	if c := r.col; c != nil {
+		c.emitLine("{\"ev\":\"repeats\",\"rank\":%d,\"cols_computed\":%d,\"cols_saved\":%d%s}",
 			r.rank, colsComputed, colsSaved, c.jobFrag)
-		c.mu.Unlock()
 	}
+}
+
+// commClassNames holds the registered traffic-class labels. telemetry
+// deliberately does not import internal/mpi, so the runtime registers
+// its class names here (examl.Infer does it once per process); span
+// events and metric labels then carry "likelihood-eval" instead of the
+// positional "class-N" fallback.
+var (
+	commClassMu    sync.RWMutex
+	commClassNames []string
+)
+
+// SetCommClassNames registers the traffic-class labels used for
+// collective span events and metric labels (names[i] labels class i).
+// Safe to call repeatedly and from multiple goroutines.
+func SetCommClassNames(names []string) {
+	commClassMu.Lock()
+	commClassNames = append([]string(nil), names...)
+	commClassMu.Unlock()
+}
+
+// CommClassName returns the registered label for a traffic class, or the
+// positional "class-N" fallback when none was registered.
+func CommClassName(class int) string {
+	commClassMu.RLock()
+	defer commClassMu.RUnlock()
+	if class >= 0 && class < len(commClassNames) {
+		return commClassNames[class]
+	}
+	return fmt.Sprintf("class-%d", class)
+}
+
+// jsonFloat renders a float64 as a JSON value ("null" for non-finite
+// values, which bare JSON cannot represent).
+func jsonFloat(x float64) string {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
 }
 
 // ComputeNS returns the rank's total kernel-span time — the per-rank

@@ -83,19 +83,35 @@ func TestSpansAndReport(t *testing.T) {
 		t.Fatalf("counters = %v", rep.Counters)
 	}
 
-	// The trace must be valid JSONL with one event per span.
+	// The trace must be valid JSONL: one "meta" header first, then one
+	// event per span.
 	lines := strings.Split(strings.TrimSpace(trace.String()), "\n")
-	if len(lines) != 2*(3+1+1) {
-		t.Fatalf("trace has %d events, want 10", len(lines))
-	}
-	for _, ln := range lines {
+	spans, metas := 0, 0
+	for i, ln := range lines {
 		var ev map[string]any
 		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
 			t.Fatalf("trace line %q: %v", ln, err)
 		}
-		if ev["ev"] != "span" {
+		switch ev["ev"] {
+		case "span":
+			spans++
+		case "meta":
+			metas++
+			if i != 0 {
+				t.Fatalf("meta event at line %d, want first", i)
+			}
+			if ev["ranks"] != float64(2) {
+				t.Fatalf("meta ranks = %v, want 2", ev["ranks"])
+			}
+			if _, ok := ev["start_unix_ns"]; !ok {
+				t.Fatalf("meta event missing start_unix_ns: %v", ev)
+			}
+		default:
 			t.Fatalf("unexpected event %v", ev)
 		}
+	}
+	if spans != 2*(3+1+1) || metas != 1 {
+		t.Fatalf("trace has %d spans and %d metas, want 10 and 1", spans, metas)
 	}
 
 	// Text and JSON renderings must carry the headline metrics.

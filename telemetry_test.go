@@ -102,6 +102,8 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 	lines := 0
 	perfEvents := 0
 	repeatEvents := 0
+	metaEvents := 0
+	iterEvents := 0
 	sc := bufio.NewScanner(&trace)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -114,6 +116,9 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 			DurNS   int64  `json:"dur_ns"`
 			FastOps int64  `json:"fast_ops"`
 			Cols    int64  `json:"cols_computed"`
+			Ranks   int    `json:"ranks"`
+			StartNS int64  `json:"start_unix_ns"`
+			Iter    int    `json:"iter"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			t.Fatalf("line %d: %v: %s", lines, err, sc.Text())
@@ -122,6 +127,22 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 			t.Fatalf("line %d: bad rank %+v", lines, ev)
 		}
 		switch ev.Ev {
+		case "meta":
+			// One-time stream header: rank count plus the wall-clock epoch
+			// phytrace uses to align traces from different processes.
+			metaEvents++
+			if lines != 1 {
+				t.Fatalf("meta event on line %d, want line 1", lines)
+			}
+			if ev.Ranks != 2 || ev.StartNS <= 0 {
+				t.Fatalf("line %d: malformed meta %+v", lines, ev)
+			}
+		case "iter":
+			// Per-iteration marker for critical-path windowing.
+			iterEvents++
+			if ev.Iter < 1 {
+				t.Fatalf("line %d: malformed iter %+v", lines, ev)
+			}
 		case "span":
 			if ev.Class == "" {
 				t.Fatalf("line %d: malformed span %+v", lines, ev)
@@ -158,5 +179,11 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 	}
 	if repeatEvents != 2 {
 		t.Fatalf("expected one repeats event per rank, got %d", repeatEvents)
+	}
+	if metaEvents != 1 {
+		t.Fatalf("expected exactly one meta header, got %d", metaEvents)
+	}
+	if iterEvents == 0 {
+		t.Fatal("expected per-iteration markers in the trace")
 	}
 }
