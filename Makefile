@@ -21,6 +21,7 @@ RACE_PKGS = ./internal/threadpool/... \
             ./internal/telemetry/... \
             ./internal/metrics/... \
             ./internal/service/... \
+            ./internal/phyrun/... \
             .
 
 # The thread-speedup rows in BENCH_kernels.json are meaningless when the
@@ -28,7 +29,7 @@ RACE_PKGS = ./internal/threadpool/... \
 # machine unless the caller asks otherwise.
 BENCH_GOMAXPROCS ?= $(shell nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
-.PHONY: all fmt vet build test race bench bench-json bench-service smoke-net smoke-service smoke-trace ci clean
+.PHONY: all fmt vet build test race bench bench-json bench-service smoke-net smoke-service smoke-trace smoke-phyrun ci clean
 
 all: ci
 
@@ -115,7 +116,33 @@ smoke-trace:
 	test -s $$tmp/run.chrome.json && \
 	echo "smoke-trace: 2-rank trace merge + critical path OK"
 
-ci: fmt vet build test race smoke-net smoke-service smoke-trace
+# smoke-phyrun exercises the campaign orchestrator's resume contract
+# (docs/ORCHESTRATOR.md): run a small multi-start + bootstrap campaign
+# to completion, run the same campaign again but kill the process after
+# 3 durable tasks (-die-after-tasks exits 7), resume it from the
+# manifest at a different worker count, and require every tree output
+# (best tree, supports, consensus, replicates) byte-identical between
+# the interrupted-and-resumed run and the uninterrupted one.
+smoke-phyrun:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/ ./cmd/phyrun && \
+	$$tmp/phyrun -sim-taxa 8 -sim-genelen 60 -sim-seed 33 -p 7 \
+		-starts 2 -parsimony-starts 1 -bootstrap 4 -iter 2 -workers 3 \
+		-n $$tmp/full >/dev/null 2>&1 && \
+	{ $$tmp/phyrun -sim-taxa 8 -sim-genelen 60 -sim-seed 33 -p 7 \
+		-starts 2 -parsimony-starts 1 -bootstrap 4 -iter 2 -workers 2 \
+		-n $$tmp/res -campaign $$tmp/res.campaign.manifest \
+		-die-after-tasks 3 >/dev/null 2>&1; \
+	  test $$? -eq 7; } && \
+	$$tmp/phyrun -sim-taxa 8 -sim-genelen 60 -sim-seed 33 -p 7 \
+		-starts 2 -parsimony-starts 1 -bootstrap 4 -iter 2 -workers 4 \
+		-n $$tmp/res -campaign $$tmp/res.campaign.manifest >/dev/null 2>&1 && \
+	for f in bestTree support consensus bootstraps; do \
+		cmp $$tmp/full.$$f.nwk $$tmp/res.$$f.nwk || exit 1; \
+	done && \
+	echo "smoke-phyrun: kill-and-resume campaign bit-identical OK"
+
+ci: fmt vet build test race smoke-net smoke-service smoke-trace smoke-phyrun
 
 clean:
 	$(GO) clean ./...

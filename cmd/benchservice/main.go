@@ -14,11 +14,10 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math"
 	"net"
@@ -28,7 +27,6 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +34,7 @@ import (
 	"repro/internal/msa"
 	"repro/internal/seqgen"
 	"repro/internal/service"
+	"repro/internal/service/client"
 )
 
 // The smoke recipe mirrors the repo's network tests: a tiny dataset
@@ -87,11 +86,13 @@ func main() {
 	}
 }
 
-// harness is a running service plus an HTTP client against it.
+// harness is a running service plus an API client against it — the
+// same client.Client phyrun's service backend uses, so the benchmark
+// measures the real wire path.
 type harness struct {
-	srv  *service.Server
-	ln   net.Listener
-	base string
+	srv *service.Server
+	ln  net.Listener
+	cl  *client.Client
 }
 
 func startHarness(workers int, hbInterval, hbTimeout time.Duration, logf func(string, ...any)) (*harness, error) {
@@ -120,7 +121,7 @@ func startHarness(workers int, hbInterval, hbTimeout time.Duration, logf func(st
 		srv.Close()
 		return nil, err
 	}
-	return &harness{srv: srv, ln: ln, base: "http://" + ln.Addr().String() + "/api/v1"}, nil
+	return &harness{srv: srv, ln: ln, cl: client.New("http://" + ln.Addr().String())}, nil
 }
 
 func (h *harness) close() {
@@ -128,82 +129,16 @@ func (h *harness) close() {
 	h.srv.Close()
 }
 
-func (h *harness) postJSON(path string, body, into any) error {
-	payload, err := json.Marshal(body)
+// runJob submits one job and follows its long-polled event stream to a
+// terminal state.
+func (h *harness) runJob(spec client.JobSpec, timeout time.Duration) (*client.JobResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err := h.cl.Submit(ctx, spec)
 	if err != nil {
-		return err
-	}
-	resp, err := http.Post(h.base+path, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("POST %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))
-	}
-	if into == nil {
-		return nil
-	}
-	return json.Unmarshal(raw, into)
-}
-
-func (h *harness) getJSON(path string, into any) error {
-	resp, err := http.Get(h.base + path)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(raw)))
-	}
-	return json.Unmarshal(raw, into)
-}
-
-type jobStatus struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
-	Error string `json:"error"`
-}
-
-type jobResult struct {
-	Tree             string  `json:"tree"`
-	LogLikelihood    float64 `json:"log_likelihood"`
-	LnLBits          string  `json:"lnl_bits"`
-	Iterations       int     `json:"iterations"`
-	Ranks            int     `json:"ranks"`
-	Epochs           int     `json:"epochs"`
-	Recovered        bool    `json:"recovered"`
-	ResumedIteration int     `json:"resumed_iteration"`
-}
-
-// runJob submits one job and polls it to a terminal state.
-func (h *harness) runJob(spec map[string]any, timeout time.Duration) (*jobResult, error) {
-	var st jobStatus
-	if err := h.postJSON("/jobs", spec, &st); err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(timeout)
-	for {
-		if err := h.getJSON("/jobs/"+st.ID, &st); err != nil {
-			return nil, err
-		}
-		switch st.State {
-		case "done":
-			var res jobResult
-			if err := h.getJSON("/jobs/"+st.ID+"/result", &res); err != nil {
-				return nil, err
-			}
-			return &res, nil
-		case "failed", "canceled":
-			return nil, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("job %s still %s after %v", st.ID, st.State, timeout)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	return h.cl.Wait(ctx, st.ID, nil)
 }
 
 func runBench(out string, jobs, concurrency, workers, ranks, taxa, partitions, geneLen, iters int) error {
@@ -215,17 +150,17 @@ func runBench(out string, jobs, concurrency, workers, ranks, taxa, partitions, g
 	log.Printf("bench-service: pool of %d workers up, running %d jobs (%d ranks each, concurrency %d)",
 		workers, jobs, ranks, concurrency)
 
-	spec := func(i int) map[string]any {
-		return map[string]any{
-			"simulate": map[string]any{
-				"taxa": taxa, "partitions": partitions, "gene_length": geneLen,
+	spec := func(i int) client.JobSpec {
+		return client.JobSpec{
+			Simulate: &client.SimulateSpec{
+				Taxa: taxa, Partitions: partitions, GeneLength: geneLen,
 				// Vary the dataset per job so the benchmark measures real
 				// inference, not a warmed microarchitectural state.
-				"seed": int64(1000 + i),
+				Seed: int64(1000 + i),
 			},
-			"ranks":          ranks,
-			"seed":           int64(i + 1),
-			"max_iterations": iters,
+			Ranks:         ranks,
+			Seed:          int64(i + 1),
+			MaxIterations: iters,
 		}
 	}
 
@@ -356,15 +291,15 @@ func runSmoke(examlPath string) error {
 	}
 	defer h.close()
 
-	spec := map[string]any{
-		"simulate": map[string]any{
-			"taxa": smokeTaxa, "partitions": smokeParts,
-			"gene_length": smokeGeneLen, "seed": smokeDataSeed,
+	spec := client.JobSpec{
+		Simulate: &client.SimulateSpec{
+			Taxa: smokeTaxa, Partitions: smokeParts,
+			GeneLength: smokeGeneLen, Seed: smokeDataSeed,
 		},
-		"ranks":          2,
-		"seed":           smokeSeed,
-		"max_iterations": smokeIters,
-		"inject_failure": map[string]any{"rank": 1, "after_iteration": 1},
+		Ranks:         2,
+		Seed:          smokeSeed,
+		MaxIterations: smokeIters,
+		InjectFailure: &client.InjectSpec{Rank: 1, AfterIteration: 1},
 	}
 	res, err := h.runJob(spec, 2*time.Minute)
 	if err != nil {
@@ -386,7 +321,7 @@ func runSmoke(examlPath string) error {
 
 	// The healed pool must serve the next job as new: same submission
 	// without the failure drill, same bits.
-	delete(spec, "inject_failure")
+	spec.InjectFailure = nil
 	res2, err := h.runJob(spec, 2*time.Minute)
 	if err != nil {
 		return fmt.Errorf("post-migration job: %w", err)

@@ -69,26 +69,21 @@ func Resample(d *msa.Dataset, rng *rand.Rand) (*msa.Dataset, error) {
 
 // SupportValues returns, for every non-trivial bipartition of the
 // reference tree (in tree.Bipartitions order), the fraction of replicate
-// trees that contain it.
+// trees that contain it. It is the batch form of SplitCounter.
 func SupportValues(ref *tree.Tree, replicates []*tree.Tree) ([]float64, error) {
 	if len(replicates) == 0 {
 		return nil, fmt.Errorf("bootstrap: no replicate trees")
 	}
-	counts := make(map[string]int)
+	c := NewSplitCounter()
+	// Seed the taxon count from the reference so replicate mismatches
+	// are reported against it, as before.
+	c.nTaxa = ref.NTaxa()
 	for ri, r := range replicates {
-		if r.NTaxa() != ref.NTaxa() {
+		if _, err := c.Add(r); err != nil {
 			return nil, fmt.Errorf("bootstrap: replicate %d has %d taxa, reference %d", ri, r.NTaxa(), ref.NTaxa())
 		}
-		for _, bp := range r.Bipartitions() {
-			counts[bp.Key()]++
-		}
 	}
-	refBips := ref.Bipartitions()
-	out := make([]float64, len(refBips))
-	for i, bp := range refBips {
-		out[i] = float64(counts[bp.Key()]) / float64(len(replicates))
-	}
-	return out, nil
+	return c.Support(ref)
 }
 
 // AnnotatedNewick renders the reference tree with integer percent support

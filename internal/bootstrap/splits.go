@@ -1,0 +1,99 @@
+package bootstrap
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// SplitCounter incrementally accumulates bipartition occurrences across
+// replicate trees. It is the split-frequency machinery behind support
+// mapping and adaptive bootstopping: replicates are added one at a time
+// as they finish (in any order), each tree is walked exactly once, and
+// both whole-set frequencies and per-replicate membership stay
+// available for pseudo-half agreement tests.
+type SplitCounter struct {
+	nTaxa   int
+	counts  map[string]int
+	perTree [][]string
+}
+
+// NewSplitCounter returns an empty counter.
+func NewSplitCounter() *SplitCounter {
+	return &SplitCounter{counts: map[string]int{}}
+}
+
+// Add records one replicate tree's non-trivial bipartitions and returns
+// the replicate's index. All trees must share a taxon count.
+func (c *SplitCounter) Add(t *tree.Tree) (int, error) {
+	if c.nTaxa == 0 {
+		c.nTaxa = t.NTaxa()
+	} else if t.NTaxa() != c.nTaxa {
+		return 0, fmt.Errorf("bootstrap: replicate %d has %d taxa, want %d", len(c.perTree), t.NTaxa(), c.nTaxa)
+	}
+	bps := t.Bipartitions()
+	keys := make([]string, 0, len(bps))
+	for _, bp := range bps {
+		k := bp.Key()
+		keys = append(keys, k)
+		c.counts[k]++
+	}
+	c.perTree = append(c.perTree, keys)
+	return len(c.perTree) - 1, nil
+}
+
+// Trees returns the number of replicates added.
+func (c *SplitCounter) Trees() int { return len(c.perTree) }
+
+// Count returns how many added replicates contain the split.
+func (c *SplitCounter) Count(key string) int { return c.counts[key] }
+
+// TreeSplits returns replicate i's split keys (shared slice — callers
+// must not mutate it).
+func (c *SplitCounter) TreeSplits(i int) []string { return c.perTree[i] }
+
+// Support maps the accumulated frequencies onto the reference tree: for
+// every non-trivial bipartition of ref (in tree.Bipartitions order), the
+// fraction of added replicates containing it.
+func (c *SplitCounter) Support(ref *tree.Tree) ([]float64, error) {
+	if len(c.perTree) == 0 {
+		return nil, fmt.Errorf("bootstrap: no replicate trees")
+	}
+	if ref.NTaxa() != c.nTaxa {
+		return nil, fmt.Errorf("bootstrap: reference has %d taxa, replicates %d", ref.NTaxa(), c.nTaxa)
+	}
+	refBips := ref.Bipartitions()
+	out := make([]float64, len(refBips))
+	for i, bp := range refBips {
+		out[i] = float64(c.counts[bp.Key()]) / float64(len(c.perTree))
+	}
+	return out, nil
+}
+
+// PrefixSupport is Support restricted to the first n added replicates —
+// the converged prefix of a bootstopped campaign. It recounts from the
+// per-replicate membership lists, so supports over a prefix are exact
+// regardless of how many further replicates were added speculatively.
+func (c *SplitCounter) PrefixSupport(ref *tree.Tree, n int) ([]float64, error) {
+	if n <= 0 || n > len(c.perTree) {
+		return nil, fmt.Errorf("bootstrap: prefix %d of %d replicates", n, len(c.perTree))
+	}
+	if n == len(c.perTree) {
+		return c.Support(ref)
+	}
+	if ref.NTaxa() != c.nTaxa {
+		return nil, fmt.Errorf("bootstrap: reference has %d taxa, replicates %d", ref.NTaxa(), c.nTaxa)
+	}
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		for _, k := range c.perTree[i] {
+			counts[k]++
+		}
+	}
+	refBips := ref.Bipartitions()
+	out := make([]float64, len(refBips))
+	for i, bp := range refBips {
+		out[i] = float64(counts[bp.Key()]) / float64(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package phyrun
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bootstrap"
+)
+
+// BootstopConfig tunes adaptive bootstopping (the autoMRE-style
+// frequency criterion): after every CheckEvery completed replicates the
+// finished set is repeatedly split into two pseudo-halves by seeded
+// permutations, and the campaign stops once the halves' split-frequency
+// vectors agree to within Cutoff on average. Checks run on the replicate
+// *index prefix* — checkpoint n is evaluated only when replicates
+// 0..n-1 have all finished — so the stop decision is a pure function of
+// the campaign seed, independent of completion order or concurrency.
+type BootstopConfig struct {
+	// CheckEvery is the checkpoint spacing in replicates (default 10).
+	CheckEvery int `json:"check_every,omitempty"`
+	// Cutoff is the convergence threshold on the mean absolute
+	// split-frequency difference between pseudo-halves, averaged over
+	// the permutations (default 0.03).
+	Cutoff float64 `json:"cutoff,omitempty"`
+	// Permutations is how many pseudo-half splits each checkpoint
+	// averages over (default 100).
+	Permutations int `json:"permutations,omitempty"`
+}
+
+func (c *BootstopConfig) validate() error {
+	if c.CheckEvery < 0 || c.Cutoff < 0 || c.Permutations < 0 {
+		return fmt.Errorf("phyrun: negative bootstop parameters")
+	}
+	return nil
+}
+
+// withDefaults returns the config with zero fields filled in.
+func (c BootstopConfig) withDefaults() BootstopConfig {
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 10
+	}
+	if c.Cutoff == 0 {
+		c.Cutoff = 0.03
+	}
+	if c.Permutations == 0 {
+		c.Permutations = 100
+	}
+	return c
+}
+
+// converged evaluates the bootstop criterion on the first n replicates
+// accumulated in the counter. The permutations derive from the campaign
+// seed and (n, permutation index) alone, so the verdict is deterministic
+// for a given replicate prefix.
+func (c BootstopConfig) converged(sc *bootstrap.SplitCounter, n int, campaignSeed int64) bool {
+	if n < 2 {
+		return false // a pseudo-half needs at least one replicate
+	}
+	half := n / 2
+	checkSeed := DeriveSeed(campaignSeed, streamBootstopPerm, n)
+	var total float64
+	for p := 0; p < c.Permutations; p++ {
+		rng := rand.New(rand.NewSource(DeriveSeed(checkSeed, streamBootstopPerm, p)))
+		idx := rng.Perm(n)
+		// Count split occurrences per pseudo-half (odd n: the leftover
+		// replicate joins neither half, keeping the halves comparable).
+		f1 := map[string]int{}
+		f2 := map[string]int{}
+		for i := 0; i < half; i++ {
+			for _, k := range sc.TreeSplits(idx[i]) {
+				f1[k]++
+			}
+		}
+		for i := half; i < 2*half; i++ {
+			for _, k := range sc.TreeSplits(idx[i]) {
+				f2[k]++
+			}
+		}
+		// Mean |f1−f2| over the union of splits seen in either half.
+		union := map[string]struct{}{}
+		for k := range f1 {
+			union[k] = struct{}{}
+		}
+		for k := range f2 {
+			union[k] = struct{}{}
+		}
+		if len(union) == 0 {
+			continue // star trees only; nothing to disagree on
+		}
+		var d float64
+		for k := range union {
+			d += abs(float64(f1[k])/float64(half) - float64(f2[k])/float64(half))
+		}
+		total += d / float64(len(union))
+	}
+	return total/float64(c.Permutations) <= c.Cutoff
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

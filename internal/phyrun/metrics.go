@@ -1,0 +1,72 @@
+package phyrun
+
+import "repro/internal/metrics"
+
+// Metrics is a campaign's observability surface; nil disables it. All
+// metrics are out-of-band — they never influence scheduling decisions
+// or results (docs/DETERMINISM.md).
+type Metrics struct {
+	pending *metrics.Gauge
+	running *metrics.Gauge
+	done    *metrics.CounterVec // label: kind (start | replicate)
+	failed  *metrics.CounterVec // label: kind
+	// converged counts campaigns whose bootstop criterion fired;
+	// replicatesToConverge records where they stopped.
+	converged            *metrics.Counter
+	replicatesToConverge *metrics.Histogram
+}
+
+// NewMetrics registers the campaign metrics on a registry (reuse the
+// process Default, or a private registry in tests).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		pending: r.Gauge("phyrun_tasks_pending",
+			"Campaign tasks planned but not yet dispatched."),
+		running: r.Gauge("phyrun_tasks_running",
+			"Campaign tasks currently executing on the backend."),
+		done: r.CounterVec("phyrun_tasks_done_total",
+			"Campaign tasks finished successfully, by kind.", "kind"),
+		failed: r.CounterVec("phyrun_tasks_failed_total",
+			"Campaign tasks that returned an error, by kind.", "kind"),
+		converged: r.Counter("phyrun_bootstop_converged_total",
+			"Campaigns stopped early by the bootstop criterion."),
+		replicatesToConverge: r.Histogram("phyrun_bootstop_replicates",
+			"Replicates completed when the bootstop criterion fired.",
+			metrics.ExpBuckets(10, 2, 8)), // 10 .. 1280
+	}
+}
+
+func (m *Metrics) taskStarted() {
+	if m == nil {
+		return
+	}
+	m.pending.Dec()
+	m.running.Inc()
+}
+
+func (m *Metrics) taskFinished(kind TaskKind, ok bool) {
+	if m == nil {
+		return
+	}
+	m.running.Dec()
+	if ok {
+		m.done.With(string(kind)).Inc()
+	} else {
+		m.failed.With(string(kind)).Inc()
+	}
+}
+
+func (m *Metrics) setPending(n int) {
+	if m == nil {
+		return
+	}
+	m.pending.Set(float64(n))
+}
+
+func (m *Metrics) bootstopConverged(replicates int) {
+	if m == nil {
+		return
+	}
+	m.converged.Inc()
+	m.replicatesToConverge.Observe(float64(replicates))
+}

@@ -1,0 +1,43 @@
+// Package phyrun orchestrates inference campaigns: N maximum-likelihood
+// tree searches from independent starting trees plus B nonparametric
+// bootstrap replicates, scheduled concurrently over a local worker pool
+// or an examld service pool, with adaptive bootstopping and resumable
+// manifests. The whole campaign is a deterministic function of one
+// campaign seed: every task derives its own seeds through a splittable
+// hash, so any execution order, worker count, or backend produces
+// bit-identical per-task results (docs/ORCHESTRATOR.md).
+package phyrun
+
+// Seed streams partition the campaign seed's derived space so a start's
+// search seed, a replicate's resample seed, a replicate's search seed,
+// and the bootstopping permutations can never collide.
+const (
+	streamStartSearch     = 1 // search seed of ML start i
+	streamReplicateSample = 2 // site-resampling seed of replicate r
+	streamReplicateSearch = 3 // search seed of replicate r
+	streamBootstopPerm    = 4 // pseudo-half permutation p of a bootstop check
+)
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a bijective
+// avalanche mix. Used here as a splittable hash: statistically
+// independent streams from structured (seed, stream, index) inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed maps (campaign seed, stream, index) to a task seed. Unlike
+// drawing seeds sequentially from one generator, the derivation is a
+// pure function of its inputs: task k's seed does not depend on how many
+// tasks precede it or in what order they were planned, which is what
+// lets a resumed or reordered campaign re-derive identical tasks.
+func DeriveSeed(campaign int64, stream, index int) int64 {
+	h := splitmix64(uint64(campaign))
+	h = splitmix64(h ^ splitmix64(uint64(stream)))
+	h = splitmix64(h ^ splitmix64(uint64(index)))
+	// Keep seeds non-negative: several Config consumers fold seeds into
+	// label strings and file names where a sign reads poorly.
+	return int64(h >> 1)
+}

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	examl "repro"
+	"repro/internal/phyrun"
+	"repro/internal/service/client"
+)
+
+// The campaign integration recipe: small enough to finish in seconds,
+// structured enough (two start kinds, several replicates) to exercise
+// every task species on both backends.
+const (
+	campTaxa     = 8
+	campParts    = 1
+	campGeneLen  = 80
+	campDataSeed = 91
+	campSeed     = 5
+	campIters    = 2
+)
+
+func campPlan() phyrun.Plan {
+	return phyrun.Plan{Seed: campSeed, RandomStarts: 1, ParsimonyStarts: 1, Replicates: 3}
+}
+
+func campLocalRunner(t *testing.T) *examl.LocalCampaignRunner {
+	t.Helper()
+	d, err := examl.Simulate(campTaxa, campParts, campGeneLen, campDataSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &examl.LocalCampaignRunner{
+		Dataset: d,
+		Config:  examl.Config{Ranks: 1, MaxIterations: campIters},
+	}
+}
+
+// campFingerprint flattens every deterministic field of a campaign
+// result; timing fields are deliberately excluded.
+func campFingerprint(r *phyrun.Result) string {
+	var starts []string
+	for _, s := range r.Starts {
+		starts = append(starts, s.Tree+"/"+s.LnLBits)
+	}
+	return fmt.Sprintf("%s|%s|%d|%v|%v|%s|%v|%s|%v",
+		r.BestTree, r.BestLnLBits, r.BestStart, starts,
+		r.Supports, r.AnnotatedTree, r.ReplicateTrees, r.ConsensusTree, r.ConsensusSupports)
+}
+
+// TestCampaignBackendsBitIdentical is the orchestrator's core
+// acceptance check: the same campaign run (a) locally at several worker
+// counts, (b) against an examld pool of real worker processes, and (c)
+// locally with a mid-campaign kill and resume, produces byte-identical
+// best trees, supports, and consensus.
+func TestCampaignBackendsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign integration test skipped in -short mode")
+	}
+	plan := campPlan()
+
+	// (a) Local backend, two worker counts.
+	var local *phyrun.Result
+	for _, workers := range []int{1, 4} {
+		res, err := phyrun.Run(context.Background(), phyrun.Config{
+			Plan: plan, Runner: campLocalRunner(t), Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("local workers=%d: %v", workers, err)
+		}
+		if local != nil && campFingerprint(res) != campFingerprint(local) {
+			t.Fatalf("local campaign varies with worker count:\n%s\n%s",
+				campFingerprint(res), campFingerprint(local))
+		}
+		local = res
+	}
+
+	// (b) Service backend: jobs on a pool of re-execed worker processes.
+	srv, hs := newPoolTest(t, 2)
+	svc, err := phyrun.Run(context.Background(), phyrun.Config{
+		Plan: plan,
+		Runner: &phyrun.ServiceRunner{
+			Client: client.New(hs.URL),
+			Base: client.JobSpec{
+				Simulate: &client.SimulateSpec{
+					Taxa: campTaxa, Partitions: campParts,
+					GeneLength: campGeneLen, Seed: campDataSeed,
+				},
+				Ranks:         1,
+				MaxIterations: campIters,
+			},
+			Campaign: "it-campaign",
+		},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatalf("service backend: %v", err)
+	}
+	if campFingerprint(svc) != campFingerprint(local) {
+		t.Fatalf("service campaign differs from local:\n%s\n%s",
+			campFingerprint(svc), campFingerprint(local))
+	}
+
+	// The daemon counted the campaign's tasks by kind.
+	mhs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		srv.Metrics().WriteText(w)
+	}))
+	defer mhs.Close()
+	resp, err := http.Get(mhs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`examld_campaign_tasks_total{kind="start"} 2`,
+		`examld_campaign_tasks_total{kind="replicate"} 3`,
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("campaign counter missing from /metrics: %s", want)
+		}
+	}
+
+	// (c) Kill-and-resume: cancel after 2 durable tasks, then resume.
+	manifest := filepath.Join(t.TempDir(), "campaign.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, err = phyrun.Run(ctx, phyrun.Config{
+		Plan: plan, Runner: campLocalRunner(t), Workers: 1, ManifestPath: manifest,
+		OnTaskDone: func(phyrun.Task, *phyrun.TaskRecord) {
+			if n++; n == 2 {
+				cancel()
+			}
+		},
+	})
+	cancel()
+	if err == nil {
+		t.Fatal("interrupted campaign reported success")
+	}
+	resumed, err := phyrun.Run(context.Background(), phyrun.Config{
+		Plan: plan, Runner: campLocalRunner(t), Workers: 4, ManifestPath: manifest,
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if campFingerprint(resumed) != campFingerprint(local) {
+		t.Fatalf("resumed campaign differs from uninterrupted:\n%s\n%s",
+			campFingerprint(resumed), campFingerprint(local))
+	}
+}
+
+// TestCampaignReplicateJobMatchesLocalResample pins the cross-backend
+// bootstrap contract at the single-task level: a service job with a
+// bootstrap spec returns exactly what an in-process resample + search
+// with the same seeds returns.
+func TestCampaignReplicateJobMatchesLocalResample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign integration test skipped in -short mode")
+	}
+	plan := campPlan()
+	task := plan.Tasks()[2] // first replicate (r0)
+	if task.Kind != phyrun.TaskReplicate {
+		t.Fatalf("task layout changed: %s", task.ID())
+	}
+
+	localRes, err := campLocalRunner(t).Run(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, hs := newPoolTest(t, 1)
+	svcRunner := &phyrun.ServiceRunner{
+		Client: client.New(hs.URL),
+		Base: client.JobSpec{
+			Simulate: &client.SimulateSpec{
+				Taxa: campTaxa, Partitions: campParts,
+				GeneLength: campGeneLen, Seed: campDataSeed,
+			},
+			Ranks:         1,
+			MaxIterations: campIters,
+		},
+		Campaign: "it-replicate",
+	}
+	svcRes, err := svcRunner.Run(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svcRes.Tree != localRes.Tree || svcRes.LnLBits != localRes.LnLBits {
+		t.Fatalf("replicate diverges across backends:\nlocal:   %s %s\nservice: %s %s",
+			localRes.LnLBits, localRes.Tree, svcRes.LnLBits, svcRes.Tree)
+	}
+}

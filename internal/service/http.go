@@ -7,27 +7,13 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"repro/internal/service/client"
 )
 
-// jobView is the status representation of a job on the wire.
-type jobView struct {
-	ID       string   `json:"id"`
-	State    JobState `json:"state"`
-	Ranks    int      `json:"ranks"`
-	Created  string   `json:"created"`
-	Started  string   `json:"started,omitempty"`
-	Finished string   `json:"finished,omitempty"`
-
-	Iteration int     `json:"iteration,omitempty"`
-	LnL       float64 `json:"lnl,omitempty"`
-
-	Epochs        int    `json:"epochs"`
-	Migrations    int    `json:"migrations,omitempty"`
-	Shrinks       int    `json:"shrinks,omitempty"`
-	Error         string `json:"error,omitempty"`
-	Events        uint64 `json:"events"`
-	DroppedEvents uint64 `json:"dropped_events,omitempty"`
-}
+// jobView is the status representation of a job on the wire, shared
+// with the client package so client and daemon can never disagree.
+type jobView = client.JobView
 
 func stamp(t time.Time) string {
 	if t.IsZero() {
@@ -42,6 +28,7 @@ func viewLocked(j *job) jobView {
 		ID:            j.id,
 		State:         j.state,
 		Ranks:         j.spec.Ranks,
+		Campaign:      j.spec.Campaign,
 		Created:       stamp(j.created),
 		Started:       stamp(j.started),
 		Finished:      stamp(j.finished),
@@ -281,7 +268,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		state := j.state
 		notify := j.notify
 		s.mu.Unlock()
-		if len(evs) > 0 || state.terminal() || time.Now().After(deadline) {
+		if len(evs) > 0 || state.Terminal() || time.Now().After(deadline) {
 			writeJSON(w, http.StatusOK, map[string]any{
 				"events": evs, "next": next, "dropped": dropped, "state": state,
 			})
@@ -341,7 +328,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if len(evs) > 0 {
 			fl.Flush()
 		}
-		if state.terminal() && len(evs) == 0 {
+		if state.Terminal() && len(evs) == 0 {
 			return
 		}
 		select {

@@ -24,6 +24,10 @@ type serverMetrics struct {
 	workersLost       *metrics.Counter
 	profilesCaptured  *metrics.Counter
 
+	// campaignTasks counts jobs attributed to a phyrun campaign (the
+	// spec carried a campaign label), by task kind.
+	campaignTasks *metrics.CounterVec // label: kind (start | replicate)
+
 	queueWait   *metrics.Histogram
 	jobDuration *metrics.Histogram
 }
@@ -50,6 +54,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Worker connections dropped."),
 		profilesCaptured: r.Counter("examld_worker_profiles_total",
 			"Worker-process pprof profiles captured over the control protocol."),
+		campaignTasks: r.CounterVec("examld_campaign_tasks_total",
+			"Jobs submitted on behalf of a phyrun campaign, by task kind.", "kind"),
 		queueWait: r.Histogram("examld_job_queue_wait_seconds",
 			"Time from submission to placement on workers.",
 			metrics.DefBuckets),

@@ -8,7 +8,7 @@ import (
 
 // submit validates a spec, stores the job, and tries to place it.
 func (s *Server) submit(spec JobSpec) (*job, error) {
-	if err := spec.normalize(); err != nil {
+	if err := spec.Normalize(); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -29,6 +29,13 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	s.order = append(s.order, j.id)
 	s.queue = append(s.queue, j.id)
 	s.metrics.jobsSubmitted.Inc()
+	if spec.Campaign != "" {
+		kind := "start"
+		if spec.Bootstrap != nil {
+			kind = "replicate"
+		}
+		s.metrics.campaignTasks.With(kind).Inc()
+	}
 	j.appendEvent(j.created, Event{Type: "queued", Message: fmt.Sprintf("requested %d rank(s)", spec.Ranks)})
 	s.kickLocked()
 	return j, nil
@@ -125,7 +132,7 @@ func (s *Server) startJobLocked(j *job, ws []*worker) {
 func (s *Server) cancel(j *job) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if j.state.terminal() {
+	if j.state.Terminal() {
 		return false
 	}
 	now := time.Now()

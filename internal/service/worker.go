@@ -126,13 +126,14 @@ func (w *workerProc) execute(m wireMsg) {
 	}
 
 	cfg := examl.Config{
-		Scheme:        examl.Decentralized,
-		Threads:       m.Spec.Threads,
-		Seed:          m.Spec.Seed,
-		MaxIterations: m.Spec.MaxIterations,
-		Epsilon:       m.Spec.Epsilon,
-		SPRRadius:     m.Spec.SPRRadius,
-		TraceLabel:    m.Job,
+		Scheme:             examl.Decentralized,
+		Threads:            m.Spec.Threads,
+		Seed:               m.Spec.Seed,
+		ParsimonyStartTree: m.Spec.ParsimonyStart,
+		MaxIterations:      m.Spec.MaxIterations,
+		Epsilon:            m.Spec.Epsilon,
+		SPRRadius:          m.Spec.SPRRadius,
+		TraceLabel:         m.Job,
 	}
 	if m.Spec.Trace {
 		cfg.TraceWriter = &traceForwarder{w: w, job: m.Job}
@@ -186,12 +187,30 @@ func (w *workerProc) execute(m wireMsg) {
 
 // buildDataset materializes the job's alignment on this rank. Every
 // rank rebuilds the identical dataset (simulation is seeded; inline
-// data is shared verbatim), which is what bit-identity requires.
+// data is shared verbatim; bootstrap resampling is a pure function of
+// dataset and seed), which is what bit-identity requires — and what
+// makes a service-run bootstrap replicate bit-identical to the same
+// replicate resampled in-process by the phyrun orchestrator.
 func buildDataset(spec *JobSpec) (*examl.Dataset, error) {
+	var (
+		d   *examl.Dataset
+		err error
+	)
 	if sim := spec.Simulate; sim != nil {
-		return examl.Simulate(sim.Taxa, sim.Partitions, sim.GeneLength, sim.Seed)
+		d, err = examl.Simulate(sim.Taxa, sim.Partitions, sim.GeneLength, sim.Seed)
+	} else {
+		d, err = examl.LoadPhylip(strings.NewReader(spec.Phylip), spec.Partitions)
 	}
-	return examl.LoadPhylip(strings.NewReader(spec.Phylip), spec.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	if bs := spec.Bootstrap; bs != nil {
+		d, err = examl.ResampleDataset(d, bs.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap resample: %w", err)
+		}
+	}
+	return d, nil
 }
 
 // traceForwarder turns the telemetry collector's JSONL writes into
