@@ -10,7 +10,9 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"net"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/decentral"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/likelihood"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/mpinet"
 	"repro/internal/msa"
 	"repro/internal/parsimony"
 	"repro/internal/search"
@@ -117,7 +120,7 @@ func BenchmarkSchemeDecentral(b *testing.B) {
 	cfg := search.Config{Het: model.Gamma, Seed: 1, MaxIterations: 1}
 	b.ResetTimer()
 	for b.Loop() {
-		if _, _, err := decentral.Run(d, decentral.RunConfig{Search: cfg, Ranks: 4}); err != nil {
+		if _, _, err := decentral.Run(d, decentral.RunConfig{Search: cfg, Ranks: 8}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -520,6 +523,82 @@ func BenchmarkHybridGrid(b *testing.B) {
 				b.ReportMetric(float64(cols*gammaFlopsPerColumn), "flops/op")
 			})
 		}
+	}
+}
+
+// ---------- batched all-branch gradients (docs/PERFORMANCE.md) ----------
+
+// BenchmarkAllBranchGradient measures the batched all-branch gradient
+// smoother against the per-branch Newton oracle on a branch-length
+// optimization workload (SkipTopology, smoothing-dominated) run over
+// real loopback TCP — one mpinet endpoint per rank, so every
+// branch-length collective is a socket round trip, the transport
+// regime the batching targets. Both rows produce bit-identical results
+// (docs/DETERMINISM.md §7); the batched row reports its wall-clock
+// speedup over the oracle row plus the metered branch-length Allreduce
+// count of each, which drops from one per branch per Newton iteration
+// to one per iteration of a sweep.
+func BenchmarkAllBranchGradient(b *testing.B) {
+	d := benchDataset(b, 24, 4, 60)
+	base := search.Config{Het: model.Gamma, Seed: 1, MaxIterations: 1, SkipTopology: true, SmoothPasses: 8}
+	const ranks = 3
+	nonce := uint64(0)
+	var oracleNs float64
+	for _, batched := range []bool{false, true} {
+		mode := "oracle"
+		if batched {
+			mode = "batched"
+		}
+		b.Run(mode, func(b *testing.B) {
+			cfg := base
+			cfg.DisableBatchedGradients = !batched
+			var blOps int64
+			for b.Loop() {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				addr := ln.Addr().String()
+				ln.Close()
+				nonce++
+				var wg sync.WaitGroup
+				errs := make([]error, ranks)
+				var rank0Ops int64
+				for r := 0; r < ranks; r++ {
+					wg.Add(1)
+					go func(rank int) {
+						defer wg.Done()
+						tr, err := mpinet.Connect(mpinet.Config{Rank: rank, Size: ranks, Addr: addr, Nonce: nonce})
+						if err != nil {
+							errs[rank] = err
+							return
+						}
+						c := mpi.NewComm(tr, rank, ranks, mpi.NewMeter())
+						defer c.Close()
+						_, stats, err := decentral.RunOnComm(c, d, decentral.RunConfig{Search: cfg})
+						errs[rank] = err
+						if rank == 0 && stats != nil {
+							rank0Ops = stats.Comm.Ops[mpi.ClassBranchLength]
+						}
+					}(r)
+				}
+				wg.Wait()
+				for r, err := range errs {
+					if err != nil {
+						b.Fatalf("rank %d: %v", r, err)
+					}
+				}
+				blOps = rank0Ops
+			}
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if !batched {
+				oracleNs = nsPerOp
+			} else if oracleNs > 0 && nsPerOp > 0 {
+				b.ReportMetric(oracleNs/nsPerOp, "speedup")
+			}
+			b.ReportMetric(float64(blOps), "bl_allreduces")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
 	}
 }
 

@@ -303,6 +303,14 @@ type Config struct {
 	// tables may occupy; 0 means unbounded. Nodes whose table would
 	// exceed the cap fall back to plain per-site computation.
 	RepeatsMaxMem int64
+	// DisableBatchedGradients turns off the batched all-branch gradient
+	// path in branch-length smoothing and falls back to the per-branch
+	// Newton oracle. Ablation switch only: final trees and likelihoods
+	// are byte-identical either way, but the batched path pays one wide
+	// Allreduce per smoothing sweep where the oracle pays one narrow
+	// Allreduce per branch per Newton iteration (docs/DETERMINISM.md §7,
+	// docs/PERFORMANCE.md).
+	DisableBatchedGradients bool
 }
 
 // CommReport is the per-class communication accounting of a run — the
@@ -419,16 +427,17 @@ func searchConfig(cfg Config) (search.Config, error) {
 		het = model.PSR
 	}
 	scfg := search.Config{
-		Het:                  het,
-		Subst:                substOf(cfg.Substitution),
-		PerPartitionBranches: cfg.PerPartitionBranchLengths,
-		Epsilon:              cfg.Epsilon,
-		SPRRadius:            cfg.SPRRadius,
-		MaxIterations:        cfg.MaxIterations,
-		Seed:                 cfg.Seed,
-		StartTree:            cfg.StartTree,
-		ParsimonyStart:       cfg.ParsimonyStartTree,
-		SkipTopology:         cfg.SkipTopology,
+		Het:                     het,
+		Subst:                   substOf(cfg.Substitution),
+		PerPartitionBranches:    cfg.PerPartitionBranchLengths,
+		Epsilon:                 cfg.Epsilon,
+		SPRRadius:               cfg.SPRRadius,
+		MaxIterations:           cfg.MaxIterations,
+		Seed:                    cfg.Seed,
+		StartTree:               cfg.StartTree,
+		ParsimonyStart:          cfg.ParsimonyStartTree,
+		SkipTopology:            cfg.SkipTopology,
+		DisableBatchedGradients: cfg.DisableBatchedGradients,
 	}
 	if cfg.RestorePath != "" {
 		f, err := os.Open(cfg.RestorePath)

@@ -32,6 +32,12 @@ type Args struct {
 	// RepeatsMaxMem caps the per-rank repeat-table memory in bytes
 	// (0 = unbounded).
 	RepeatsMaxMem int64
+	// NoBatchedGradients disables the batched all-branch gradient path
+	// in branch-length smoothing, falling back to the per-branch oracle
+	// (ablation; results are bit-identical, but the run pays one
+	// Allreduce per branch per Newton iteration instead of one per
+	// sweep — docs/DETERMINISM.md §7).
+	NoBatchedGradients bool
 
 	// Stats prints the end-of-run telemetry report (kernel spans,
 	// collective timing, load imbalance; docs/OBSERVABILITY.md).
@@ -94,6 +100,7 @@ func Register(a *Args) {
 	flag.IntVar(&a.NetRecoveries, "net-recoveries", 1, "network mode: survivor-recovery budget after peer failures (decentralized scheme; 0 = a lost peer fails the run)")
 	flag.BoolVar(&a.NoRepeats, "no-repeats", false, "disable subtree site-repeat compression in the likelihood kernels (ablation; results are bit-identical)")
 	flag.Int64Var(&a.RepeatsMaxMem, "repeats-max-mem", 0, "per-rank memory cap in bytes for the site-repeat class tables (0 = unbounded)")
+	flag.BoolVar(&a.NoBatchedGradients, "no-batched-gradients", false, "disable the batched all-branch gradient kernel in branch smoothing (ablation; results are bit-identical, strictly more collectives)")
 	flag.BoolVar(&a.Stats, "stats", false, "print the end-of-run telemetry report (kernel spans, collective timing, load imbalance)")
 	flag.StringVar(&a.StatsJSON, "stats-json", "", "write the telemetry report as JSON to this file")
 	flag.StringVar(&a.TracePath, "trace", "", "stream a JSONL telemetry event trace to this file")
@@ -268,6 +275,7 @@ func inferConfig(a Args) (examl.Config, error) {
 		Telemetry:                 a.telemetryRequested(),
 		DisableRepeats:            a.NoRepeats,
 		RepeatsMaxMem:             a.RepeatsMaxMem,
+		DisableBatchedGradients:   a.NoBatchedGradients,
 	}, nil
 }
 

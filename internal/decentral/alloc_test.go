@@ -41,6 +41,7 @@ func TestEngineSteadyStateAllocFree(t *testing.T) {
 		edge := tr.Tip(0)
 		desc := traversal.Build(tr, edge, true)
 		ts := []float64{0.1}
+		plan, _ := traversal.BuildGradient(tr, nil)
 
 		// Warm-up: populate the P-matrix cache at the exact branch
 		// lengths the measured loop uses, grow every scratch arena, and
@@ -49,12 +50,14 @@ func TestEngineSteadyStateAllocFree(t *testing.T) {
 			eng.Evaluate(desc)
 			eng.PrepareBranch(desc)
 			eng.BranchDerivatives(ts)
+			eng.AllBranchDerivatives(plan)
 		}
 
 		if allocs := testing.AllocsPerRun(50, func() {
 			eng.Evaluate(desc)
 			eng.PrepareBranch(desc)
 			eng.BranchDerivatives(ts)
+			eng.AllBranchDerivatives(plan)
 		}); allocs != 0 {
 			t.Errorf("%v: steady-state engine cycle allocates %.1f times per run", het, allocs)
 		}

@@ -124,6 +124,21 @@ func (e *Engine) BranchDerivatives(ts []float64) (d1, d2 []float64) {
 	return out[:classes], out[classes:]
 }
 
+// AllBranchDerivatives implements search.Engine: one local pre-order
+// pass plus the fused per-edge gradient kernel, then ONE wide Allreduce
+// of 2·classes·branches doubles. A whole Newton iteration over every
+// branch costs a single collective where the per-branch oracle path
+// pays one Allreduce per branch — the O(branches·iters) → O(iters)
+// collective reduction of the batched gradient (docs/PERFORMANCE.md).
+// The returned slice is reused by the next call.
+func (e *Engine) AllBranchDerivatives(plan *traversal.GradPlan) []float64 {
+	vec := e.local.AllBranchDerivativesLocal(plan)
+	if e.comm.Rank() == 0 {
+		e.comm.Meter().AddRegion(mpi.ClassBranchLength)
+	}
+	return e.allreduce(vec, mpi.ClassBranchLength)
+}
+
 // SetShared implements search.Engine: every rank computed the identical
 // parameter trajectory, so this is a purely local apply — the fork-join
 // broadcast the de-centralized scheme eliminates.

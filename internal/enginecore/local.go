@@ -50,6 +50,7 @@ type Local struct {
 	// steady-state optimization loops allocation-free
 	// (docs/PERFORMANCE.md; asserted by alloc tests in both engines).
 	evalScr, derivScr, perPartScr, srStatsScr []float64
+	gradScr, gradPPScr                        []float64
 }
 
 // scratchVec returns *buf resized to n and zeroed.
@@ -246,6 +247,75 @@ func (l *Local) DerivativesPerPartition(ts []float64) []float64 {
 		vec[l.NPart+p] += b
 	}
 	l.rec.EndKernel(telemetry.KernelDerivatives, t)
+	return vec
+}
+
+// AllBranchDerivativesLocal executes the plan's pre-order schedule and
+// the fused gradient kernel over every edge on every local kernel,
+// returning the local per-class all-branch derivative sums packed as
+// [d1[c·nB+b]..., d2[C·nB + c·nB+b]...] with b indexing plan edges.
+// One call replaces nB PrepareLocal/DerivativesLocal pairs — the local
+// half of the batched-gradient path (docs/PERFORMANCE.md). The
+// returned slice is reused by the next call.
+func (l *Local) AllBranchDerivativesLocal(plan *traversal.GradPlan) []float64 {
+	classes := l.BLClasses()
+	nB := plan.NBranches()
+	vec := scratchVec(&l.gradScr, 2*classes*nB)
+	for i, k := range l.Kernels {
+		cls := l.ClassOf(l.PartIdx[i])
+		t := l.rec.Begin()
+		k.TraverseOuter(plan.Pre[cls])
+		l.rec.EndKernel(telemetry.KernelNewview, t)
+		t = l.rec.Begin()
+		for b, e := range plan.Edges {
+			if plan.Active != nil && !plan.Active[b] {
+				continue
+			}
+			var d1, d2 float64
+			if plan.Reuse {
+				d1, d2 = k.BranchGradientReuse(b, plan.T[cls][b])
+			} else {
+				d1, d2 = k.BranchGradientCached(b, nB, e.P, e.Q, plan.T[cls][b])
+			}
+			vec[cls*nB+b] += d1
+			vec[classes*nB+cls*nB+b] += d2
+		}
+		l.rec.EndKernel(telemetry.KernelDerivatives, t)
+	}
+	return vec
+}
+
+// AllBranchDerivativesPerPartition is AllBranchDerivativesLocal at
+// per-partition granularity, packed as [d1[p·nB+b]..., d2[P·nB +
+// p·nB+b]...] — the fork-join wire format (the master folds partitions
+// into linkage classes after the reduce, mirroring
+// DerivativesPerPartition). The returned slice is reused by the next
+// call.
+func (l *Local) AllBranchDerivativesPerPartition(plan *traversal.GradPlan) []float64 {
+	nB := plan.NBranches()
+	vec := scratchVec(&l.gradPPScr, 2*l.NPart*nB)
+	for i, k := range l.Kernels {
+		p := l.PartIdx[i]
+		cls := l.ClassOf(p)
+		t := l.rec.Begin()
+		k.TraverseOuter(plan.Pre[cls])
+		l.rec.EndKernel(telemetry.KernelNewview, t)
+		t = l.rec.Begin()
+		for b, e := range plan.Edges {
+			if plan.Active != nil && !plan.Active[b] {
+				continue
+			}
+			var d1, d2 float64
+			if plan.Reuse {
+				d1, d2 = k.BranchGradientReuse(b, plan.T[cls][b])
+			} else {
+				d1, d2 = k.BranchGradientCached(b, nB, e.P, e.Q, plan.T[cls][b])
+			}
+			vec[p*nB+b] += d1
+			vec[l.NPart*nB+p*nB+b] += d2
+		}
+		l.rec.EndKernel(telemetry.KernelDerivatives, t)
+	}
 	return vec
 }
 

@@ -40,17 +40,20 @@ func TestEngineSteadyStateAllocFree(t *testing.T) {
 		edge := tr.Tip(0)
 		desc := traversal.Build(tr, edge, true)
 		ts := []float64{0.1}
+		plan, _ := traversal.BuildGradient(tr, nil)
 
 		for i := 0; i < 2; i++ {
 			eng.Evaluate(desc)
 			eng.PrepareBranch(desc)
 			eng.BranchDerivatives(ts)
+			eng.AllBranchDerivatives(plan)
 		}
 
 		if allocs := testing.AllocsPerRun(50, func() {
 			eng.Evaluate(desc)
 			eng.PrepareBranch(desc)
 			eng.BranchDerivatives(ts)
+			eng.AllBranchDerivatives(plan)
 		}); allocs != 0 {
 			t.Errorf("%v: steady-state master cycle allocates %.1f times per run", het, allocs)
 		}

@@ -38,6 +38,9 @@ const (
 	opSetShared
 	opSiteRates
 	opShutdown
+	// opAllBranchDerivs is appended after opShutdown so every pre-existing
+	// opcode keeps its wire byte.
+	opAllBranchDerivs
 )
 
 // EngineConfig mirrors decentral.EngineConfig.
@@ -84,6 +87,7 @@ type Engine struct {
 	d1Scr      []float64
 	d2Scr      []float64
 	flatScr    []float64
+	gradScr    []float64
 }
 
 var _ search.Engine = (*Engine)(nil)
@@ -216,6 +220,47 @@ func (e *Engine) BranchDerivatives(ts []float64) (d1, d2 []float64) {
 		d2[c] += out[nPart+p]
 	}
 	return d1, d2
+}
+
+// bcastGradPlan ships the all-branch gradient plan. Unlike
+// bcastDescriptor there is no RAxML-Light wire format to stay faithful
+// to — the batched gradient is a new protocol — so the plan is encoded
+// exactly once per class with no partition-count padding.
+func (e *Engine) bcastGradPlan(p *traversal.GradPlan) {
+	if e.comm.Size() == 1 {
+		// No worker would receive the frame: meter the actual wire size
+		// and skip the encoding, keeping the single-rank hot path
+		// allocation-free.
+		e.comm.MeterOp(mpi.ClassTraversal, p.WireSize())
+		return
+	}
+	e.comm.BcastBytes(0, p.Encode(), mpi.ClassTraversal)
+}
+
+// AllBranchDerivatives implements search.Engine: one plan broadcast,
+// one fused local pass everywhere, one Reduce of 2·partitions·branches
+// derivative sums, folded into linkage classes at the master — a whole
+// Newton iteration over every branch in a single fork-join region
+// instead of one region per branch. The returned slice is reused by the
+// next call.
+func (e *Engine) AllBranchDerivatives(plan *traversal.GradPlan) []float64 {
+	classes := e.local.BLClasses()
+	nPart := e.local.NPart
+	nB := plan.NBranches()
+	e.comm.Meter().AddRegion(mpi.ClassBranchLength)
+	e.command(opAllBranchDerivs)
+	e.bcastGradPlan(plan)
+	vec := e.local.AllBranchDerivativesPerPartition(plan)
+	out := e.comm.Reduce(0, vec, mpi.OpSum, mpi.ClassBranchLength)
+	res := grow(&e.gradScr, 2*classes*nB)
+	for p := 0; p < nPart; p++ {
+		c := e.local.ClassOf(p)
+		for b := 0; b < nB; b++ {
+			res[c*nB+b] += out[p*nB+b]
+			res[classes*nB+c*nB+b] += out[nPart*nB+p*nB+b]
+		}
+	}
+	return res
 }
 
 // grow returns (*buf)[:n], reallocating only when capacity is short, and
@@ -352,6 +397,13 @@ func runWorkerLoop(comm *mpi.Comm, local *enginecore.Local) error {
 			enc := comm.Bcast(0, nil, mpi.ClassModelParams)
 			res := enginecore.DecodeSiteRateResolution(enc, local.NPart, local.PerPartBranches)
 			local.ApplySiteRates(res)
+
+		case opAllBranchDerivs:
+			plan, err := traversal.DecodeGradPlan(comm.BcastBytes(0, nil, mpi.ClassTraversal))
+			if err != nil {
+				return err
+			}
+			comm.Reduce(0, local.AllBranchDerivativesPerPartition(plan), mpi.OpSum, mpi.ClassBranchLength)
 
 		case opShutdown:
 			return nil

@@ -43,6 +43,10 @@ const (
 	opNvCopyReps
 	opEvalRepsSum
 	opDerivRepsSum
+	opGradGamma
+	opGradGammaFast
+	opGradPSR
+	opGradPSRFast
 )
 
 // runArgs stages the operands of the in-flight block operation. Workers
@@ -261,6 +265,31 @@ func (k *Kernel) dispatchBlock(blk, lo, hi int) {
 		}
 		ra.parts[blk].lnL = t
 		ra.parts[blk].cols = 0
+
+	case opGradGamma:
+		// Fused all-branch gradient (gradient.go): prepare this block's
+		// sum-table range with the existing worker, then immediately
+		// consume it with the existing derivative worker. The range is
+		// written and read by the same goroutine, so the fusion is
+		// race-free and the bits match the two-pass oracle exactly.
+		k.prepareGammaBlock(ra.oa, ra.ob, lo, hi)
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesGammaBlock(ra.exG, ra.lamG, ra.catW, lo, hi)
+		ra.parts[blk].cols = 2 * int64(hi-lo) * gammaCats
+
+	case opGradGammaFast:
+		k.prepareGammaFastBlock(ra.oa, ra.ob, ra.tabA, ra.tabB, lo, hi)
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesGammaBlock(ra.exG, ra.lamG, ra.catW, lo, hi)
+		ra.parts[blk].cols = 2 * int64(hi-lo) * gammaCats
+
+	case opGradPSR:
+		k.preparePSRBlock(ra.oa, ra.ob, lo, hi)
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesPSRBlock(ra.exP, ra.lamP, lo, hi)
+		ra.parts[blk].cols = 2 * int64(hi-lo)
+
+	case opGradPSRFast:
+		k.preparePSRFastBlock(ra.oa, ra.ob, ra.tabA, ra.tabB, lo, hi)
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesPSRBlock(ra.exP, ra.lamP, lo, hi)
+		ra.parts[blk].cols = 2 * int64(hi-lo)
 
 	case opDerivRepsSum:
 		var d1, d2 float64

@@ -1,0 +1,361 @@
+package likelihood
+
+import (
+	"math"
+
+	"repro/internal/model"
+)
+
+// Pre-order ("outward") conditional vectors and the fused all-branch
+// gradient kernel (docs/PERFORMANCE.md).
+//
+// The post-order CLV at an inner vertex summarizes the subtree *below*
+// it. The pre-order outer vector at a node summarizes everything on the
+// *other* side of its parent edge — the rest of the tree as seen from
+// the node, looking up. With both in hand the derivative of the log
+// likelihood w.r.t. ANY branch is one pass over the sites pairing the
+// branch's outer vector with its post-order CLV: the same sum-table
+// inner product the per-branch PrepareDerivatives/Derivatives pair
+// computes, without re-rooting a traversal per branch. One post-order
+// pass plus one pre-order pass therefore makes every branch's (d1, d2)
+// available — O(1) traversals instead of O(branches).
+//
+// Bit-identity with the per-branch oracle holds by construction: the
+// pre-order combine below is the exact Newview combine (same block
+// workers, same operand order), and the fused gradient op runs the
+// existing prepare worker and the existing derivative worker back to
+// back over the same site block, so every double is produced by the
+// same operations on the same operands in the same order as the
+// oracle path (asserted by the gradient identity tests).
+
+// GradKind selects which buffer a GradRef addresses.
+type GradKind uint8
+
+const (
+	// GradTipKind addresses a taxon's packed tip states.
+	GradTipKind GradKind = iota
+	// GradInnerKind addresses a post-order CLV slot.
+	GradInnerKind
+	// GradOuterKind addresses a pre-order outer-vector slot, indexed by
+	// the child vertex the vector looks down on.
+	GradOuterKind
+)
+
+// GradRef names one operand of a pre-order step or gradient edge.
+type GradRef struct {
+	Kind GradKind
+	Idx  int32
+}
+
+// GradTip references taxon i's tip sequence.
+func GradTip(i int32) GradRef { return GradRef{Kind: GradTipKind, Idx: i} }
+
+// GradInner references post-order CLV slot i.
+func GradInner(i int32) GradRef { return GradRef{Kind: GradInnerKind, Idx: i} }
+
+// GradOuter references the pre-order outer vector for child vertex i
+// (the conditional vector at i's parent, oriented toward i).
+func GradOuter(i int32) GradRef { return GradRef{Kind: GradOuterKind, Idx: i} }
+
+// GradStep is one pre-order partial computation: combine operand A (the
+// parent side, across branch length TA) with operand B (the sibling
+// subtree, across TB) into outer slot Dst.
+type GradStep struct {
+	Dst    int32
+	A, B   GradRef
+	TA, TB float64
+}
+
+// gradOperand resolves a GradRef to a kernel operand. Referenced CLV
+// and outer slots must already have been computed (by Traverse and
+// TraverseOuter respectively).
+func (k *Kernel) gradOperand(r GradRef) operand {
+	switch r.Kind {
+	case GradTipKind:
+		return operand{tips: k.data.Tips[r.Idx]}
+	case GradInnerKind:
+		return operand{clv: k.clv[r.Idx], scale: k.scale[r.Idx]}
+	default:
+		return operand{clv: k.outer[r.Idx], scale: k.outerScale[r.Idx]}
+	}
+}
+
+// outerSlot returns (allocating on demand) the outer-vector backing
+// store for child vertex i, mirroring slot() for post-order CLVs.
+func (k *Kernel) outerSlot(i int32) ([]float64, []int32) {
+	for int(i) >= len(k.outer) {
+		k.outer = append(k.outer, nil)
+		k.outerScale = append(k.outerScale, nil)
+	}
+	if k.outer[i] == nil || len(k.outer[i]) != k.clvLen() {
+		k.outer[i] = make([]float64, k.clvLen())
+		k.outerScale[i] = make([]int32, k.nPat)
+	}
+	return k.outer[i], k.outerScale[i]
+}
+
+// InvalidateOuter drops every pre-order outer vector (the pre-order
+// analogue of InvalidateAll's CLV sweep).
+func (k *Kernel) InvalidateOuter() {
+	for i := range k.outer {
+		k.outer[i] = nil
+		k.outerScale[i] = nil
+	}
+}
+
+// NewviewOuter executes one pre-order partial update. The combine is
+// the post-order Newview combine verbatim — same block workers, same
+// fast-path staging, same a·b operand order — writing into the outer
+// table instead of a CLV slot. The repeats overlay never applies: outer
+// vectors are not subtree-addressed, so no repeat class describes them.
+func (k *Kernel) NewviewOuter(s GradStep) {
+	if k.par.Het == model.Gamma {
+		k.newviewOuterGamma(s.Dst, s.A, s.B, s.TA, s.TB)
+	} else {
+		k.newviewOuterPSR(s.Dst, s.A, s.B, s.TA, s.TB)
+	}
+	k.prepared = false
+}
+
+// TraverseOuter executes a pre-order schedule in order (parents before
+// children, which traversal.BuildGradient guarantees).
+func (k *Kernel) TraverseOuter(steps []GradStep) {
+	for _, s := range steps {
+		k.NewviewOuter(s)
+	}
+}
+
+// newviewOuterGamma mirrors newviewGamma's plain (non-repeats) staging.
+func (k *Kernel) newviewOuterGamma(dst int32, a, b GradRef, ta, tb float64) {
+	pa := k.probMatricesFor(ta, 0)
+	pb := k.probMatricesFor(tb, 1)
+
+	dclv, dscale := k.outerSlot(dst)
+	oa, ob := k.gradOperand(a), k.gradOperand(b)
+	ra := &k.ra
+	ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb = dclv, dscale, oa, ob, pa, pb
+	ra.parts = k.blocks()
+	if k.fastOn && oa.tips != nil && ob.tips != nil {
+		k.fp.NewviewTipTip++
+		tabA := k.tipTabScratch(0, gammaCats)
+		k.fillTipTable(tabA, pa)
+		tabB := k.tipTabScratch(1, gammaCats)
+		k.fillTipTable(tabB, pb)
+		ra.pair = k.pairTabScratch(gammaCats)
+		k.fillPairTable(ra.pair, &k.pairScaleScr, tabA, tabB, gammaCats)
+		ra.op, ra.overReps = opNvGammaTipTip, false
+	} else if k.fastOn && (oa.tips != nil || ob.tips != nil) {
+		k.fp.NewviewTipInner++
+		ra.tabA, ra.tabB = nil, nil
+		if oa.tips != nil {
+			ra.tabA = k.tipTabScratch(0, gammaCats)
+			k.fillTipTable(ra.tabA, pa)
+		}
+		if ob.tips != nil {
+			ra.tabB = k.tipTabScratch(1, gammaCats)
+			k.fillTipTable(ra.tabB, pb)
+		}
+		ra.op, ra.overReps = opNvGammaTipInner, false
+	} else {
+		k.fp.NewviewInner++
+		ra.op, ra.overReps = opNvGammaInner, false
+	}
+	k.runBlocks(k.nPat)
+	k.flops.Newview += joinCols(ra.parts)
+}
+
+// newviewOuterPSR mirrors newviewPSR's plain (non-repeats) staging.
+func (k *Kernel) newviewOuterPSR(dst int32, a, b GradRef, ta, tb float64) {
+	pa := k.probMatricesFor(ta, 0)
+	pb := k.probMatricesFor(tb, 1)
+
+	dclv, dscale := k.outerSlot(dst)
+	oa, ob := k.gradOperand(a), k.gradOperand(b)
+	ra := &k.ra
+	ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb = dclv, dscale, oa, ob, pa, pb
+	ra.parts = k.blocks()
+	if k.fastOn && (oa.tips != nil || ob.tips != nil) {
+		if oa.tips != nil && ob.tips != nil {
+			k.fp.NewviewTipTip++
+		} else {
+			k.fp.NewviewTipInner++
+		}
+		nc := len(k.par.CatRates)
+		ra.tabA, ra.tabB = nil, nil
+		if oa.tips != nil {
+			ra.tabA = k.tipTabScratch(0, nc)
+			k.fillTipTable(ra.tabA, pa)
+		}
+		if ob.tips != nil {
+			ra.tabB = k.tipTabScratch(1, nc)
+			k.fillTipTable(ra.tabB, pb)
+		}
+		ra.op = opNvPSRFast
+	} else {
+		k.fp.NewviewInner++
+		ra.op = opNvPSRInner
+	}
+	ra.overReps = false
+	k.runBlocks(k.nPat)
+	k.flops.Newview += joinCols(ra.parts)
+}
+
+// BranchGradient returns (d lnL/dt, d² lnL/dt²) for one branch of
+// length t, where p is the conditional vector below the branch (a tip
+// or post-order CLV) and q the outer vector above it. The prepare and
+// derivative passes are fused block by block: each site block's
+// sum-table range is filled and immediately consumed by the same
+// goroutine, so the arithmetic — and therefore every output bit —
+// matches the PrepareDerivatives + Derivatives sequence on the same
+// operands.
+func (k *Kernel) BranchGradient(p, q GradRef, t float64) (d1, d2 float64) {
+	if k.par.Het == model.Gamma {
+		d1, d2 = k.branchGradientGamma(p, q, t)
+	} else {
+		d1, d2 = k.branchGradientPSR(p, q, t)
+	}
+	k.prepared = false
+	return d1, d2
+}
+
+// BranchGradientCached is BranchGradient for plan edge b of nEdges,
+// additionally keeping the edge's sum table (the t-independent P·Q
+// contraction the prepare half computes) in a per-edge cache. The
+// compute and therefore every output bit is exactly BranchGradient's —
+// only the scratch buffer the fused op fills differs — and subsequent
+// BranchGradientReuse calls for the same edge evaluate new trial
+// lengths from the cached table without re-contracting. The cache
+// costs one sum table per edge and is retained for the kernel's
+// lifetime once the batched smoother has run.
+func (k *Kernel) BranchGradientCached(b, nEdges int, p, q GradRef, t float64) (d1, d2 float64) {
+	if len(k.gradTabs) < nEdges {
+		tabs := make([][]float64, nEdges)
+		copy(tabs, k.gradTabs)
+		k.gradTabs = tabs
+	}
+	saved := k.sumTab
+	k.sumTab = k.gradTabs[b]
+	d1, d2 = k.BranchGradient(p, q, t)
+	k.gradTabs[b] = k.sumTab
+	k.sumTab = saved
+	return d1, d2
+}
+
+// BranchGradientReuse evaluates edge b's (d1, d2) at branch length t
+// from the sum table a prior BranchGradientCached call stored — the
+// derivative half of the fused op alone (the same block worker over
+// the same block partition, so the bits match recomputing the fused op
+// at t exactly). Valid only while the CLV and outer-vector state the
+// table was contracted from is unchanged; the simultaneous Newton
+// smoother guarantees that within a sweep's frozen inner loop.
+func (k *Kernel) BranchGradientReuse(b int, t float64) (d1, d2 float64) {
+	saved := k.sumTab
+	k.sumTab = k.gradTabs[b]
+	k.prepRepeats = false
+	if k.par.Het == model.Gamma {
+		d1, d2 = k.derivativesGamma(t)
+	} else {
+		d1, d2 = k.derivativesPSR(t)
+	}
+	k.sumTab = saved
+	k.prepared = false
+	return d1, d2
+}
+
+// branchGradientGamma stages the fused Γ gradient: the prepare side
+// mirrors prepareDerivativesGamma's plain path, the derivative side
+// derivativesGamma's, sharing one block sweep.
+func (k *Kernel) branchGradientGamma(p, q GradRef, t float64) (d1, d2 float64) {
+	need := k.nPat * gammaCats * ns
+	if cap(k.sumTab) < need {
+		k.sumTab = make([]float64, need)
+	}
+	k.sumTab = k.sumTab[:need]
+
+	op, oq := k.gradOperand(p), k.gradOperand(q)
+	ra := &k.ra
+	ra.oa, ra.ob = op, oq
+	ra.parts = k.blocks()
+	if k.fastOn && (op.tips != nil || oq.tips != nil) {
+		k.fp.PrepareTip++
+		tabP, tabQ := k.prepTabScratch()
+		if op.tips != nil {
+			k.fillPrepTipP(tabP)
+		}
+		if oq.tips != nil {
+			k.fillPrepTipQ(tabQ)
+		}
+		ra.tabA, ra.tabB = tabP, tabQ
+		ra.op = opGradGammaFast
+	} else {
+		k.fp.PrepareGeneric++
+		ra.op = opGradGamma
+	}
+	e := k.par.Eigen
+	ex, lam := &k.exGScr, &k.lamGScr
+	for c, r := range k.par.CatRates {
+		for kk := 0; kk < ns; kk++ {
+			l := e.Vals[kk] * r
+			lam[c][kk] = l
+			ex[c][kk] = math.Exp(l * t)
+		}
+	}
+	ra.exG, ra.lamG, ra.catW = ex, lam, k.par.CatWeight()
+	ra.overReps = false
+	k.prepRepeats = false
+	k.runBlocks(k.nPat)
+	for b := range ra.parts {
+		d1 += ra.parts[b].d1
+		d2 += ra.parts[b].d2
+	}
+	k.flops.Derivative += joinCols(ra.parts)
+	return d1, d2
+}
+
+// branchGradientPSR is the PSR analogue of branchGradientGamma.
+func (k *Kernel) branchGradientPSR(p, q GradRef, t float64) (d1, d2 float64) {
+	need := k.nPat * ns
+	if cap(k.sumTab) < need {
+		k.sumTab = make([]float64, need)
+	}
+	k.sumTab = k.sumTab[:need]
+
+	op, oq := k.gradOperand(p), k.gradOperand(q)
+	ra := &k.ra
+	ra.oa, ra.ob = op, oq
+	ra.parts = k.blocks()
+	if k.fastOn && (op.tips != nil || oq.tips != nil) {
+		k.fp.PrepareTip++
+		tabP, tabQ := k.prepTabScratch()
+		if op.tips != nil {
+			k.fillPrepTipP(tabP)
+		}
+		if oq.tips != nil {
+			k.fillPrepTipQ(tabQ)
+		}
+		ra.tabA, ra.tabB = tabP, tabQ
+		ra.op = opGradPSRFast
+	} else {
+		k.fp.PrepareGeneric++
+		ra.op = opGradPSR
+	}
+	e := k.par.Eigen
+	ex, lam := k.psrExLamScratch(len(k.par.CatRates))
+	for c, r := range k.par.CatRates {
+		for kk := 0; kk < ns; kk++ {
+			l := e.Vals[kk] * r
+			lam[c][kk] = l
+			ex[c][kk] = math.Exp(l * t)
+		}
+	}
+	ra.exP, ra.lamP = ex, lam
+	ra.overReps = false
+	k.prepRepeats = false
+	k.runBlocks(k.nPat)
+	for b := range ra.parts {
+		d1 += ra.parts[b].d1
+		d2 += ra.parts[b].d2
+	}
+	k.flops.Derivative += joinCols(ra.parts)
+	return d1, d2
+}

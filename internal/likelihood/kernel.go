@@ -80,6 +80,13 @@ type Kernel struct {
 	// subtree the CLV summarizes.
 	scale [][]int32
 
+	// outer[vertex] / outerScale[vertex] are the pre-order outer vectors
+	// (gradient.go): the conditional vector at the vertex's parent
+	// oriented toward the vertex, same layout as clv. Grown lazily by
+	// outerSlot; nil until first computed.
+	outer      [][]float64
+	outerScale [][]int32
+
 	// tipVec[state][x] is the 0/1 tip likelihood lookup.
 	tipVec [16][ns]float64
 
@@ -89,6 +96,12 @@ type Kernel struct {
 	// prepared records whether sumTab matches the most recent
 	// PrepareDerivatives call.
 	prepared bool
+	// gradTabs[b] is plan edge b's cached sum table from the batched
+	// all-branch gradient (gradient.go): BranchGradientCached fills it,
+	// BranchGradientReuse re-evaluates from it at new trial lengths —
+	// the per-branch PrepareDerivatives/Derivatives amortization,
+	// batched across every edge of a smoothing sweep.
+	gradTabs [][]float64
 
 	// pool is the rank's shared-memory worker pool (§V hybrid scheme);
 	// nil runs every kernel serially over the same block structure.
@@ -299,6 +312,7 @@ func (k *Kernel) InvalidateAll() {
 		k.clv[i] = nil
 		k.scale[i] = nil
 	}
+	k.InvalidateOuter()
 	k.prepared = false
 	k.prepRepeats = false
 	k.pcache = nil

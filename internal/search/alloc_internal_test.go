@@ -17,6 +17,7 @@ type stubEngine struct {
 	nPart int
 	out   []float64
 	der   [2]float64
+	grad  []float64
 }
 
 func (e *stubEngine) NPartitions() int                    { return e.nPart }
@@ -37,6 +38,22 @@ func (e *stubEngine) BranchDerivatives(ts []float64) (d1, d2 []float64) {
 	e.der[0] = -(ts[0] - 0.1)
 	e.der[1] = -1
 	return e.der[:1], e.der[1:2]
+}
+
+func (e *stubEngine) AllBranchDerivatives(plan *traversal.GradPlan) []float64 {
+	// Same concave score as BranchDerivatives, per branch, in the engine
+	// result layout (d1 block then d2 block) — and, like the real
+	// engines, returned from reused internal scratch.
+	nB := plan.NBranches()
+	if cap(e.grad) < 2*nB {
+		e.grad = make([]float64, 2*nB)
+	}
+	vec := e.grad[:2*nB]
+	for b := 0; b < nB; b++ {
+		vec[b] = -(plan.T[0][b] - 0.1)
+		vec[nB+b] = -1
+	}
+	return vec
 }
 
 func (e *stubEngine) SetShared([][]float64) {}

@@ -41,6 +41,17 @@ type Engine interface {
 	// class), for the edge prepared by PrepareBranch.
 	BranchDerivatives(ts []float64) (d1, d2 []float64)
 
+	// AllBranchDerivatives executes the gradient plan — the pre-order
+	// outer-vector steps, then the fused per-edge derivative kernel —
+	// and returns the global (d1, d2) sums for EVERY edge at the plan's
+	// lengths: with nB = plan.NBranches() and classes = BLClasses(),
+	// d1 of edge b in class c is at [c*nB+b] and d2 at
+	// [classes*nB + c*nB + b]. The whole call is one parallel region
+	// regardless of branch count — the batched-gradient collective
+	// reduction (docs/PERFORMANCE.md). Like every engine result, the
+	// slice is only valid until the engine's next call.
+	AllBranchDerivatives(plan *traversal.GradPlan) []float64
+
 	// SetShared applies per-partition shared parameters (α + GTR rates,
 	// model.SharedLen doubles per partition) to all ranks' kernels.
 	SetShared(params [][]float64)

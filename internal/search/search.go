@@ -59,6 +59,15 @@ type Config struct {
 	// (docs/PERFORMANCE.md); the switch exists for identity tests and
 	// benchmarking.
 	ForceFullTraversals bool
+	// DisableBatchedGradients selects the per-branch oracle path for
+	// branch-length smoothing: one PrepareBranch + one BranchDerivatives
+	// collective per branch per Newton iteration, instead of the default
+	// batched all-branch gradient (one pre-order traversal + one fused
+	// kernel + ONE wide collective per iteration). Ablation only: final
+	// trees and likelihoods are byte-identical either way
+	// (DETERMINISM.md §7); the batched path just issues strictly fewer
+	// collectives.
+	DisableBatchedGradients bool
 	// Restore resumes from a checkpoint: the tree, parameters, and
 	// iteration counter are taken from the state instead of a fresh
 	// start. PSR per-site rates are re-derived in the first iteration.
@@ -156,6 +165,18 @@ type Searcher struct {
 	optA, optB, optX1, optX2, optBest, optCur []float64
 	probeSaved                                []float64
 	probeF1, probeF2, probeFBest, probeFCur   []float64
+
+	// Batched-gradient smoother state (smoothSweep): per-(class, branch)
+	// Newton brackets and trial lengths, per-branch change flags, the
+	// pre-order skip overlay, the oracle path's result buffer, and the
+	// half-node-ID → plan-edge-index map for the staleness walk.
+	gradTs, gradLo, gradHi []float64
+	gradDone, gradChanged  []bool
+	gradSkip               []bool
+	gradActive             []bool
+	gradOracleTs           []float64
+	gradEdgeIdx            []int32
+	gradEmptyPre           [][]likelihood.GradStep
 }
 
 // grow returns *buf resized to n, reallocating only on growth. Contents
@@ -163,6 +184,14 @@ type Searcher struct {
 func grow(buf *[]float64, n int) []float64 {
 	if cap(*buf) < n {
 		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// growBool is grow for flag buffers.
+func growBool(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
 	}
 	return (*buf)[:n]
 }
@@ -428,7 +457,7 @@ func (s *Searcher) updateBranch(p *tree.Node) {
 		}
 	}
 	for c := 0; c < classes; c++ {
-		p.SetLength(c, clampBL(ts[c]))
+		p.SetLength(c, clampBL(quantizeBL(ts[c])))
 	}
 }
 
@@ -442,51 +471,319 @@ func clampBL(t float64) float64 {
 	return t
 }
 
-// forcedNewview recomputes the CLV at q's vertex oriented along q's own
-// edge (children taken from q's ring), regardless of X bits — used after
-// the branches beneath q changed.
-func (s *Searcher) forcedNewview(q *tree.Node) {
-	if q.IsTip() {
-		return
-	}
-	tree.OrientX(q)
-	d := &traversal.Descriptor{
-		P: traversal.Ref(s.Tree, q),
-		Q: traversal.Ref(s.Tree, q.Back),
-		T: make([]float64, s.Tree.BLClasses),
-	}
-	d.Steps = make([][]likelihood.Step, s.Tree.BLClasses)
-	for c := 0; c < s.Tree.BLClasses; c++ {
-		d.T[c] = q.Length(c)
-		d.Steps[c] = []likelihood.Step{{
-			Dst: traversal.Slot(s.Tree, q),
-			A:   traversal.Ref(s.Tree, q.Next.Back),
-			B:   traversal.Ref(s.Tree, q.Next.Next.Back),
-			TA:  q.Next.Length(c),
-			TB:  q.Next.Next.Length(c),
-		}}
-	}
-	s.noteSteps(d)
-	s.eng.Traverse(d)
+// quantizeBL rounds an optimized branch length to 26 significant bits
+// (relative grid ~1.5e-8, inside the Newton convergence tolerance).
+// Newton iterates carry the low-bit noise of whatever association order
+// the engine's reduction used — which legitimately differs between the
+// schemes under joint branch lengths and across rank counts
+// (DETERMINISM.md "What is not bit-stable") — and writing those bits
+// into the tree would let sub-tolerance noise accumulate into the CLVs
+// and eventually flip a knife-edge search decision. Snapping every
+// write to a fixed grid collapses all sub-tolerance disagreement to
+// the same stored double, so trajectories that agree to within the
+// optimizer's own tolerance agree bitwise. The mantissa round carries
+// into the exponent correctly for IEEE-754 (a power-of-two boundary
+// just moves to the next binade).
+func quantizeBL(t float64) float64 {
+	const drop = 52 - 26
+	b := math.Float64bits(t)
+	b = (b + 1<<(drop-1)) &^ (1<<drop - 1)
+	return math.Float64frombits(b)
 }
 
-// smoothFrom optimizes the branch at p and, recursively, every branch in
-// the subtree behind p.Back, refreshing CLVs on the way back up (the
-// RAxML smooth() traversal pattern).
-func (s *Searcher) smoothFrom(p *tree.Node) {
-	s.updateBranch(p)
-	q := p.Back
-	if !q.IsTip() {
-		s.smoothFrom(q.Next)
-		s.smoothFrom(q.Next.Next)
-		s.forcedNewview(q)
-	}
-}
+// SetBatchedGradients toggles the batched all-branch gradient smoother
+// at runtime (on = batched, off = per-branch oracle). Both paths produce
+// byte-identical results (DETERMINISM.md §7); the toggle exists for
+// ablation and the bit-identity tests, and is safe mid-search: every
+// sweep's first iteration rebuilds the full pre-order state.
+func (s *Searcher) SetBatchedGradients(on bool) { s.cfg.DisableBatchedGradients = !on }
 
-// smoothAll runs full branch-length smoothing sweeps over the tree.
+// smoothAll runs full branch-length smoothing sweeps over the tree using
+// the simultaneous multi-branch Newton smoother: each sweep freezes the
+// CLV state once (one post-order refresh + one pre-order pass) and then
+// Newton-optimizes EVERY branch against it at once, one engine call per
+// Newton iteration — so a sweep costs O(NewtonIterations) parallel
+// regions instead of the O(branches · NewtonIterations) the per-branch
+// smoother paid (docs/PERFORMANCE.md).
+//
+// Branches that exhaust a sweep's Newton budget keep their truncated
+// (bracket-clamped) value — exactly the per-branch smoother's cap
+// semantics — and smoothAll schedules extra sweeps (bounded) until
+// every branch converges against its own sweep's frozen state. Writing
+// only converged fixed points is what keeps the search trajectory
+// robust to the low-bit reduction-order differences between engines
+// and rank counts: Newton contracts them away, so they never reach a
+// topology or model-bracket decision (DETERMINISM.md).
 func (s *Searcher) smoothAll(passes int) {
-	for i := 0; i < passes; i++ {
-		s.smoothFrom(s.Tree.Tip(0))
+	const extraSweeps = 8
+	for i := 0; i < passes+extraSweeps; i++ {
+		converged := s.smoothSweep(i > 0)
+		if i >= passes-1 && converged {
+			return
+		}
+	}
+}
+
+// smoothSweep is one simultaneous smoothing sweep. Branch b's class-c
+// Newton state lives at index c*nB+b. The sweep refreshes the CLVs,
+// builds the gradient plan (reusing the previous sweep's outer vectors
+// where reuseOuter allows), then runs the Newton loop against that
+// FROZEN state: derivatives at new trial lengths only need new edge
+// P-matrices, never a re-traversal — the same invariant the per-branch
+// path exploits via its prepared sum tables, batched across all
+// branches. Each (b, c) iterates exactly the sequence updateBranch
+// would (independent given frozen CLVs), and the optimized lengths are
+// written back only after the loop. The return reports whether every
+// (branch, class) converged within the Newton budget; smoothAll keeps
+// sweeping (bounded) while any branch was truncated at the cap.
+func (s *Searcher) smoothSweep(reuseOuter bool) bool {
+	s.cfg.Telemetry.Inc(telemetry.CounterBatchedGradientSweeps, 1)
+	classes := s.Tree.BLClasses
+	nB := s.Tree.NBranches()
+
+	ts := grow(&s.gradTs, classes*nB)
+	lo := grow(&s.gradLo, classes*nB)
+	hi := grow(&s.gradHi, classes*nB)
+	done := growBool(&s.gradDone, classes*nB)
+	changed := growBool(&s.gradChanged, nB)
+	batched := !s.cfg.DisableBatchedGradients
+
+	// Refresh the post-order CLVs (dirty-overlay reuse), rooted at
+	// tip 0 — the orientation BuildGradient assumes.
+	d := s.buildFull(s.Tree.Tip(0))
+	s.eng.Traverse(d)
+
+	var useSkip []bool
+	if reuseOuter && batched && !s.cfg.ForceFullTraversals {
+		// The previous sweep recorded which edges it moved; outer
+		// vectors whose rootward view holds every change are reused.
+		useSkip = s.gradSkip
+	}
+	plan, nodes := traversal.BuildGradient(s.Tree, useSkip)
+	if batched {
+		scheduled := int64(len(plan.Pre[0]))
+		s.cfg.Telemetry.Inc(telemetry.CounterPreorderSteps, scheduled)
+		s.cfg.Telemetry.Inc(telemetry.CounterPreorderStepsSkipped, int64(nB-1)-scheduled)
+	}
+	for b := 0; b < nB; b++ {
+		for c := 0; c < classes; c++ {
+			i := c*nB + b
+			ts[i] = plan.T[c][b]
+			lo[i] = tree.MinBranchLength
+			hi[i] = tree.MaxBranchLength
+			done[i] = false
+		}
+	}
+
+	if batched {
+		// Inner iterations re-evaluate at trial lengths with the CLV and
+		// outer-vector state frozen, so they carry an empty pre-order
+		// schedule: same edges, same (mutated) length matrix, no steps.
+		if cap(s.gradEmptyPre) < classes {
+			s.gradEmptyPre = make([][]likelihood.GradStep, classes)
+		}
+		// Inner iterations narrow the kernel work to the edges still
+		// moving: once every class of an edge converged, its derivative
+		// slots are never read again, so the kernels stop computing them
+		// (GradPlan.Active). Skipping an edge cannot perturb another
+		// edge's bits — the slots are independent sums. They also reuse
+		// the sum tables the first iteration cached (Reuse): with the
+		// state frozen, each edge's P·Q contraction is length-independent,
+		// so re-evaluating at a trial length only needs the cheap
+		// derivative half of the fused kernel — the per-branch oracle's
+		// Prepare/Derivatives amortization, applied to all edges at once.
+		active := growBool(&s.gradActive, nB)
+		inner := &traversal.GradPlan{Pre: s.gradEmptyPre[:classes], Edges: plan.Edges, T: plan.T, Active: active, Reuse: true}
+		for iter := 0; iter < s.cfg.NewtonIterations; iter++ {
+			s.cfg.Telemetry.Inc(telemetry.CounterNewtonIters, 1)
+			p := plan
+			if iter > 0 {
+				p = inner
+				s.cfg.Telemetry.Inc(telemetry.CounterPreorderStepsSkipped, int64(nB-1))
+			}
+			vec := s.eng.AllBranchDerivatives(p)
+			allDone := true
+			for c := 0; c < classes; c++ {
+				for b := 0; b < nB; b++ {
+					i := c*nB + b
+					if done[i] {
+						continue
+					}
+					next := newtonStep(vec[i], vec[classes*nB+i], ts[i], &lo[i], &hi[i])
+					if math.Abs(next-ts[i]) < 1e-8 {
+						done[i] = true
+					} else {
+						allDone = false
+					}
+					ts[i] = next
+					plan.T[c][b] = next
+				}
+			}
+			if allDone {
+				break
+			}
+			for b := 0; b < nB; b++ {
+				a := false
+				for c := 0; c < classes; c++ {
+					if !done[c*nB+b] {
+						a = true
+						break
+					}
+				}
+				active[b] = a
+			}
+		}
+	} else {
+		s.oracleSweep(nodes, ts, lo, hi, done)
+	}
+
+	// Write the optimized lengths back (updateBranch's unconditional
+	// write), recording which edges actually moved for the next sweep's
+	// reuse overlays.
+	for b := 0; b < nB; b++ {
+		changed[b] = false
+		for c := 0; c < classes; c++ {
+			next := clampBL(quantizeBL(ts[c*nB+b]))
+			if math.Float64bits(next) != math.Float64bits(nodes[b].Length(c)) {
+				changed[b] = true
+			}
+			nodes[b].SetLength(c, next)
+		}
+	}
+
+	if !s.cfg.ForceFullTraversals {
+		// Propagate the sweep's changed edges into the reuse overlays:
+		// post-order CLVs above a changed edge become dirty, outer
+		// vectors whose rootward view holds every change stay
+		// skippable. (The oracle path additionally re-rooted CLVs;
+		// BuildReuse schedules misoriented slots on its own.)
+		if cap(s.gradEdgeIdx) < len(s.Tree.HalfNodes) {
+			s.gradEdgeIdx = make([]int32, len(s.Tree.HalfNodes))
+		}
+		s.gradEdgeIdx = s.gradEdgeIdx[:len(s.Tree.HalfNodes)]
+		for i := range s.gradEdgeIdx {
+			s.gradEdgeIdx[i] = -1
+		}
+		for b, nd := range nodes {
+			s.gradEdgeIdx[nd.ID] = int32(b)
+		}
+		skip := growBool(&s.gradSkip, 2*s.Tree.NTaxa()-2)
+		s.markGradStale(changed, skip)
+	}
+	for i := range done {
+		if !done[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// newtonStep applies one updateBranch Newton/bisection step: maintain
+// the bracket on the sign of d1, take the Newton step where the
+// curvature is usable, bisect otherwise or when the step leaves the
+// bracket.
+func newtonStep(d1, d2, t float64, lo, hi *float64) float64 {
+	if d1 > 0 {
+		*lo = t
+	} else {
+		*hi = t
+	}
+	var next float64
+	if d2 < 0 {
+		next = t - d1/d2
+	} else {
+		next = 0.5 * (*lo + *hi)
+	}
+	if !(next > *lo && next < *hi) || math.IsNaN(next) {
+		next = 0.5 * (*lo + *hi)
+	}
+	return next
+}
+
+// oracleSweep reproduces the batched sweep's Newton trajectory with the
+// per-branch oracle path: one re-rooted PrepareBranch per edge, then
+// one BranchDerivatives collective per edge per Newton iteration — the
+// O(branches · iters) collectives the batched kernel replaces with
+// O(iters). Each edge is prepared at its plan representative (the
+// child-side half-node), so the descriptor's (P, Q) operand roles match
+// the batched kernel's exactly; and because branch updates are
+// independent given the frozen CLV state (lengths are only written
+// after the sweep), the per-branch Newton sequences are bit-identical
+// to the batched loop's (DETERMINISM.md §7, asserted by tests).
+func (s *Searcher) oracleSweep(nodes []*tree.Node, ts, lo, hi []float64, done []bool) {
+	classes := s.Tree.BLClasses
+	nB := len(nodes)
+	tsB := grow(&s.gradOracleTs, classes)
+	for b, nd := range nodes {
+		d := traversal.Build(s.Tree, nd, false)
+		s.noteSteps(d)
+		s.eng.PrepareBranch(d)
+		for c := 0; c < classes; c++ {
+			tsB[c] = ts[c*nB+b]
+		}
+		for iter := 0; iter < s.cfg.NewtonIterations; iter++ {
+			s.cfg.Telemetry.Inc(telemetry.CounterNewtonIters, 1)
+			d1, d2 := s.eng.BranchDerivatives(tsB)
+			allDone := true
+			for c := 0; c < classes; c++ {
+				i := c*nB + b
+				if done[i] {
+					continue
+				}
+				next := newtonStep(d1[c], d2[c], ts[i], &lo[i], &hi[i])
+				if math.Abs(next-ts[i]) < 1e-8 {
+					done[i] = true
+				} else {
+					allDone = false
+				}
+				ts[i] = next
+				tsB[c] = next
+			}
+			if allDone {
+				break
+			}
+		}
+	}
+}
+
+// markGradStale propagates one smoothing sweep's changed edges into the
+// two reuse overlays: s.dirty[v] for every post-order CLV whose subtree
+// gained a changed edge, and skip[v] (true = reusable) for every vertex
+// whose outer vector is unaffected — every changed edge lies on the
+// vertex's own parent edge or inside its subtree, the exact complement
+// of what the outer vector summarizes. skip is monotone rootward
+// (skip[child] ⇒ skip[parent]); BuildGradient still recurses through
+// skipped vertices because a skipped parent's stored outer vector is a
+// valid operand for a non-skipped child.
+func (s *Searcher) markGradStale(changed, skip []bool) {
+	total := 0
+	for _, ch := range changed {
+		if ch {
+			total++
+		}
+	}
+	n := s.Tree.NTaxa()
+	rb := s.Tree.Tip(0).Back
+	// walk returns the number of changed edges in {u's edge} ∪ the
+	// subtree hanging below u.Back.
+	var walk func(u *tree.Node) int
+	walk = func(u *tree.Node) int {
+		child := u.Back
+		f := 0
+		if !child.IsTip() {
+			f = walk(child.Next) + walk(child.Next.Next)
+			if f > 0 {
+				s.dirty[child.VertexID-n] = true
+			}
+		}
+		if b := s.gradEdgeIdx[child.ID]; b >= 0 && changed[b] {
+			f++
+		}
+		skip[child.VertexID] = f == total
+		return f
+	}
+	if walk(rb.Next)+walk(rb.Next.Next) > 0 {
+		s.dirty[rb.VertexID-n] = true
 	}
 }
 

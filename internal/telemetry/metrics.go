@@ -89,6 +89,8 @@ func (r *Report) Publish(reg *metrics.Registry) {
 		"Collective/(collective+compute) time share of the last completed run.").Set(r.CommFraction)
 	reg.Gauge("examl_run_collectives_per_sec",
 		"Logical collective rate of the last completed run.").Set(r.CollectivesPerSec)
+	reg.Gauge("examl_run_collectives_per_iteration",
+		"Logical collectives per outer search iteration of the last completed run.").Set(r.CollectivesPerIteration)
 	reg.Gauge("examl_run_wall_seconds",
 		"Wall-clock duration of the last completed run.").Set(r.WallSeconds)
 	reg.Gauge("examl_run_fastpath_share",

@@ -99,6 +99,12 @@ type Report struct {
 	// CollectivesPerSec is the rate of logical collectives
 	// (mpi.Meter ops) over wall time — the Allreduce rate.
 	CollectivesPerSec float64 `json:"collectives_per_sec"`
+	// CollectivesPerIteration is logical collectives (mpi.Meter ops)
+	// per completed outer search iteration — the quantity the batched
+	// all-branch gradient drives down from O(branches) toward O(1) per
+	// Newton sweep (docs/PERFORMANCE.md). Zero when no iteration
+	// completed.
+	CollectivesPerIteration float64 `json:"collectives_per_iteration"`
 
 	// PoolUtilization is mean blocks-per-pool-run divided by the
 	// thread count, capped at 1: how well intra-rank parallel regions
@@ -237,6 +243,9 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 	if rep.WallSeconds > 0 {
 		rep.CollectivesPerSec = float64(totalMeterOps) / rep.WallSeconds
 	}
+	if iters := c.recs[0].counters[CounterIterations]; iters > 0 {
+		rep.CollectivesPerIteration = float64(totalMeterOps) / float64(iters)
+	}
 	if poolRuns > 0 && poolThreads > 0 {
 		util := float64(poolBlocks) / float64(poolRuns) / float64(poolThreads)
 		if util > 1 {
@@ -287,6 +296,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  load imbalance (max/mean kernel time)  %8.3f\n", r.ImbalanceRatio)
 	fmt.Fprintf(&b, "  comm fraction (collective/(coll+comp)) %8.3f\n", r.CommFraction)
 	fmt.Fprintf(&b, "  collective rate                        %8.1f ops/s\n", r.CollectivesPerSec)
+	if r.CollectivesPerIteration > 0 {
+		fmt.Fprintf(&b, "  collectives per iteration              %8.1f\n", r.CollectivesPerIteration)
+	}
 	if r.PoolUtilization > 0 {
 		fmt.Fprintf(&b, "  thread-pool block utilization          %8.3f\n", r.PoolUtilization)
 	}

@@ -99,6 +99,15 @@ const (
 	// evaluations avoided by reusing valid clean CLVs (incremental
 	// traversal, docs/PERFORMANCE.md).
 	CounterTraversalStepsSkipped
+	// CounterBatchedGradientSweeps is branch-length smoothing sweeps run
+	// by the batched all-branch gradient smoother (docs/PERFORMANCE.md).
+	CounterBatchedGradientSweeps
+	// CounterPreorderSteps is pre-order (outer-vector) recomputation
+	// steps actually scheduled by batched-gradient iterations.
+	CounterPreorderSteps
+	// CounterPreorderStepsSkipped is pre-order steps those iterations
+	// avoided by reusing outer vectors whose rootward view is unchanged.
+	CounterPreorderStepsSkipped
 
 	// NumCounters is the number of distinct counters.
 	NumCounters
@@ -125,6 +134,12 @@ func (c Counter) String() string {
 		return "traversal-steps"
 	case CounterTraversalStepsSkipped:
 		return "traversal-steps-skipped"
+	case CounterBatchedGradientSweeps:
+		return "batched-gradient-sweeps"
+	case CounterPreorderSteps:
+		return "preorder-steps"
+	case CounterPreorderStepsSkipped:
+		return "preorder-steps-skipped"
 	}
 	return fmt.Sprintf("Counter(%d)", int(c))
 }

@@ -1,0 +1,385 @@
+package traversal
+
+// Pre-order ("outward") gradient schedules: the root-to-tip analogue of
+// the post-order descriptors in traversal.go. A GradPlan lists, for a
+// tree rooted at the virtual root on tip 0's edge, (a) the pre-order
+// steps that compute every outer vector (likelihood.NewviewOuter) and
+// (b) one (P, Q) operand pair per edge for the fused all-branch
+// gradient kernel. Executing the post-order full traversal, then the
+// plan's pre-order steps, makes (d1, d2) of EVERY branch computable in
+// one pass each — O(1) traversals per Newton iteration instead of
+// O(branches) (docs/PERFORMANCE.md).
+//
+// Like the post-order descriptor, both engines share the construction:
+// the de-centralized engine builds the plan locally on every rank, the
+// fork-join master encodes it with Encode and broadcasts the bytes.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/likelihood"
+	"repro/internal/tree"
+)
+
+// GradEdge holds the fused gradient kernel's operands for one edge: P
+// the conditional vector below the edge (tip or post-order CLV), Q the
+// outer vector above it.
+type GradEdge struct {
+	P, Q likelihood.GradRef
+}
+
+// GradPlan is the all-branch gradient schedule for one tree state.
+type GradPlan struct {
+	// Pre[c] is the pre-order step schedule with class-c branch lengths
+	// (classes share structure, like Descriptor.Steps).
+	Pre [][]likelihood.GradStep
+	// Edges lists the per-edge kernel operands, root edge first, then
+	// depth-first order. The edge order is what indexes the result
+	// vector of AllBranchDerivatives.
+	Edges []GradEdge
+	// T[c][b] is edge b's length in class c.
+	T [][]float64
+	// Active, when non-nil, marks the edges whose derivatives the
+	// caller still needs (indexed like Edges); the kernels skip
+	// inactive edges, leaving their result slots zero. nil means every
+	// edge. The simultaneous Newton smoother narrows the mask as
+	// branches converge, so late inner iterations only pay for the
+	// stragglers.
+	Active []bool
+	// Reuse marks a plan whose edge set and underlying CLV/outer-vector
+	// state are unchanged since the engines' previous all-branch
+	// gradient call: the kernels re-evaluate each edge's derivatives at
+	// the plan's (new) lengths from the sum tables that call cached
+	// (likelihood.BranchGradientReuse) instead of re-contracting P·Q.
+	// The simultaneous Newton smoother sets it on every inner iteration
+	// after a sweep's first.
+	Reuse bool
+}
+
+// NBranches returns the number of edges the plan covers.
+func (p *GradPlan) NBranches() int { return len(p.Edges) }
+
+// BuildGradient computes the gradient plan for t, rooted at the virtual
+// root on tip 0's edge. The post-order CLVs the plan's P operands and
+// step B operands reference are the ones a full traversal toward tip 0
+// leaves behind (search.buildFull); the pre-order steps are emitted
+// parents-before-children so TraverseOuter can execute them in order.
+//
+// skip, when non-nil, is indexed by vertex ID and marks vertices whose
+// outer vector is unchanged since the previous iteration (every changed
+// edge lies on or below the vertex's parent edge): their pre-order
+// steps are omitted and the kernel reuses the stored vector. Edges are
+// always all listed regardless of skip.
+//
+// The second result gives one representative half-node per edge, in
+// plan order: the child-side half-node whose Back faces the root. It
+// is what the per-branch oracle path re-roots on (traversal.Build) to
+// reproduce the plan's (P, Q) operand roles exactly.
+func BuildGradient(t *tree.Tree, skip []bool) (*GradPlan, []*tree.Node) {
+	n := t.NTaxa()
+	nB := t.NBranches()
+	classes := t.BLClasses
+	tip0 := t.Tip(0)
+	rb := tip0.Back
+
+	plan := &GradPlan{
+		Pre:   make([][]likelihood.GradStep, classes),
+		Edges: make([]GradEdge, 0, nB),
+		T:     make([][]float64, classes),
+	}
+	nodes := make([]*tree.Node, 0, nB)
+	// stepNodes[i] is the parent-ring half-node of step i (the one whose
+	// Back is the step's destination), for per-class length re-reads.
+	stepNodes := make([]*tree.Node, 0, nB-1)
+	var steps []likelihood.GradStep
+
+	// Root edge: P is tip 0 itself, Q the post-order CLV at rb — the
+	// vector a full traversal rooted on this edge computes. No pre-order
+	// step is needed.
+	plan.Edges = append(plan.Edges, GradEdge{
+		P: likelihood.GradTip(int32(tip0.TaxonID)),
+		Q: likelihood.GradInner(int32(rb.VertexID - n)),
+	})
+	nodes = append(nodes, tip0)
+
+	// gradRef resolves one parent-ring half-node to a step operand: the
+	// rootward member (h == up) contributes the parent's own outer
+	// vector (or the root tip), a sibling member contributes the
+	// post-order CLV (or tip) at its far end.
+	gradRef := func(h, up *tree.Node) likelihood.GradRef {
+		if h == up {
+			if h.Back.IsTip() {
+				return likelihood.GradTip(int32(h.Back.TaxonID))
+			}
+			return likelihood.GradOuter(int32(h.VertexID))
+		}
+		if w := h.Back; w.IsTip() {
+			return likelihood.GradTip(int32(w.TaxonID))
+		}
+		return likelihood.GradInner(int32(h.Back.VertexID - n))
+	}
+
+	var walk func(u, up *tree.Node)
+	walk = func(u, up *tree.Node) {
+		child := u.Back
+		if skip == nil || !skip[child.VertexID] {
+			// The A/B operand order matches Orient's (u.Next then
+			// u.Next.Next): re-rooting the post-order traversal on the
+			// child edge would compute the parent's CLV from exactly
+			// these operands in exactly this order, which is the
+			// operation-for-operation half of the bit-identity argument.
+			steps = append(steps, likelihood.GradStep{
+				Dst: int32(child.VertexID),
+				A:   gradRef(u.Next, up),
+				B:   gradRef(u.Next.Next, up),
+				TA:  u.Next.Length(0),
+				TB:  u.Next.Next.Length(0),
+			})
+			stepNodes = append(stepNodes, u)
+		}
+		if child.IsTip() {
+			plan.Edges = append(plan.Edges, GradEdge{
+				P: likelihood.GradTip(int32(child.TaxonID)),
+				Q: likelihood.GradOuter(int32(child.VertexID)),
+			})
+			nodes = append(nodes, child)
+			return
+		}
+		plan.Edges = append(plan.Edges, GradEdge{
+			P: likelihood.GradInner(int32(child.VertexID - n)),
+			Q: likelihood.GradOuter(int32(child.VertexID)),
+		})
+		nodes = append(nodes, child)
+		walk(child.Next, child)
+		walk(child.Next.Next, child)
+	}
+	walk(rb.Next, rb)
+	walk(rb.Next.Next, rb)
+
+	plan.Pre[0] = steps
+	plan.T[0] = make([]float64, len(nodes))
+	for b, nd := range nodes {
+		plan.T[0][b] = nd.Length(0)
+	}
+	for c := 1; c < classes; c++ {
+		cs := make([]likelihood.GradStep, len(steps))
+		copy(cs, steps)
+		for i := range cs {
+			cs[i].TA = stepNodes[i].Next.Length(c)
+			cs[i].TB = stepNodes[i].Next.Next.Length(c)
+		}
+		plan.Pre[c] = cs
+		ts := make([]float64, len(nodes))
+		for b, nd := range nodes {
+			ts[b] = nd.Length(c)
+		}
+		plan.T[c] = ts
+	}
+	return plan, nodes
+}
+
+// WireSize returns the number of bytes EncodeGradPlan produces.
+func (p *GradPlan) WireSize() int {
+	nSteps := 0
+	if len(p.Pre) > 0 {
+		nSteps = len(p.Pre[0])
+	}
+	classes := len(p.T)
+	// Header: classes, steps, edges, flags byte (bit 0: mask present,
+	// bit 1: reuse). Structure: per step
+	// dst + two refs (1 kind byte + 8-byte index each); per edge two
+	// refs plus, when the mask is present, one active byte. Payload per
+	// class: per-step TA/TB, per-edge T.
+	active := 0
+	if p.Active != nil {
+		active = len(p.Edges)
+	}
+	return 13 + nSteps*(4+2*9) + len(p.Edges)*2*9 + active + classes*(nSteps*16+len(p.Edges)*8)
+}
+
+// Encode serializes the plan (little-endian, structure shared across
+// classes, lengths per class — the Descriptor wire idiom).
+func (p *GradPlan) Encode() []byte {
+	buf := make([]byte, 0, p.WireSize())
+	put32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	put64 := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	putRef := func(r likelihood.GradRef) {
+		buf = append(buf, byte(r.Kind))
+		put64(uint64(uint32(r.Idx)))
+	}
+	nSteps := 0
+	if len(p.Pre) > 0 {
+		nSteps = len(p.Pre[0])
+	}
+	put32(uint32(len(p.Pre)))
+	put32(uint32(nSteps))
+	put32(uint32(len(p.Edges)))
+	var flags byte
+	if p.Active != nil {
+		flags |= 1
+	}
+	if p.Reuse {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	if nSteps > 0 {
+		for _, s := range p.Pre[0] {
+			put32(uint32(s.Dst))
+			putRef(s.A)
+			putRef(s.B)
+		}
+	}
+	for _, e := range p.Edges {
+		putRef(e.P)
+		putRef(e.Q)
+	}
+	for _, a := range p.Active {
+		if a {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	for c := range p.Pre {
+		for _, s := range p.Pre[c] {
+			put64(math.Float64bits(s.TA))
+			put64(math.Float64bits(s.TB))
+		}
+		for _, t := range p.T[c] {
+			put64(math.Float64bits(t))
+		}
+	}
+	return buf
+}
+
+// DecodeGradPlan reverses Encode.
+func DecodeGradPlan(buf []byte) (*GradPlan, error) {
+	pos := 0
+	get32 := func() (uint32, error) {
+		if pos+4 > len(buf) {
+			return 0, fmt.Errorf("traversal: truncated gradient plan")
+		}
+		v := binary.LittleEndian.Uint32(buf[pos:])
+		pos += 4
+		return v, nil
+	}
+	get64 := func() (uint64, error) {
+		if pos+8 > len(buf) {
+			return 0, fmt.Errorf("traversal: truncated gradient plan")
+		}
+		v := binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		return v, nil
+	}
+	getRef := func() (likelihood.GradRef, error) {
+		if pos+1 > len(buf) {
+			return likelihood.GradRef{}, fmt.Errorf("traversal: truncated gradient plan")
+		}
+		kind := likelihood.GradKind(buf[pos])
+		pos++
+		v, err := get64()
+		if err != nil {
+			return likelihood.GradRef{}, err
+		}
+		return likelihood.GradRef{Kind: kind, Idx: int32(uint32(v))}, nil
+	}
+	nClasses, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nSteps, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nEdges, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if pos+1 > len(buf) {
+		return nil, fmt.Errorf("traversal: truncated gradient plan")
+	}
+	flags := buf[pos]
+	hasActive := flags&1 != 0
+	pos++
+	if nClasses > 1<<20 || nSteps > 1<<24 || nEdges > 1<<24 {
+		return nil, fmt.Errorf("traversal: implausible gradient-plan header (%d classes, %d steps, %d edges)", nClasses, nSteps, nEdges)
+	}
+	p := &GradPlan{
+		Pre:   make([][]likelihood.GradStep, nClasses),
+		Edges: make([]GradEdge, nEdges),
+		T:     make([][]float64, nClasses),
+		Reuse: flags&2 != 0,
+	}
+	structure := make([]likelihood.GradStep, nSteps)
+	for i := range structure {
+		dst, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		structure[i].Dst = int32(dst)
+		if structure[i].A, err = getRef(); err != nil {
+			return nil, err
+		}
+		if structure[i].B, err = getRef(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range p.Edges {
+		if p.Edges[i].P, err = getRef(); err != nil {
+			return nil, err
+		}
+		if p.Edges[i].Q, err = getRef(); err != nil {
+			return nil, err
+		}
+	}
+	if hasActive {
+		if pos+int(nEdges) > len(buf) {
+			return nil, fmt.Errorf("traversal: truncated gradient plan")
+		}
+		p.Active = make([]bool, nEdges)
+		for i := range p.Active {
+			p.Active[i] = buf[pos+i] != 0
+		}
+		pos += int(nEdges)
+	}
+	for c := 0; c < int(nClasses); c++ {
+		cs := make([]likelihood.GradStep, nSteps)
+		copy(cs, structure)
+		for i := range cs {
+			ta, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			tb, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			cs[i].TA = math.Float64frombits(ta)
+			cs[i].TB = math.Float64frombits(tb)
+		}
+		p.Pre[c] = cs
+		ts := make([]float64, nEdges)
+		for i := range ts {
+			v, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			ts[i] = math.Float64frombits(v)
+		}
+		p.T[c] = ts
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("traversal: %d trailing bytes in gradient plan", len(buf)-pos)
+	}
+	return p, nil
+}

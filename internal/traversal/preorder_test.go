@@ -1,0 +1,48 @@
+package traversal
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// TestGradPlanEncodeDecodeRoundTrip pins the gradient-plan wire format:
+// decoding an encoded plan must reproduce it exactly (structure shared
+// across classes, per-class branch lengths bit-preserved), and the
+// encoded frame must be exactly WireSize bytes — the figure the
+// single-rank fork-join master meters without encoding.
+func TestGradPlanEncodeDecodeRoundTrip(t *testing.T) {
+	for _, classes := range []int{1, 3} {
+		tr := tree.NewRandom(taxa(14), classes, rand.New(rand.NewSource(11)))
+		plan, _ := BuildGradient(tr, nil)
+
+		buf := plan.Encode()
+		if len(buf) != plan.WireSize() {
+			t.Errorf("classes=%d: encoded %d bytes, WireSize says %d", classes, len(buf), plan.WireSize())
+		}
+		got, err := DecodeGradPlan(buf)
+		if err != nil {
+			t.Fatalf("classes=%d: decode: %v", classes, err)
+		}
+		if !reflect.DeepEqual(got, plan) {
+			t.Errorf("classes=%d: decoded plan differs from original", classes)
+		}
+	}
+}
+
+// TestGradPlanDecodeRejectsCorruption pins that truncated or padded
+// frames fail loudly instead of yielding a silently wrong plan.
+func TestGradPlanDecodeRejectsCorruption(t *testing.T) {
+	tr := tree.NewRandom(taxa(10), 1, rand.New(rand.NewSource(4)))
+	plan, _ := BuildGradient(tr, nil)
+	buf := plan.Encode()
+
+	if _, err := DecodeGradPlan(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated frame decoded without error")
+	}
+	if _, err := DecodeGradPlan(append(append([]byte(nil), buf...), 0)); err == nil {
+		t.Error("padded frame decoded without error")
+	}
+}
