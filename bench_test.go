@@ -313,6 +313,14 @@ func BenchmarkKernelDerivativesGamma(b *testing.B) {
 // and the flops_per_sec column of BENCH_kernels.json.
 const gammaFlopsPerColumn = 4 * 4 * 15
 
+// gammaBytesPerColumn is the main-memory traffic of one Γ CLV column
+// update: two child CLV columns read plus one written, 4 rates × 4
+// states × 8 bytes each. Together with gammaFlopsPerColumn it gives the
+// arithmetic intensity (~1.25 flops/byte) that places the kernel on a
+// roofline plot — benchjson derives bytes_per_sec and
+// arithmetic_intensity from the bytes/op and flops/op metrics.
+const gammaBytesPerColumn = 3 * 4 * 4 * 8
+
 // BenchmarkKernelThreadsGamma measures the Γ kernels (full traversal +
 // evaluation) at increasing intra-rank thread counts — the single-rank
 // speedup axis of the §V hybrid scheme. Results are bit-identical across
@@ -351,7 +359,123 @@ func BenchmarkKernelThreadsGamma(b *testing.B) {
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 			cols := k.NPatterns() * (len(steps) + 1) // traversal + evaluation columns
 			b.ReportMetric(float64(cols*gammaFlopsPerColumn), "flops/op")
+			b.ReportMetric(float64(cols*gammaBytesPerColumn), "bytes/op")
 		})
+	}
+}
+
+// BenchmarkKernelLayoutGamma measures the SoA (default) CLV layout
+// against the AoS ablation (-no-soa) on the serial Γ traversal. The SoA
+// planes make the innermost loop stride-1 over sites in every array it
+// touches, which is what lets the compiler (and the hardware
+// prefetcher) stream the kernel; the AoS row is the baseline and the
+// SoA row reports its speedup. Both layouts produce bit-identical CLVs
+// (docs/DETERMINISM.md §8).
+func BenchmarkKernelLayoutGamma(b *testing.B) {
+	var aosNs float64
+	for _, soa := range []bool{false, true} {
+		mode := "aos"
+		lay := likelihood.LayoutAoS
+		if soa {
+			mode, lay = "soa", likelihood.LayoutSoA
+		}
+		b.Run(mode, func(b *testing.B) {
+			k, _, steps := benchKernel(b, model.Gamma)
+			k.SetLayout(lay)
+			b.ResetTimer()
+			for b.Loop() {
+				k.Traverse(steps)
+			}
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if !soa {
+				aosNs = nsPerOp
+			} else if aosNs > 0 && nsPerOp > 0 {
+				b.ReportMetric(aosNs/nsPerOp, "speedup")
+			}
+			cols := k.NPatterns() * len(steps)
+			b.ReportMetric(float64(cols*gammaFlopsPerColumn), "flops/op")
+			b.ReportMetric(float64(cols*gammaBytesPerColumn), "bytes/op")
+		})
+	}
+}
+
+// BenchmarkKernelBatch measures fused small-partition batching
+// (docs/PERFORMANCE.md §6) on its target workload: many partitions,
+// each small enough to fuse (the batched row runs with a raised
+// `-batch-sites` threshold so all 64 qualify), driven through a
+// threaded rank's Newton derivative step — the per-iteration cost of
+// every branch-length optimization, where per-partition compute is
+// small enough that pool synchronization is a first-order cost.
+// The unbatched row pays one
+// pool dispatch per partition per operation; the batched row detaches
+// every partition from the pool and dispatches them all as items of a
+// single pool call, so the synchronization cost is paid once. Results
+// are bit-identical (docs/DETERMINISM.md §8); each batched row reports
+// its speedup over the paired unbatched baseline. The win is
+// dispatch-overhead elimination, so it shows even at GOMAXPROCS=1; the
+// PSR rows show it strongest, because the PSR derivative does a quarter
+// of the Γ arithmetic against the same per-partition dispatch cost.
+func BenchmarkKernelBatch(b *testing.B) {
+	const parts = 64
+	const threshold = 4 * DefaultBatchSites
+	d := benchDataset(b, 24, parts, 900)
+	counts := make([]int, d.NPartitions())
+	for i, p := range d.Parts {
+		counts[i] = p.NPatterns()
+		// Each partition must span more than one pool block (so the
+		// unbatched row pays a real fork-join dispatch per partition,
+		// not the single-block inline fast path) yet sit below the
+		// fusion threshold the batched row runs with.
+		if counts[i] <= 2*threadpool.BlockSize || counts[i] >= threshold {
+			b.Fatalf("partition %d has %d patterns; need in (%d, %d)",
+				i, counts[i], 2*threadpool.BlockSize, threshold)
+		}
+	}
+	assign, err := distrib.Compute(distrib.Cyclic, counts, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, het := range []model.Heterogeneity{model.Gamma, model.PSR} {
+		var unbatchedNs float64
+		for _, batched := range []bool{false, true} {
+			mode := "unbatched"
+			batchSites := -1
+			if batched {
+				// Raised threshold (-batch-sites 1024): every partition
+				// sits below it, so they all fuse.
+				mode, batchSites = "batched", threshold
+			}
+			b.Run(het.String()+"/"+mode, func(b *testing.B) {
+				world := mpi.NewWorld(1)
+				eng, err := decentral.NewEngine(world.Comm(0), d, assign, decentral.EngineConfig{
+					Het: het, Subst: model.GTR, Threads: 4, BatchSites: batchSites,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				tr := tree.NewRandom(d.Names, 1, rand.New(rand.NewSource(5)))
+				desc := traversal.Build(tr, tr.Tip(0), true)
+				ts := []float64{0.1}
+				// Warm: CLVs + sum tables + scratch, so the loop measures
+				// the repeated Newton step alone.
+				eng.Evaluate(desc)
+				eng.PrepareBranch(desc)
+				eng.BranchDerivatives(ts)
+				b.ResetTimer()
+				for b.Loop() {
+					eng.BranchDerivatives(ts)
+				}
+				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if !batched {
+					unbatchedNs = nsPerOp
+				} else if unbatchedNs > 0 && nsPerOp > 0 {
+					b.ReportMetric(unbatchedNs/nsPerOp, "speedup")
+				}
+				b.ReportMetric(float64(parts), "partitions")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			})
+		}
 	}
 }
 
@@ -425,14 +549,25 @@ func BenchmarkKernelFastPathGamma(b *testing.B) {
 // tip-heavy i.i.d. columns, where few subtree patterns repeat and the
 // per-node density gate falls back to the plain path (so that row
 // documents that the class-tracking overhead is negligible, not a
-// speedup). Both modes produce bit-identical CLVs; repeats=on rows
-// report speedup over the paired repeats=off row plus the fraction of
-// CLV columns served by copy.
+// speedup). The duplicate-heavy shape runs under both CLV layouts
+// because the two mechanisms trade off (docs/PERFORMANCE.md §6):
+// repeat compression's win is proportional to the per-column compute
+// it skips, and the SoA layout makes that compute cheaper while its
+// strided columns make the duplicate copy dearer — so the aos rows
+// show the compression headroom and the soa rows the default-config
+// truth. All modes produce bit-identical CLVs; repeats=on rows report
+// speedup over the paired repeats=off row plus the fraction of CLV
+// columns served by copy.
 func BenchmarkKernelRepeatsGamma(b *testing.B) {
 	for _, w := range []struct {
 		name string
 		dup  bool
-	}{{"duplicate-heavy", true}, {"tip-heavy", false}} {
+		lay  likelihood.Layout
+	}{
+		{"duplicate-heavy/soa", true, likelihood.LayoutSoA},
+		{"duplicate-heavy/aos", true, likelihood.LayoutAoS},
+		{"tip-heavy/soa", false, likelihood.LayoutSoA},
+	} {
 		var offNs float64
 		for _, on := range []bool{false, true} {
 			mode := "repeats=off"
@@ -441,6 +576,7 @@ func BenchmarkKernelRepeatsGamma(b *testing.B) {
 			}
 			b.Run(w.name+"/"+mode, func(b *testing.B) {
 				k, _, steps := benchKernelDup(b, model.Gamma, 1200, w.dup)
+				k.SetLayout(w.lay)
 				k.SetRepeats(on)
 				k.Traverse(steps) // warm: store the per-node class tables
 				b.ResetTimer()

@@ -54,6 +54,14 @@ type Record struct {
 	// FlopsPerSec is derived from the flops/op metric (0 when the
 	// benchmark reports none).
 	FlopsPerSec float64 `json:"flops_per_sec"`
+	// BytesPerSec is the achieved memory traffic, derived from the
+	// bytes/op metric (0 when the benchmark reports none). Against the
+	// machine's memory bandwidth it places the kernel on a roofline
+	// plot (docs/PERFORMANCE.md §6).
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
+	// ArithmeticIntensity is flops/op over bytes/op — the roofline
+	// x-axis (0 when either metric is missing).
+	ArithmeticIntensity float64 `json:"arithmetic_intensity,omitempty"`
 	// Metrics holds every extra unit the benchmark reported
 	// (threads, columns/op, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -96,6 +104,9 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		log.Fatal("no benchmark lines found on stdin (pipe `go test -bench` output in)")
 	}
+	if err := validate(&doc); err != nil {
+		log.Fatal(err)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -110,6 +121,35 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s (gomaxprocs %d)\n",
 		len(doc.Benchmarks), *out, doc.Env.GOMAXPROCS)
+}
+
+// validate rejects records whose thread-scaling rows could not have
+// scaled: a row claiming T threads that ran with fewer schedulable
+// procs than the machine allows measures contention, not speedup, and
+// has silently poisoned BENCH_kernels.json before. The check is
+// hardware-aware — a T=8 row on a 4-CPU machine legitimately runs at
+// gomaxprocs 4, so the requirement is gomaxprocs >= min(T, num_cpu).
+func validate(doc *Document) error {
+	for _, rec := range doc.Benchmarks {
+		threads, ok := rec.Metrics["threads"]
+		if !ok || threads < 2 {
+			continue
+		}
+		procs, ok := rec.Metrics["gomaxprocs"]
+		if !ok {
+			procs = float64(doc.Env.GOMAXPROCS)
+		}
+		need := threads
+		if n := float64(doc.Env.NumCPU); n < need {
+			need = n
+		}
+		if procs < need {
+			return fmt.Errorf("%s: threads=%g row captured with gomaxprocs=%g < min(threads, num_cpu=%d)=%g; "+
+				"rerun with GOMAXPROCS >= %g (make bench-json sets it from nproc)",
+				rec.Name, threads, procs, doc.Env.NumCPU, need, need)
+		}
+	}
+	return nil
 }
 
 // parseHeaderLine harvests the `go test` preamble ("goos: linux",
@@ -163,8 +203,16 @@ func parseBenchLine(line string) (rec Record, procs int, ok bool) {
 	if rec.NsPerOp <= 0 {
 		return Record{}, 0, false
 	}
-	if flops, ok := rec.Metrics["flops/op"]; ok && flops > 0 {
+	flops := rec.Metrics["flops/op"]
+	bytesOp := rec.Metrics["bytes/op"]
+	if flops > 0 {
 		rec.FlopsPerSec = flops / rec.NsPerOp * 1e9
+	}
+	if bytesOp > 0 {
+		rec.BytesPerSec = bytesOp / rec.NsPerOp * 1e9
+		if flops > 0 {
+			rec.ArithmeticIntensity = flops / bytesOp
+		}
 	}
 	if len(rec.Metrics) == 0 {
 		rec.Metrics = nil

@@ -38,6 +38,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/decentral"
 	"repro/internal/distrib"
+	"repro/internal/enginecore"
 	"repro/internal/forkjoin"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -311,7 +312,21 @@ type Config struct {
 	// Allreduce per branch per Newton iteration (docs/DETERMINISM.md §7,
 	// docs/PERFORMANCE.md).
 	DisableBatchedGradients bool
+	// DisableSoA switches the likelihood kernels from the default SoA
+	// (structure-of-arrays) CLV layout back to AoS (docs/PERFORMANCE.md
+	// §6). Ablation switch only: results are bit-identical either way.
+	DisableSoA bool
+	// BatchSites sets the fused small-partition batching threshold in
+	// patterns (kernels below it share one pool dispatch per likelihood
+	// operation). 0 keeps the default (enginecore.DefaultBatchSites);
+	// negative disables batching. Ablation switch only: results are
+	// bit-identical either way.
+	BatchSites int
 }
+
+// DefaultBatchSites re-exports the engines' default fused-batching
+// threshold (patterns) for flag wiring and documentation.
+const DefaultBatchSites = enginecore.DefaultBatchSites
 
 // CommReport is the per-class communication accounting of a run — the
 // data behind the paper's Table I.
@@ -516,6 +531,8 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 			Telemetry:          collector,
 			DisableRepeats:     cfg.DisableRepeats,
 			RepeatsMaxMem:      cfg.RepeatsMaxMem,
+			DisableSoA:         cfg.DisableSoA,
+			BatchSites:         cfg.BatchSites,
 		})
 		if err == nil {
 			comm, wall, wallDur = stats.Comm, stats.Wall.Seconds(), stats.Wall
@@ -537,6 +554,8 @@ func Infer(d *Dataset, cfg Config) (*Result, error) {
 			Telemetry:      collector,
 			DisableRepeats: cfg.DisableRepeats,
 			RepeatsMaxMem:  cfg.RepeatsMaxMem,
+			DisableSoA:     cfg.DisableSoA,
+			BatchSites:     cfg.BatchSites,
 		})
 		if err == nil {
 			comm, wall, wallDur = stats.Comm, stats.Wall.Seconds(), stats.Wall

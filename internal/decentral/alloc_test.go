@@ -20,46 +20,68 @@ import (
 // payload copies), so the contract is pinned where it matters most: the
 // per-call kernel and engine layers.
 func TestEngineSteadyStateAllocFree(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  EngineConfig
+	}{
+		// The default path is the SoA layout with fused batching (both
+		// 60-pattern partitions sit below DefaultBatchSites), so the
+		// 0-alloc contract covers the staged batch dispatch too.
+		{"soa-batched", EngineConfig{Subst: model.GTR}},
+		{"aos-unbatched", EngineConfig{Subst: model.GTR, DisableSoA: true, BatchSites: -1}},
+	}
 	for _, het := range []model.Heterogeneity{model.Gamma, model.PSR} {
-		d := makeDataset(t, 8, 2, 60, 3)
-		counts := make([]int, d.NPartitions())
-		for i, p := range d.Parts {
-			counts[i] = p.NPatterns()
+		for _, tc := range configs {
+			t.Run(het.String()+"/"+tc.name, func(t *testing.T) {
+				testSteadyStateAllocFree(t, het, tc.cfg, tc.name == "soa-batched")
+			})
 		}
-		assign, err := distrib.Compute(distrib.Cyclic, counts, 1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		world := mpi.NewWorld(1)
-		eng, err := NewEngine(world.Comm(0), d, assign, EngineConfig{Het: het, Subst: model.GTR})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer eng.Close()
+	}
+}
 
-		tr := tree.NewRandom(d.Names, 1, rand.New(rand.NewSource(5)))
-		edge := tr.Tip(0)
-		desc := traversal.Build(tr, edge, true)
-		ts := []float64{0.1}
-		plan, _ := traversal.BuildGradient(tr, nil)
+func testSteadyStateAllocFree(t *testing.T, het model.Heterogeneity, ecfg EngineConfig, wantBatched bool) {
+	d := makeDataset(t, 8, 2, 60, 3)
+	counts := make([]int, d.NPartitions())
+	for i, p := range d.Parts {
+		counts[i] = p.NPatterns()
+	}
+	assign, err := distrib.Compute(distrib.Cyclic, counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := mpi.NewWorld(1)
+	ecfg.Het = het
+	eng, err := NewEngine(world.Comm(0), d, assign, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if batched := eng.local.BatchedKernels(); (batched > 0) != wantBatched {
+		t.Fatalf("BatchedKernels() = %d, want batched=%v", batched, wantBatched)
+	}
 
-		// Warm-up: populate the P-matrix cache at the exact branch
-		// lengths the measured loop uses, grow every scratch arena, and
-		// store the repeat class tables.
-		for i := 0; i < 2; i++ {
-			eng.Evaluate(desc)
-			eng.PrepareBranch(desc)
-			eng.BranchDerivatives(ts)
-			eng.AllBranchDerivatives(plan)
-		}
+	tr := tree.NewRandom(d.Names, 1, rand.New(rand.NewSource(5)))
+	edge := tr.Tip(0)
+	desc := traversal.Build(tr, edge, true)
+	ts := []float64{0.1}
+	plan, _ := traversal.BuildGradient(tr, nil)
 
-		if allocs := testing.AllocsPerRun(50, func() {
-			eng.Evaluate(desc)
-			eng.PrepareBranch(desc)
-			eng.BranchDerivatives(ts)
-			eng.AllBranchDerivatives(plan)
-		}); allocs != 0 {
-			t.Errorf("%v: steady-state engine cycle allocates %.1f times per run", het, allocs)
-		}
+	// Warm-up: populate the P-matrix cache at the exact branch
+	// lengths the measured loop uses, grow every scratch arena, and
+	// store the repeat class tables.
+	for i := 0; i < 2; i++ {
+		eng.Evaluate(desc)
+		eng.PrepareBranch(desc)
+		eng.BranchDerivatives(ts)
+		eng.AllBranchDerivatives(plan)
+	}
+
+	if allocs := testing.AllocsPerRun(50, func() {
+		eng.Evaluate(desc)
+		eng.PrepareBranch(desc)
+		eng.BranchDerivatives(ts)
+		eng.AllBranchDerivatives(plan)
+	}); allocs != 0 {
+		t.Errorf("%v: steady-state engine cycle allocates %.1f times per run", het, allocs)
 	}
 }

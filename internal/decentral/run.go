@@ -35,6 +35,9 @@ type RunConfig struct {
 	// DisableRepeats and RepeatsMaxMem mirror EngineConfig.
 	DisableRepeats bool
 	RepeatsMaxMem  int64
+	// DisableSoA and BatchSites mirror EngineConfig.
+	DisableSoA bool
+	BatchSites int
 }
 
 // RunStats captures the measured execution profile for the cost model and
@@ -65,6 +68,8 @@ func runRank(c *mpi.Comm, d *msa.Dataset, assign *distrib.Assignment, cfg RunCon
 		Recorder:             rec,
 		DisableRepeats:       cfg.DisableRepeats,
 		RepeatsMaxMem:        cfg.RepeatsMaxMem,
+		DisableSoA:           cfg.DisableSoA,
+		BatchSites:           cfg.BatchSites,
 	})
 	if err != nil {
 		return nil, 0, 0, err

@@ -51,6 +51,25 @@ type Local struct {
 	// (docs/PERFORMANCE.md; asserted by alloc tests in both engines).
 	evalScr, derivScr, perPartScr, srStatsScr []float64
 	gradScr, gradPPScr                        []float64
+
+	// Fused small-partition batching state (batch.go): the site
+	// threshold, the fused kernel indices (and a per-kernel membership
+	// mask), the staged arguments and kernel-indexed output slots of the
+	// in-flight batch dispatch, the cached pool closure, and the
+	// telemetry counters.
+	batchSites int
+	batched    []int
+	inBatch    []bool
+	bOp        batchOp
+	bDesc      *traversal.Descriptor
+	bPlan      *traversal.GradPlan
+	bTs        []float64
+	bByPart    bool
+	bOut       []float64
+	batchScr   []float64
+	batchFn    func(i int)
+
+	batchDispatches, batchKernels int64
 }
 
 // scratchVec returns *buf resized to n and zeroed.
@@ -93,6 +112,8 @@ func NewLocal(d *msa.Dataset, a *distrib.Assignment, rank int, het model.Heterog
 		l.Kernels = append(l.Kernels, k)
 		l.PartIdx = append(l.PartIdx, partIdx[i])
 	}
+	l.batchFn = l.runBatchItem
+	l.SetBatchSites(DefaultBatchSites)
 	return l, nil
 }
 
@@ -153,6 +174,7 @@ func (l *Local) Close() {
 			repSaved += rs.ColsSaved
 		}
 		l.rec.SetRepeatStats(repComputed, repSaved)
+		l.rec.SetBatchStats(l.batchDispatches, l.batchKernels)
 		l.rec = nil
 	}
 	l.pool.Close()
@@ -174,10 +196,16 @@ func (l *Local) ClassOf(part int) int {
 	return 0
 }
 
-// Traverse executes the descriptor's schedules on the local kernels.
+// Traverse executes the descriptor's schedules on the local kernels:
+// fused small partitions in one pool dispatch, the rest serially over
+// the shared pool.
 func (l *Local) Traverse(d *traversal.Descriptor) {
+	l.dispatchBatch(batchTraverse, d, nil, nil, false, 0, telemetry.KernelNewview)
 	t := l.rec.Begin()
 	for i, k := range l.Kernels {
+		if l.isBatched(i) {
+			continue
+		}
 		k.Traverse(d.Steps[l.ClassOf(l.PartIdx[i])])
 	}
 	l.rec.EndKernel(telemetry.KernelNewview, t)
@@ -187,8 +215,13 @@ func (l *Local) Traverse(d *traversal.Descriptor) {
 // per-partition log-likelihood vector (zeros for unowned partitions).
 // The returned slice is reused by the next EvaluateLocal call.
 func (l *Local) EvaluateLocal(d *traversal.Descriptor) []float64 {
+	out := l.dispatchBatch(batchEvaluate, d, nil, nil, false, 1, telemetry.KernelEvaluate)
 	vec := scratchVec(&l.evalScr, l.NPart)
 	for i, k := range l.Kernels {
+		if l.isBatched(i) {
+			vec[l.PartIdx[i]] += out[i]
+			continue
+		}
 		cls := l.ClassOf(l.PartIdx[i])
 		t := l.rec.Begin()
 		k.Traverse(d.Steps[cls])
@@ -202,7 +235,11 @@ func (l *Local) EvaluateLocal(d *traversal.Descriptor) []float64 {
 
 // PrepareLocal traverses and builds the derivative sum tables.
 func (l *Local) PrepareLocal(d *traversal.Descriptor) {
+	l.dispatchBatch(batchPrepare, d, nil, nil, false, 0, telemetry.KernelDerivatives)
 	for i, k := range l.Kernels {
+		if l.isBatched(i) {
+			continue
+		}
 		cls := l.ClassOf(l.PartIdx[i])
 		t := l.rec.Begin()
 		k.Traverse(d.Steps[cls])
@@ -217,12 +254,18 @@ func (l *Local) PrepareLocal(d *traversal.Descriptor) {
 // [d1_0..d1_{C-1}, d2_0..d2_{C-1}]. The returned slice is reused by the
 // next DerivativesLocal call.
 func (l *Local) DerivativesLocal(ts []float64) []float64 {
+	out := l.dispatchBatch(batchDeriv, nil, nil, ts, false, 2, telemetry.KernelDerivatives)
 	t := l.rec.Begin()
 	classes := l.BLClasses()
 	vec := scratchVec(&l.derivScr, 2*classes)
 	for i, k := range l.Kernels {
 		cls := l.ClassOf(l.PartIdx[i])
-		a, b := k.Derivatives(ts[cls])
+		var a, b float64
+		if l.isBatched(i) {
+			a, b = out[2*i], out[2*i+1]
+		} else {
+			a, b = k.Derivatives(ts[cls])
+		}
 		vec[cls] += a
 		vec[classes+cls] += b
 	}
@@ -238,11 +281,17 @@ func (l *Local) DerivativesLocal(ts []float64) []float64 {
 // partition count. The returned slice is reused by the next
 // DerivativesPerPartition call.
 func (l *Local) DerivativesPerPartition(ts []float64) []float64 {
+	out := l.dispatchBatch(batchDeriv, nil, nil, ts, true, 2, telemetry.KernelDerivatives)
 	t := l.rec.Begin()
 	vec := scratchVec(&l.perPartScr, 2*l.NPart)
 	for i, k := range l.Kernels {
 		p := l.PartIdx[i]
-		a, b := k.Derivatives(ts[p])
+		var a, b float64
+		if l.isBatched(i) {
+			a, b = out[2*i], out[2*i+1]
+		} else {
+			a, b = k.Derivatives(ts[p])
+		}
 		vec[p] += a
 		vec[l.NPart+p] += b
 	}
@@ -260,9 +309,21 @@ func (l *Local) DerivativesPerPartition(ts []float64) []float64 {
 func (l *Local) AllBranchDerivativesLocal(plan *traversal.GradPlan) []float64 {
 	classes := l.BLClasses()
 	nB := plan.NBranches()
+	out := l.dispatchBatch(batchGradient, nil, plan, nil, false, 2*nB, telemetry.KernelDerivatives)
 	vec := scratchVec(&l.gradScr, 2*classes*nB)
 	for i, k := range l.Kernels {
 		cls := l.ClassOf(l.PartIdx[i])
+		if l.isBatched(i) {
+			base := i * 2 * nB
+			for b := range plan.Edges {
+				if plan.Active != nil && !plan.Active[b] {
+					continue
+				}
+				vec[cls*nB+b] += out[base+b]
+				vec[classes*nB+cls*nB+b] += out[base+nB+b]
+			}
+			continue
+		}
 		t := l.rec.Begin()
 		k.TraverseOuter(plan.Pre[cls])
 		l.rec.EndKernel(telemetry.KernelNewview, t)
@@ -293,10 +354,22 @@ func (l *Local) AllBranchDerivativesLocal(plan *traversal.GradPlan) []float64 {
 // call.
 func (l *Local) AllBranchDerivativesPerPartition(plan *traversal.GradPlan) []float64 {
 	nB := plan.NBranches()
+	out := l.dispatchBatch(batchGradient, nil, plan, nil, false, 2*nB, telemetry.KernelDerivatives)
 	vec := scratchVec(&l.gradPPScr, 2*l.NPart*nB)
 	for i, k := range l.Kernels {
 		p := l.PartIdx[i]
 		cls := l.ClassOf(p)
+		if l.isBatched(i) {
+			base := i * 2 * nB
+			for b := range plan.Edges {
+				if plan.Active != nil && !plan.Active[b] {
+					continue
+				}
+				vec[p*nB+b] += out[base+b]
+				vec[l.NPart*nB+p*nB+b] += out[base+nB+b]
+			}
+			continue
+		}
 		t := l.rec.Begin()
 		k.TraverseOuter(plan.Pre[cls])
 		l.rec.EndKernel(telemetry.KernelNewview, t)
@@ -338,21 +411,29 @@ func SiteRateCells(nPart int) int { return 2 * model.MaxPSRCategories * nPart }
 // returns the local cell-statistics vector (2·cells doubles per
 // partition: rate·weight sums then weight sums).
 func (l *Local) OptimizeSiteRatesLocal(d *traversal.Descriptor) []float64 {
-	t := l.rec.Begin()
-	defer l.rec.EndKernel(telemetry.KernelSiteRates, t)
 	const cells = model.MaxPSRCategories
+	out := l.dispatchBatch(batchSiteRates, d, nil, nil, false, 2*cells, telemetry.KernelSiteRates)
+	t := l.rec.Begin()
 	stats := scratchVec(&l.srStatsScr, SiteRateCells(l.NPart))
 	for i, k := range l.Kernels {
+		base := 2 * cells * l.PartIdx[i]
+		if l.isBatched(i) {
+			bbase := i * 2 * cells
+			for c := 0; c < 2*cells; c++ {
+				stats[base+c] += out[bbase+c]
+			}
+			continue
+		}
 		cls := l.ClassOf(l.PartIdx[i])
 		optimizeKernelSiteRates(k, d.Steps[cls], d.P, d.Q, d.T[cls])
 		par := k.Params()
 		sumR, sumW := model.AccumulateRateCells(par.SiteRates, k.Data().Weights, cells)
-		base := 2 * cells * l.PartIdx[i]
 		for c := 0; c < cells; c++ {
 			stats[base+c] += sumR[c]
 			stats[base+cells+c] += sumW[c]
 		}
 	}
+	l.rec.EndKernel(telemetry.KernelSiteRates, t)
 	return stats
 }
 

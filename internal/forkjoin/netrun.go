@@ -58,6 +58,8 @@ func RunOnComm(c *mpi.Comm, d *msa.Dataset, cfg RunConfig) (res *search.Result, 
 		Recorder:             rec,
 		DisableRepeats:       cfg.DisableRepeats,
 		RepeatsMaxMem:        cfg.RepeatsMaxMem,
+		DisableSoA:           cfg.DisableSoA,
+		BatchSites:           cfg.BatchSites,
 	}
 
 	start := time.Now()

@@ -30,6 +30,9 @@ type RunConfig struct {
 	// DisableRepeats and RepeatsMaxMem mirror EngineConfig.
 	DisableRepeats bool
 	RepeatsMaxMem  int64
+	// DisableSoA and BatchSites mirror EngineConfig.
+	DisableSoA bool
+	BatchSites int
 }
 
 // RunStats mirrors decentral.RunStats for apples-to-apples comparisons.
@@ -68,6 +71,8 @@ func Run(d *msa.Dataset, cfg RunConfig) (*search.Result, *RunStats, error) {
 		Threads:              cfg.Threads,
 		DisableRepeats:       cfg.DisableRepeats,
 		RepeatsMaxMem:        cfg.RepeatsMaxMem,
+		DisableSoA:           cfg.DisableSoA,
+		BatchSites:           cfg.BatchSites,
 	}
 
 	var result *search.Result

@@ -1,5 +1,7 @@
 package likelihood
 
+import "repro/internal/threadpool"
+
 // This file routes every kernel's block work through one cached closure.
 //
 // Handing the pool a fresh closure per call would heap-allocate on every
@@ -106,8 +108,14 @@ func overRepRanges(reps []int32, lo, hi int, f func(siteLo, siteHi int)) {
 	}
 }
 
-// dispatchBlock executes one block of the staged operation.
+// dispatchBlock executes one block of the staged operation. Under the
+// SoA layout, every CLV-touching opcode routes to its plane-major twin
+// (soa_gamma.go / soa_psr.go); opcodes that only read the (always-AoS)
+// sum table or per-class scratch fall through to the shared cases.
 func (k *Kernel) dispatchBlock(blk, lo, hi int) {
+	if k.layout == LayoutSoA && k.dispatchBlockSoA(blk, lo, hi) {
+		return
+	}
 	ra := &k.ra
 	switch ra.op {
 	case opNvGammaTipTip:
@@ -305,4 +313,190 @@ func (k *Kernel) dispatchBlock(blk, lo, hi int) {
 		ra.parts[blk].d1, ra.parts[blk].d2 = d1, d2
 		ra.parts[blk].cols = 0
 	}
+}
+
+// dispatchBlockSoA executes one block of the staged operation with the
+// SoA workers, returning false for opcodes that never touch a CLV (the
+// derivative, repeat-sum and per-class term opcodes), which the shared
+// AoS switch then handles. The staging code in gamma.go/psr.go is
+// layout-blind: the routing decision lives entirely here.
+func (k *Kernel) dispatchBlockSoA(blk, lo, hi int) bool {
+	ra := &k.ra
+	switch ra.op {
+	case opNvGammaTipTip:
+		k.newviewGammaTipTipSoABlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pair, &k.pairScaleScr, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opNvGammaTipInner:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.newviewGammaTipInnerSoABlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.tabA, ra.tabB, ra.pa, ra.pb, sLo, sHi)
+			})
+			return true
+		}
+		k.newviewGammaTipInnerSoABlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.tabA, ra.tabB, ra.pa, ra.pb, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opNvGammaInner:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.newviewGammaSoABlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb, sLo, sHi)
+			})
+			return true
+		}
+		k.newviewGammaSoABlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opEvalGamma:
+		ra.parts[blk].lnL = k.evaluateGammaSoABlock(ra.oa, ra.ob, ra.pa, ra.catW, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opEvalGammaTip:
+		ra.parts[blk].lnL = k.evaluateGammaTipSoABlock(ra.oa, ra.ob, ra.tabB, ra.catW, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opPrepGamma:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.prepareGammaSoABlock(ra.oa, ra.ob, sLo, sHi)
+			})
+			return true
+		}
+		k.prepareGammaSoABlock(ra.oa, ra.ob, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opPrepGammaFast:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.prepareGammaFastSoABlock(ra.oa, ra.ob, ra.tabA, ra.tabB, sLo, sHi)
+			})
+			return true
+		}
+		k.prepareGammaFastSoABlock(ra.oa, ra.ob, ra.tabA, ra.tabB, lo, hi)
+		ra.parts[blk].cols = int64(hi-lo) * gammaCats
+
+	case opNvPSRFast:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.newviewPSRFastSoABlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.tabA, ra.tabB, ra.pa, ra.pb, sLo, sHi)
+			})
+			return true
+		}
+		k.newviewPSRFastSoABlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.tabA, ra.tabB, ra.pa, ra.pb, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opNvPSRInner:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.newviewPSRSoABlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb, sLo, sHi)
+			})
+			return true
+		}
+		k.newviewPSRSoABlock(ra.dclv, ra.dscale, ra.oa, ra.ob, ra.pa, ra.pb, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opEvalPSR:
+		ra.parts[blk].lnL = k.evaluatePSRSoABlock(ra.oa, ra.ob, ra.pa, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opEvalPSRTip:
+		ra.parts[blk].lnL = k.evaluatePSRTipSoABlock(ra.oa, ra.ob, ra.tabB, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opPrepPSR:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.preparePSRSoABlock(ra.oa, ra.ob, sLo, sHi)
+			})
+			return true
+		}
+		k.preparePSRSoABlock(ra.oa, ra.ob, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opPrepPSRFast:
+		if ra.overReps {
+			overRepRanges(ra.reps, lo, hi, func(sLo, sHi int) {
+				k.preparePSRFastSoABlock(ra.oa, ra.ob, ra.tabA, ra.tabB, sLo, sHi)
+			})
+			return true
+		}
+		k.preparePSRFastSoABlock(ra.oa, ra.ob, ra.tabA, ra.tabB, lo, hi)
+		ra.parts[blk].cols = int64(hi - lo)
+
+	case opNvCopyReps:
+		// SoA twin of the duplicate materialization: per-plane element
+		// moves instead of one contiguous column copy (an SoA column is
+		// strided), same source values, same bits. Representatives were
+		// all computed in the preceding pass and are never written here,
+		// so cross-block reads stay race-free. The class → representative
+		// map is resolved once per block into stack arrays: srcIdx holds
+		// each duplicate's representative index and seg the maximal
+		// duplicate segments, so each plane loop is a branchless gather
+		// with a strictly sequential write stream (16 such loops per
+		// block replace one contiguous column memmove per duplicate —
+		// an SoA column is strided). Representative sites are skipped by
+		// segment, never self-copied: a concurrent self-write would race
+		// with another block reading that representative.
+		n := k.nPat
+		var srcIdx [threadpool.BlockSize]int32
+		var segLo, segHi [threadpool.BlockSize + 1]int32
+		nseg := 0
+		for i := lo; i < hi; {
+			r := int(ra.reps[ra.cls[i]])
+			if r == i {
+				i++
+				continue
+			}
+			a := i
+			for {
+				srcIdx[i-lo] = int32(r)
+				ra.dscale[i] = ra.dscale[r]
+				i++
+				if i >= hi {
+					break
+				}
+				if r = int(ra.reps[ra.cls[i]]); r == i {
+					break
+				}
+			}
+			segLo[nseg], segHi[nseg] = int32(a), int32(i)
+			nseg++
+		}
+		for p := 0; p < ra.colLen; p++ {
+			d := ra.dclv[p*n:]
+			for s := 0; s < nseg; s++ {
+				for i := int(segLo[s]); i < int(segHi[s]); i++ {
+					d[i] = d[srcIdx[i-lo]]
+				}
+			}
+		}
+		ra.parts[blk].cols = 0
+
+	case opGradGamma:
+		k.prepareGammaSoABlock(ra.oa, ra.ob, lo, hi)
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesGammaBlock(ra.exG, ra.lamG, ra.catW, lo, hi)
+		ra.parts[blk].cols = 2 * int64(hi-lo) * gammaCats
+
+	case opGradGammaFast:
+		k.prepareGammaFastSoABlock(ra.oa, ra.ob, ra.tabA, ra.tabB, lo, hi)
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesGammaBlock(ra.exG, ra.lamG, ra.catW, lo, hi)
+		ra.parts[blk].cols = 2 * int64(hi-lo) * gammaCats
+
+	case opGradPSR:
+		k.preparePSRSoABlock(ra.oa, ra.ob, lo, hi)
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesPSRBlock(ra.exP, ra.lamP, lo, hi)
+		ra.parts[blk].cols = 2 * int64(hi-lo)
+
+	case opGradPSRFast:
+		k.preparePSRFastSoABlock(ra.oa, ra.ob, ra.tabA, ra.tabB, lo, hi)
+		ra.parts[blk].d1, ra.parts[blk].d2 = k.derivativesPSRBlock(ra.exP, ra.lamP, lo, hi)
+		ra.parts[blk].cols = 2 * int64(hi-lo)
+
+	default:
+		// opEvalGammaLnlReps / opEvalPSRLnlReps run the layout-aware
+		// per-site mirrors; the derivative and repeat-sum opcodes never
+		// read a CLV. All are shared with the AoS switch.
+		return false
+	}
+	return true
 }

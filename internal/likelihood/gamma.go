@@ -503,19 +503,25 @@ func (k *Kernel) derivativesGamma(t float64) (d1, d2 float64) {
 }
 
 // derivativesGammaBlock is the per-block worker of derivativesGamma.
+// The four-state loop is unrolled with constant indices into a capped
+// slice (no bounds checks in the hot loop); each sum extends
+// left-to-right from its running value — the identical expression the
+// rolled loop evaluated, so the unroll is bit-invisible.
 func (k *Kernel) derivativesGammaBlock(ex, lam *[gammaCats][ns]float64, catW float64, lo, hi int) (d1, d2 float64) {
 	for i := lo; i < hi; i++ {
 		var f, fp, fpp float64
 		base := i * gammaCats * ns
 		for c := 0; c < gammaCats; c++ {
 			off := base + c*ns
-			for kk := 0; kk < ns; kk++ {
-				term := k.sumTab[off+kk] * ex[c][kk]
-				l := lam[c][kk]
-				f += term
-				fp += l * term
-				fpp += l * l * term
-			}
+			st := k.sumTab[off : off+ns : off+ns]
+			exc, lac := &ex[c], &lam[c]
+			t0 := st[0] * exc[0]
+			t1 := st[1] * exc[1]
+			t2 := st[2] * exc[2]
+			t3 := st[3] * exc[3]
+			f = f + t0 + t1 + t2 + t3
+			fp = fp + lac[0]*t0 + lac[1]*t1 + lac[2]*t2 + lac[3]*t3
+			fpp = fpp + lac[0]*lac[0]*t0 + lac[1]*lac[1]*t1 + lac[2]*lac[2]*t2 + lac[3]*lac[3]*t3
 		}
 		f *= catW
 		fp *= catW

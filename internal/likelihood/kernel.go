@@ -72,9 +72,19 @@ type Kernel struct {
 	nPat   int
 	nInner int
 
-	// clv[slot] is nil until first computed. Layout:
-	//   Γ:   [pattern][category][state] → ((i*C)+c)*4+x, C = GammaCategories
-	//   PSR: [pattern][state]           → i*4+x (one category per site)
+	// layout selects the CLV storage order (layout.go): LayoutSoA (the
+	// default) stores per-(category,state) site planes so the innermost
+	// kernel loops are stride-1 over patterns; LayoutAoS is the classic
+	// per-column order and serves as the ablation oracle (-no-soa).
+	layout Layout
+	// transScr is SetLayout's transposition scratch.
+	transScr []float64
+
+	// clv[slot] is nil until first computed. Layout (selected by k.layout):
+	//   AoS Γ:   [pattern][category][state] → ((i*C)+c)*4+x, C = GammaCategories
+	//   AoS PSR: [pattern][state]           → i*4+x (one category per site)
+	//   SoA Γ:   [category][state][pattern] → (c*4+x)*nPat+i
+	//   SoA PSR: [state][pattern]           → x*nPat+i
 	clv [][]float64
 	// scale[slot][pattern] counts scaling events accumulated in the
 	// subtree the CLV summarizes.
@@ -205,6 +215,10 @@ func (k *Kernel) operand(r NodeRef) operand {
 // Each worker writes only its own block's slot; the caller combines the
 // slots in block-index order after the join, which keeps every reduction
 // bit-identical regardless of how blocks were scheduled onto threads.
+// Each slot is padded to a full 64-byte cache line: adjacent blocks run
+// on different threads, and without the padding two workers depositing
+// into neighboring slots would ping-pong the shared line on every store
+// (false sharing — measured in docs/PERFORMANCE.md §6).
 type blockPartial struct {
 	// lnL is an Evaluate block's partial log likelihood.
 	lnL float64
@@ -213,6 +227,7 @@ type blockPartial struct {
 	// cols is the block's column-update count (summed into FlopCount at
 	// the join — never touched concurrently).
 	cols int64
+	_    [4]int64
 }
 
 // blocks returns the per-block slot array sized for the kernel's pattern
@@ -254,6 +269,7 @@ func NewKernel(data *msa.PartitionData, par *model.Params, nInner int) (*Kernel,
 		nInner: nInner,
 		clv:    make([][]float64, nInner),
 		scale:  make([][]int32, nInner),
+		layout: LayoutSoA,
 		fastOn: true,
 		pcOn:   true,
 		repOn:  true,

@@ -406,20 +406,25 @@ func (k *Kernel) psrExLamScratch(nc int) (ex, lam [][ns]float64) {
 	return k.exPScr[:nc], k.lamPScr[:nc]
 }
 
-// derivativesPSRBlock is the per-block worker of derivativesPSR.
+// derivativesPSRBlock is the per-block worker of derivativesPSR. The
+// four-state loop is unrolled with constant indices into capped slices
+// (no bounds checks in the hot loop); the sums associate left-to-right
+// from zero — the identical expression the rolled loop evaluated, so
+// the unroll is bit-invisible.
 func (k *Kernel) derivativesPSRBlock(ex, lam [][ns]float64, lo, hi int) (d1, d2 float64) {
 	cats := k.par.SiteCats
 	for i := lo; i < hi; i++ {
 		c := cats[i]
 		off := i * ns
-		var f, fp, fpp float64
-		for kk := 0; kk < ns; kk++ {
-			term := k.sumTab[off+kk] * ex[c][kk]
-			l := lam[c][kk]
-			f += term
-			fp += l * term
-			fpp += l * l * term
-		}
+		st := k.sumTab[off : off+ns : off+ns]
+		exc, lac := &ex[c], &lam[c]
+		t0 := st[0] * exc[0]
+		t1 := st[1] * exc[1]
+		t2 := st[2] * exc[2]
+		t3 := st[3] * exc[3]
+		f := t0 + t1 + t2 + t3
+		fp := lac[0]*t0 + lac[1]*t1 + lac[2]*t2 + lac[3]*t3
+		fpp := lac[0]*lac[0]*t0 + lac[1]*lac[1]*t1 + lac[2]*lac[2]*t2 + lac[3]*lac[3]*t3
 		if f <= 0 || math.IsNaN(f) {
 			continue
 		}

@@ -221,12 +221,16 @@ func (k *Kernel) evaluateGammaSiteLnl(op, oq operand, pm [][ns * ns]float64, cat
 		var vp, vq [ns]float64
 		if op.tips != nil {
 			vp = k.tipVec[op.tips[i]]
+		} else if k.layout == LayoutSoA {
+			vp = soaColGamma(op.clv, k.nPat, i, c)
 		} else {
 			off := base + c*ns
 			vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
 		}
 		if oq.tips != nil {
 			vq = k.tipVec[oq.tips[i]]
+		} else if k.layout == LayoutSoA {
+			vq = soaColGamma(oq.clv, k.nPat, i, c)
 		} else {
 			off := base + c*ns
 			vq[0], vq[1], vq[2], vq[3] = oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
@@ -255,11 +259,15 @@ func (k *Kernel) evaluatePSRSiteLnl(op, oq operand, pm [][ns * ns]float64, i int
 	off := i * ns
 	if op.tips != nil {
 		vp = k.tipVec[op.tips[i]]
+	} else if k.layout == LayoutSoA {
+		vp = soaColPSR(op.clv, k.nPat, i)
 	} else {
 		vp[0], vp[1], vp[2], vp[3] = op.clv[off], op.clv[off+1], op.clv[off+2], op.clv[off+3]
 	}
 	if oq.tips != nil {
 		vq = k.tipVec[oq.tips[i]]
+	} else if k.layout == LayoutSoA {
+		vq = soaColPSR(oq.clv, k.nPat, i)
 	} else {
 		vq[0], vq[1], vq[2], vq[3] = oq.clv[off], oq.clv[off+1], oq.clv[off+2], oq.clv[off+3]
 	}

@@ -1,0 +1,469 @@
+package likelihood
+
+import (
+	"math"
+
+	"repro/internal/threadpool"
+)
+
+// SoA Γ block workers (LayoutSoA, the default). Each worker is the
+// plane-major counterpart of one AoS worker in gamma.go: the outer loops
+// walk (category, state) planes, the innermost loop streams stride-1
+// over sites, and the 4-state cell is unrolled into straight-line code
+// with the P-matrix row hoisted into scalars — the autovectorizable
+// shape of BEAGLE's CPU kernels.
+//
+// Bit-identity (docs/DETERMINISM.md §8): every value is computed by the
+// IDENTICAL expression (operands and association order) as its AoS
+// twin, per-site accumulators are added in the identical (category,
+// state) order via a per-site accumulator array, and the scaling
+// predicate is an order-independent OR over the column. Loop order over
+// independent values is free; everything order-sensitive is pinned.
+//
+// Operand shapes that only occur with the tip fast path disabled (an
+// ablation configuration) fall back to site-major twins that use the
+// strided column loads from layout.go — still bit-identical, just not
+// stride-1.
+
+// newviewGammaSoABlock is the generic (inner-inner) SoA worker of
+// newviewGamma; tip operands (fast path off) take the site-major twin.
+func (k *Kernel) newviewGammaSoABlock(dclv []float64, dscale []int32, oa, ob operand, pa, pb [][ns * ns]float64, lo, hi int) {
+	if oa.tips != nil || ob.tips != nil {
+		k.newviewGammaSoASiteBlock(dclv, dscale, oa, ob, pa, pb, lo, hi)
+		return
+	}
+	n := k.nPat
+	// noScale[j] records that site lo+j produced at least one entry at
+	// or above ScaleThreshold (or a NaN) — the same predicate the AoS
+	// worker folds into needScale, an order-independent OR over the
+	// column's entries. Stack scratch: per-goroutine, so concurrent
+	// blocks never share it.
+	var noScale [threadpool.BlockSize]bool
+	for c := 0; c < gammaCats; c++ {
+		pca := &pa[c]
+		pcb := &pb[c]
+		// One fused sweep per category: each site's four child values per
+		// operand load once, and the four state outputs store to their
+		// planes in the same pass — the loop-order freedom the SoA layout
+		// buys (every expression below is the AoS worker's, verbatim).
+		a0 := oa.clv[(c*ns+0)*n:]
+		a1 := oa.clv[(c*ns+1)*n:]
+		a2 := oa.clv[(c*ns+2)*n:]
+		a3 := oa.clv[(c*ns+3)*n:]
+		b0 := ob.clv[(c*ns+0)*n:]
+		b1 := ob.clv[(c*ns+1)*n:]
+		b2 := ob.clv[(c*ns+2)*n:]
+		b3 := ob.clv[(c*ns+3)*n:]
+		d0 := dclv[(c*ns+0)*n:]
+		d1 := dclv[(c*ns+1)*n:]
+		d2 := dclv[(c*ns+2)*n:]
+		d3 := dclv[(c*ns+3)*n:]
+		for i := lo; i < hi; i++ {
+			av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
+			bv0, bv1, bv2, bv3 := b0[i], b1[i], b2[i], b3[i]
+			v0 := (pca[0]*av0 + pca[1]*av1 + pca[2]*av2 + pca[3]*av3) *
+				(pcb[0]*bv0 + pcb[1]*bv1 + pcb[2]*bv2 + pcb[3]*bv3)
+			v1 := (pca[4]*av0 + pca[5]*av1 + pca[6]*av2 + pca[7]*av3) *
+				(pcb[4]*bv0 + pcb[5]*bv1 + pcb[6]*bv2 + pcb[7]*bv3)
+			v2 := (pca[8]*av0 + pca[9]*av1 + pca[10]*av2 + pca[11]*av3) *
+				(pcb[8]*bv0 + pcb[9]*bv1 + pcb[10]*bv2 + pcb[11]*bv3)
+			v3 := (pca[12]*av0 + pca[13]*av1 + pca[14]*av2 + pca[15]*av3) *
+				(pcb[12]*bv0 + pcb[13]*bv1 + pcb[14]*bv2 + pcb[15]*bv3)
+			d0[i], d1[i], d2[i], d3[i] = v0, v1, v2, v3
+			if v0 >= ScaleThreshold || v0 != v0 ||
+				v1 >= ScaleThreshold || v1 != v1 ||
+				v2 >= ScaleThreshold || v2 != v2 ||
+				v3 >= ScaleThreshold || v3 != v3 {
+				noScale[i-lo] = true
+			}
+		}
+	}
+	k.finishNewviewGammaSoA(dclv, dscale, oa.scale, ob.scale, &noScale, lo, hi)
+}
+
+// finishNewviewGammaSoA applies the per-site scaling decision and writes
+// the scale counts — the plane-major tail shared by the SoA Γ newview
+// workers. The conditional ScaleFactor multiply is per-entry independent,
+// so applying it in a separate plane pass yields the same bits as the
+// AoS worker's in-place column loop.
+func (k *Kernel) finishNewviewGammaSoA(dclv []float64, dscale []int32, sa, sb []int32, noScale *[threadpool.BlockSize]bool, lo, hi int) {
+	n := k.nPat
+	anyScale := false
+	for j := 0; j < hi-lo; j++ {
+		if !noScale[j] {
+			anyScale = true
+			break
+		}
+	}
+	if anyScale {
+		for p := 0; p < gammaCats*ns; p++ {
+			d := dclv[p*n:]
+			for i := lo; i < hi; i++ {
+				if !noScale[i-lo] {
+					d[i] *= ScaleFactor
+				}
+			}
+		}
+	}
+	for i := lo; i < hi; i++ {
+		var sc int32
+		if sa != nil {
+			sc += sa[i]
+		}
+		if sb != nil {
+			sc += sb[i]
+		}
+		if !noScale[i-lo] {
+			sc++
+		}
+		dscale[i] = sc
+	}
+}
+
+// newviewGammaSoASiteBlock is the site-major generic twin for tip
+// operands without fast-path tables (ablation only): the AoS worker's
+// loop with strided column loads and stores.
+func (k *Kernel) newviewGammaSoASiteBlock(dclv []float64, dscale []int32, oa, ob operand, pa, pb [][ns * ns]float64, lo, hi int) {
+	n := k.nPat
+	for i := lo; i < hi; i++ {
+		var sc int32
+		if oa.scale != nil {
+			sc += oa.scale[i]
+		}
+		if ob.scale != nil {
+			sc += ob.scale[i]
+		}
+		needScale := true
+		for c := 0; c < gammaCats; c++ {
+			pca := &pa[c]
+			pcb := &pb[c]
+			var va, vb [ns]float64
+			if oa.tips != nil {
+				va = k.tipVec[oa.tips[i]]
+			} else {
+				va = soaColGamma(oa.clv, n, i, c)
+			}
+			if ob.tips != nil {
+				vb = k.tipVec[ob.tips[i]]
+			} else {
+				vb = soaColGamma(ob.clv, n, i, c)
+			}
+			for x := 0; x < ns; x++ {
+				la := pca[x*ns]*va[0] + pca[x*ns+1]*va[1] + pca[x*ns+2]*va[2] + pca[x*ns+3]*va[3]
+				lb := pcb[x*ns]*vb[0] + pcb[x*ns+1]*vb[1] + pcb[x*ns+2]*vb[2] + pcb[x*ns+3]*vb[3]
+				v := la * lb
+				dclv[(c*ns+x)*n+i] = v
+				if v >= ScaleThreshold || v != v {
+					needScale = false
+				}
+			}
+		}
+		if needScale {
+			for p := 0; p < gammaCats*ns; p++ {
+				dclv[p*n+i] *= ScaleFactor
+			}
+			sc++
+		}
+		dscale[i] = sc
+	}
+}
+
+// newviewGammaTipInnerSoABlock is the mixed SoA worker: the tip side
+// gathers from the precomputed P·tipVec table, the inner side streams
+// its planes; la/lb/v keep the AoS expressions and product order.
+func (k *Kernel) newviewGammaTipInnerSoABlock(dclv []float64, dscale []int32, oa, ob operand, tabA, tabB []float64, pa, pb [][ns * ns]float64, lo, hi int) {
+	n := k.nPat
+	var noScale [threadpool.BlockSize]bool
+	if oa.tips != nil {
+		tips, clv := oa.tips, ob.clv
+		for c := 0; c < gammaCats; c++ {
+			pcb := &pb[c]
+			b0 := clv[(c*ns+0)*n:]
+			b1 := clv[(c*ns+1)*n:]
+			b2 := clv[(c*ns+2)*n:]
+			b3 := clv[(c*ns+3)*n:]
+			d0 := dclv[(c*ns+0)*n:]
+			d1 := dclv[(c*ns+1)*n:]
+			d2 := dclv[(c*ns+2)*n:]
+			d3 := dclv[(c*ns+3)*n:]
+			tbase := c * 16 * ns
+			for i := lo; i < hi; i++ {
+				t := tbase + int(tips[i])*ns
+				bv0, bv1, bv2, bv3 := b0[i], b1[i], b2[i], b3[i]
+				v0 := tabA[t] * (pcb[0]*bv0 + pcb[1]*bv1 + pcb[2]*bv2 + pcb[3]*bv3)
+				v1 := tabA[t+1] * (pcb[4]*bv0 + pcb[5]*bv1 + pcb[6]*bv2 + pcb[7]*bv3)
+				v2 := tabA[t+2] * (pcb[8]*bv0 + pcb[9]*bv1 + pcb[10]*bv2 + pcb[11]*bv3)
+				v3 := tabA[t+3] * (pcb[12]*bv0 + pcb[13]*bv1 + pcb[14]*bv2 + pcb[15]*bv3)
+				d0[i], d1[i], d2[i], d3[i] = v0, v1, v2, v3
+				if v0 >= ScaleThreshold || v0 != v0 ||
+					v1 >= ScaleThreshold || v1 != v1 ||
+					v2 >= ScaleThreshold || v2 != v2 ||
+					v3 >= ScaleThreshold || v3 != v3 {
+					noScale[i-lo] = true
+				}
+			}
+		}
+		k.finishNewviewGammaSoA(dclv, dscale, ob.scale, nil, &noScale, lo, hi)
+		return
+	}
+	tips, clv := ob.tips, oa.clv
+	for c := 0; c < gammaCats; c++ {
+		pca := &pa[c]
+		a0 := clv[(c*ns+0)*n:]
+		a1 := clv[(c*ns+1)*n:]
+		a2 := clv[(c*ns+2)*n:]
+		a3 := clv[(c*ns+3)*n:]
+		d0 := dclv[(c*ns+0)*n:]
+		d1 := dclv[(c*ns+1)*n:]
+		d2 := dclv[(c*ns+2)*n:]
+		d3 := dclv[(c*ns+3)*n:]
+		tbase := c * 16 * ns
+		for i := lo; i < hi; i++ {
+			t := tbase + int(tips[i])*ns
+			av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
+			v0 := (pca[0]*av0 + pca[1]*av1 + pca[2]*av2 + pca[3]*av3) * tabB[t]
+			v1 := (pca[4]*av0 + pca[5]*av1 + pca[6]*av2 + pca[7]*av3) * tabB[t+1]
+			v2 := (pca[8]*av0 + pca[9]*av1 + pca[10]*av2 + pca[11]*av3) * tabB[t+2]
+			v3 := (pca[12]*av0 + pca[13]*av1 + pca[14]*av2 + pca[15]*av3) * tabB[t+3]
+			d0[i], d1[i], d2[i], d3[i] = v0, v1, v2, v3
+			if v0 >= ScaleThreshold || v0 != v0 ||
+				v1 >= ScaleThreshold || v1 != v1 ||
+				v2 >= ScaleThreshold || v2 != v2 ||
+				v3 >= ScaleThreshold || v3 != v3 {
+				noScale[i-lo] = true
+			}
+		}
+	}
+	k.finishNewviewGammaSoA(dclv, dscale, oa.scale, nil, &noScale, lo, hi)
+}
+
+// newviewGammaTipTipSoABlock materializes the pair-product table into
+// SoA planes: pure element moves of the same table entries the AoS
+// worker copies, so the bits match by construction.
+func (k *Kernel) newviewGammaTipTipSoABlock(dclv []float64, dscale []int32, oa, ob operand, pair []float64, psc *[256]int32, lo, hi int) {
+	tipsA, tipsB := oa.tips, ob.tips
+	n := k.nPat
+	const colLen = gammaCats * ns
+	// Pair indices resolve once per site into stack scratch; the plane
+	// loops then write stride-1 while gathering from the (L1-resident)
+	// pair table.
+	var pidx [threadpool.BlockSize]int32
+	for i := lo; i < hi; i++ {
+		pi := int(tipsA[i])*16 + int(tipsB[i])
+		pidx[i-lo] = int32(pi)
+		dscale[i] = psc[pi]
+	}
+	for p := 0; p < colLen; p++ {
+		d := dclv[p*n:]
+		for i := lo; i < hi; i++ {
+			d[i] = pair[int(pidx[i-lo])*colLen+p]
+		}
+	}
+}
+
+// evaluateGammaSoABlock is the generic SoA Evaluate worker: per-site
+// likelihoods accumulate in a per-site array in the AoS (category,
+// state) term order, so every site's sum carries the identical bits.
+// The q-tip shape only occurs with the fast path off; it reuses the
+// layout-aware per-site mirror.
+func (k *Kernel) evaluateGammaSoABlock(op, oq operand, pm [][ns * ns]float64, catW float64, lo, hi int) float64 {
+	if oq.tips != nil {
+		total := 0.0
+		for i := lo; i < hi; i++ {
+			total += float64(k.data.Weights[i]) * k.evaluateGammaSiteLnl(op, oq, pm, catW, i)
+		}
+		return total
+	}
+	freqs := &k.par.Freqs
+	n := k.nPat
+	var site [threadpool.BlockSize]float64
+	for c := 0; c < gammaCats; c++ {
+		pc := &pm[c]
+		q0 := oq.clv[(c*ns+0)*n:]
+		q1 := oq.clv[(c*ns+1)*n:]
+		q2 := oq.clv[(c*ns+2)*n:]
+		q3 := oq.clv[(c*ns+3)*n:]
+		for x := 0; x < ns; x++ {
+			r0, r1, r2, r3 := pc[x*ns], pc[x*ns+1], pc[x*ns+2], pc[x*ns+3]
+			freq := freqs[x]
+			if op.tips != nil {
+				for i := lo; i < hi; i++ {
+					right := r0*q0[i] + r1*q1[i] + r2*q2[i] + r3*q3[i]
+					site[i-lo] += freq * k.tipVec[op.tips[i]][x] * right * catW
+				}
+			} else {
+				px := op.clv[(c*ns+x)*n:]
+				for i := lo; i < hi; i++ {
+					right := r0*q0[i] + r1*q1[i] + r2*q2[i] + r3*q3[i]
+					site[i-lo] += freq * px[i] * right * catW
+				}
+			}
+		}
+	}
+	total := 0.0
+	for i := lo; i < hi; i++ {
+		var sc int32
+		if op.scale != nil {
+			sc += op.scale[i]
+		}
+		if oq.scale != nil {
+			sc += oq.scale[i]
+		}
+		lnl := math.Log(site[i-lo]) + float64(sc)*LogScaleStep
+		total += float64(k.data.Weights[i]) * lnl
+	}
+	return total
+}
+
+// evaluateGammaTipSoABlock is the q-tip SoA Evaluate worker. A tip-tip
+// root edge reads no CLV at all, so the AoS worker is layout-blind
+// there and serves directly.
+func (k *Kernel) evaluateGammaTipSoABlock(op, oq operand, tab []float64, catW float64, lo, hi int) float64 {
+	if op.tips != nil {
+		return k.evaluateGammaTipBlock(op, oq, tab, catW, lo, hi)
+	}
+	freqs := &k.par.Freqs
+	n := k.nPat
+	tips := oq.tips
+	var site [threadpool.BlockSize]float64
+	for c := 0; c < gammaCats; c++ {
+		tbase := c * 16 * ns
+		for x := 0; x < ns; x++ {
+			freq := freqs[x]
+			px := op.clv[(c*ns+x)*n:]
+			for i := lo; i < hi; i++ {
+				site[i-lo] += freq * px[i] * tab[tbase+int(tips[i])*ns+x] * catW
+			}
+		}
+	}
+	total := 0.0
+	for i := lo; i < hi; i++ {
+		var sc int32
+		if op.scale != nil {
+			sc += op.scale[i]
+		}
+		lnl := math.Log(site[i-lo]) + float64(sc)*LogScaleStep
+		total += float64(k.data.Weights[i]) * lnl
+	}
+	return total
+}
+
+// prepareGammaSoABlock is the generic SoA sum-table fill. Sum-table
+// entries are mutually independent (the order-sensitive consumption
+// happens in the shared, layout-free derivative workers), so the
+// plane-major loop order is free; the ap/bq/product expressions are the
+// AoS ones verbatim. The table itself stays in AoS order.
+func (k *Kernel) prepareGammaSoABlock(op, oq operand, lo, hi int) {
+	if op.tips != nil || oq.tips != nil {
+		k.prepareGammaSoASiteBlock(op, oq, lo, hi)
+		return
+	}
+	e := k.par.Eigen
+	freqs := &k.par.Freqs
+	n := k.nPat
+	st := k.sumTab
+	f0, f1, f2, f3 := freqs[0], freqs[1], freqs[2], freqs[3]
+	for c := 0; c < gammaCats; c++ {
+		p0 := op.clv[(c*ns+0)*n:]
+		p1 := op.clv[(c*ns+1)*n:]
+		p2 := op.clv[(c*ns+2)*n:]
+		p3 := op.clv[(c*ns+3)*n:]
+		q0 := oq.clv[(c*ns+0)*n:]
+		q1 := oq.clv[(c*ns+1)*n:]
+		q2 := oq.clv[(c*ns+2)*n:]
+		q3 := oq.clv[(c*ns+3)*n:]
+		for kk := 0; kk < ns; kk++ {
+			u0, u1, u2, u3 := e.U[0*ns+kk], e.U[1*ns+kk], e.U[2*ns+kk], e.U[3*ns+kk]
+			w0, w1, w2, w3 := e.UInv[kk*ns], e.UInv[kk*ns+1], e.UInv[kk*ns+2], e.UInv[kk*ns+3]
+			for i := lo; i < hi; i++ {
+				ap := f0*p0[i]*u0 + f1*p1[i]*u1 + f2*p2[i]*u2 + f3*p3[i]*u3
+				bq := w0*q0[i] + w1*q1[i] + w2*q2[i] + w3*q3[i]
+				st[(i*gammaCats+c)*ns+kk] = ap * bq
+			}
+		}
+	}
+}
+
+// prepareGammaSoASiteBlock is the site-major generic twin for tip
+// operands without prep tables (ablation only).
+func (k *Kernel) prepareGammaSoASiteBlock(op, oq operand, lo, hi int) {
+	e := k.par.Eigen
+	freqs := &k.par.Freqs
+	n := k.nPat
+	for i := lo; i < hi; i++ {
+		for c := 0; c < gammaCats; c++ {
+			var vp, vq [ns]float64
+			if op.tips != nil {
+				vp = k.tipVec[op.tips[i]]
+			} else {
+				vp = soaColGamma(op.clv, n, i, c)
+			}
+			if oq.tips != nil {
+				vq = k.tipVec[oq.tips[i]]
+			} else {
+				vq = soaColGamma(oq.clv, n, i, c)
+			}
+			off := (i*gammaCats + c) * ns
+			for kk := 0; kk < ns; kk++ {
+				ap := freqs[0]*vp[0]*e.U[0*ns+kk] + freqs[1]*vp[1]*e.U[1*ns+kk] +
+					freqs[2]*vp[2]*e.U[2*ns+kk] + freqs[3]*vp[3]*e.U[3*ns+kk]
+				bq := e.UInv[kk*ns]*vq[0] + e.UInv[kk*ns+1]*vq[1] +
+					e.UInv[kk*ns+2]*vq[2] + e.UInv[kk*ns+3]*vq[3]
+				k.sumTab[off+kk] = ap * bq
+			}
+		}
+	}
+}
+
+// prepareGammaFastSoABlock is the tip-specialized SoA sum-table fill:
+// per (category, eigen) plane, the tip side gathers its prep-table
+// entries and the inner side streams its planes into per-site scratch,
+// then the ap·bq products land in the (AoS) sum table.
+func (k *Kernel) prepareGammaFastSoABlock(op, oq operand, tabP, tabQ []float64, lo, hi int) {
+	e := k.par.Eigen
+	freqs := &k.par.Freqs
+	n := k.nPat
+	st := k.sumTab
+	f0, f1, f2, f3 := freqs[0], freqs[1], freqs[2], freqs[3]
+	var apScr, bqScr [threadpool.BlockSize]float64
+	for c := 0; c < gammaCats; c++ {
+		var p0, p1, p2, p3, q0, q1, q2, q3 []float64
+		if op.tips == nil {
+			p0 = op.clv[(c*ns+0)*n:]
+			p1 = op.clv[(c*ns+1)*n:]
+			p2 = op.clv[(c*ns+2)*n:]
+			p3 = op.clv[(c*ns+3)*n:]
+		}
+		if oq.tips == nil {
+			q0 = oq.clv[(c*ns+0)*n:]
+			q1 = oq.clv[(c*ns+1)*n:]
+			q2 = oq.clv[(c*ns+2)*n:]
+			q3 = oq.clv[(c*ns+3)*n:]
+		}
+		for kk := 0; kk < ns; kk++ {
+			if op.tips != nil {
+				for i := lo; i < hi; i++ {
+					apScr[i-lo] = tabP[int(op.tips[i])*ns+kk]
+				}
+			} else {
+				u0, u1, u2, u3 := e.U[0*ns+kk], e.U[1*ns+kk], e.U[2*ns+kk], e.U[3*ns+kk]
+				for i := lo; i < hi; i++ {
+					apScr[i-lo] = f0*p0[i]*u0 + f1*p1[i]*u1 + f2*p2[i]*u2 + f3*p3[i]*u3
+				}
+			}
+			if oq.tips != nil {
+				for i := lo; i < hi; i++ {
+					bqScr[i-lo] = tabQ[int(oq.tips[i])*ns+kk]
+				}
+			} else {
+				w0, w1, w2, w3 := e.UInv[kk*ns], e.UInv[kk*ns+1], e.UInv[kk*ns+2], e.UInv[kk*ns+3]
+				for i := lo; i < hi; i++ {
+					bqScr[i-lo] = w0*q0[i] + w1*q1[i] + w2*q2[i] + w3*q3[i]
+				}
+			}
+			for i := lo; i < hi; i++ {
+				st[(i*gammaCats+c)*ns+kk] = apScr[i-lo] * bqScr[i-lo]
+			}
+		}
+	}
+}

@@ -498,6 +498,13 @@ func quantizeBL(t float64) float64 {
 // sweep's first iteration rebuilds the full pre-order state.
 func (s *Searcher) SetBatchedGradients(on bool) { s.cfg.DisableBatchedGradients = !on }
 
+// Engine exposes the searcher's engine for runtime reconfiguration by
+// OnIteration hooks (e.g. the mid-run CLV-layout toggle of the layout
+// bit-identity suites — DETERMINISM.md §8). Callers type-assert the
+// optional capabilities they need; the Engine interface itself stays
+// minimal.
+func (s *Searcher) Engine() Engine { return s.eng }
+
 // smoothAll runs full branch-length smoothing sweeps over the tree using
 // the simultaneous multi-branch Newton smoother: each sweep freezes the
 // CLV state once (one post-order refresh + one pre-order pass) and then

@@ -42,6 +42,12 @@ type RankStats struct {
 	// representative sites vs materialized by copy (docs/PERFORMANCE.md).
 	RepeatColsComputed int64 `json:"repeat_cols_computed,omitempty"`
 	RepeatColsSaved    int64 `json:"repeat_cols_saved,omitempty"`
+	// BatchDispatches/BatchKernels are the rank's fused small-partition
+	// batching counters: pool dispatches that fused several sub-threshold
+	// kernels, and the kernel invocations they carried
+	// (docs/PERFORMANCE.md §6).
+	BatchDispatches int64 `json:"batch_dispatches,omitempty"`
+	BatchKernels    int64 `json:"batch_kernels,omitempty"`
 }
 
 // KernelStat is one kernel class's run-wide aggregate.
@@ -121,6 +127,11 @@ type Report struct {
 	// materialized by copy rather than computed, summed across ranks
 	// (0 when the compressed path never ran).
 	RepeatShare float64 `json:"repeat_share"`
+	// BatchFusion is the mean number of small-partition kernels fused
+	// into one pool dispatch, summed across ranks (0 when batching never
+	// fired). Values well above 1 mean the fused path is amortizing pool
+	// synchronization as designed.
+	BatchFusion float64 `json:"batch_fusion"`
 
 	// Counters holds the search-progress counters (from rank 0 —
 	// identical on every rank under the de-centralized scheme).
@@ -146,6 +157,7 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 	var poolRuns, poolBlocks int64
 	var fastOps, genericOps, pcHits, pcMiss int64
 	var repComputed, repSaved int64
+	var batchDisp, batchKern int64
 	poolThreads := 0
 	for _, r := range c.recs {
 		rs := RankStats{
@@ -166,6 +178,9 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 
 			RepeatColsComputed: r.repColsComputed,
 			RepeatColsSaved:    r.repColsSaved,
+
+			BatchDispatches: r.batchDispatches,
+			BatchKernels:    r.batchKernels,
 		}
 		rep.PerRank = append(rep.PerRank, rs)
 		sumCompute += rs.ComputeNS
@@ -184,6 +199,8 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 		pcMiss += r.pcacheMiss
 		repComputed += r.repColsComputed
 		repSaved += r.repColsSaved
+		batchDisp += r.batchDispatches
+		batchKern += r.batchKernels
 	}
 	if tot := fastOps + genericOps; tot > 0 {
 		rep.FastPathShare = float64(fastOps) / float64(tot)
@@ -193,6 +210,9 @@ func (c *Collector) Finalize(wall time.Duration, threads int, classNames []strin
 	}
 	if tot := repComputed + repSaved; tot > 0 {
 		rep.RepeatShare = float64(repSaved) / float64(tot)
+	}
+	if batchDisp > 0 {
+		rep.BatchFusion = float64(batchKern) / float64(batchDisp)
 	}
 
 	for k := KernelClass(0); k < NumKernelClasses; k++ {
@@ -310,6 +330,9 @@ func (r *Report) String() string {
 	}
 	if r.RepeatShare > 0 {
 		fmt.Fprintf(&b, "  site-repeat CLV columns saved          %8.3f\n", r.RepeatShare)
+	}
+	if r.BatchFusion > 0 {
+		fmt.Fprintf(&b, "  kernels fused per batched dispatch     %8.3f\n", r.BatchFusion)
 	}
 
 	fmt.Fprintf(&b, "\nper-rank compute vs collective time:\n")

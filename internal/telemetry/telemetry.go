@@ -294,6 +294,11 @@ type Recorder struct {
 	// columns computed at representative sites vs materialized by copy
 	// on the compressed Newview path (docs/PERFORMANCE.md).
 	repColsComputed, repColsSaved int64
+
+	// Fused-batch counters (harvested once at engine close): pool
+	// dispatches that fused multiple small-partition kernels and how many
+	// kernel invocations those dispatches carried (docs/PERFORMANCE.md §6).
+	batchDispatches, batchKernels int64
 }
 
 // now returns nanoseconds since the collector's start (monotonic).
@@ -420,6 +425,21 @@ func (r *Recorder) SetRepeatStats(colsComputed, colsSaved int64) {
 	if c := r.col; c != nil {
 		c.emitLine("{\"ev\":\"repeats\",\"rank\":%d,\"cols_computed\":%d,\"cols_saved\":%d%s}",
 			r.rank, colsComputed, colsSaved, c.jobFrag)
+	}
+}
+
+// SetBatchStats records the rank's fused small-partition batching
+// counters (harvested once, when the rank's engine closes) and emits a
+// "batch" JSONL event carrying them.
+func (r *Recorder) SetBatchStats(dispatches, kernels int64) {
+	if r == nil {
+		return
+	}
+	r.batchDispatches = dispatches
+	r.batchKernels = kernels
+	if c := r.col; c != nil {
+		c.emitLine("{\"ev\":\"batch\",\"rank\":%d,\"dispatches\":%d,\"kernels\":%d%s}",
+			r.rank, dispatches, kernels, c.jobFrag)
 	}
 }
 

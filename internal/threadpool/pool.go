@@ -23,6 +23,11 @@ import (
 // a determinism constant, not a tuning knob: changing it changes the
 // association order of block-combined reductions and therefore the bits
 // of every likelihood in the repo.
+//
+// It also happens to be a good cache size: one Γ block touches
+// 256 sites × 16 doubles × 3 CLVs ≈ 96 KiB — it streams through a
+// per-core L2 without thrashing L1, which is the granularity the
+// SoA stride-1 kernels are unrolled for (docs/PERFORMANCE.md §6).
 const BlockSize = 256
 
 // NumBlocks returns the number of fixed-size blocks covering n items.
@@ -43,19 +48,31 @@ func blockBounds(b, n int) (lo, hi int) {
 	return lo, hi
 }
 
-// job is one Run invocation's shared state. Workers pull block indices
-// from the atomic cursor, so block-to-worker assignment is dynamic (load
-// balanced) while the block structure itself stays fixed.
+// job is one Run or Each invocation's shared state. Workers pull block
+// (or item) indices from the atomic cursor, so assignment to workers is
+// dynamic (load balanced) while the block structure itself stays fixed.
+// Exactly one of fn (block-granular, Run) and itemFn (item-granular,
+// Each) is set.
 type job struct {
-	fn   func(block, lo, hi int)
-	n    int   // item count
-	nb   int64 // block count
-	next *atomic.Int64
-	wg   *sync.WaitGroup
+	fn     func(block, lo, hi int)
+	itemFn func(i int)
+	n      int   // item count
+	nb     int64 // block count (== n for itemFn jobs)
+	next   *atomic.Int64
+	wg     *sync.WaitGroup
 }
 
-// run drains blocks until the cursor passes the block count.
+// run drains blocks (or items) until the cursor passes the count.
 func (j job) run() {
+	if j.itemFn != nil {
+		for {
+			i := j.next.Add(1) - 1
+			if i >= j.nb {
+				return
+			}
+			j.itemFn(int(i))
+		}
+	}
 	for {
 		b := j.next.Add(1) - 1
 		if b >= j.nb {
@@ -72,8 +89,14 @@ func (j job) run() {
 // regions fill the pool. Counters are atomic so harvesting from another
 // goroutine after the run is race-free; recording them never influences
 // block structure or scheduling (determinism-safe).
+// Each counter sits alone on a 64-byte cache line so concurrent
+// harvesting (metrics scrapes) never bounces the line the hot-path
+// increment lives on (false-sharing fix, docs/PERFORMANCE.md §6).
 type Stats struct {
-	runs, blocks atomic.Int64
+	runs   atomic.Int64
+	_      [7]int64
+	blocks atomic.Int64
+	_      [7]int64
 }
 
 // Runs returns the number of Run invocations counted.
@@ -160,6 +183,45 @@ func (p *Pool) Run(n int, fn func(block, lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(helpers)
 	j := job{fn: fn, n: n, nb: int64(nb), next: &next, wg: &wg}
+	for w := 0; w < helpers; w++ {
+		p.jobs <- j
+	}
+	j.run() // the caller is the T-th worker
+	wg.Wait()
+}
+
+// Each invokes fn once per item of [0, n), distributing items across the
+// pool and the calling goroutine, and returns after every item completed.
+// It is the whole-kernel analogue of Run: where Run splits one kernel's
+// sites into blocks, Each dispatches n independent kernels (fused small
+// partitions) as single items, so many tiny partitions cost ONE pool
+// synchronization instead of one per partition. Items are claimed from an
+// atomic cursor, so assignment is dynamic; callers preserve bit-identity
+// by depositing per-item results into per-item slots and combining them
+// in item order after Each returns (same discipline as Run's per-block
+// slots). On a nil or serial pool items run inline in index order.
+func (p *Pool) Each(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p != nil && p.stats != nil {
+		p.stats.runs.Add(1)
+		p.stats.blocks.Add(int64(n))
+	}
+	if p == nil || p.threads <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	helpers := p.threads - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(helpers)
+	j := job{itemFn: fn, n: n, nb: int64(n), next: &next, wg: &wg}
 	for w := 0; w < helpers; w++ {
 		p.jobs <- j
 	}

@@ -85,6 +85,59 @@ func TestOrderedCombineIsThreadCountInvariant(t *testing.T) {
 	}
 }
 
+// TestEachCoversEveryItemOnce checks the item-granular dispatch used by
+// fused partition batching: every item index is visited exactly once at
+// every thread count, including the nil-pool and serial paths.
+func TestEachCoversEveryItemOnce(t *testing.T) {
+	for _, threads := range []int{0, 1, 2, 3, 8, 17} {
+		for _, n := range []int{1, 2, 7, 64, 300} {
+			var p *Pool
+			if threads > 0 {
+				p = New(threads)
+			}
+			visits := make([]int64, n)
+			p.Each(n, func(i int) {
+				atomic.AddInt64(&visits[i], 1)
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("threads=%d n=%d: item %d visited %d times", threads, n, i, v)
+				}
+			}
+			p.Close()
+		}
+	}
+	// Zero and negative counts are no-ops.
+	New(2).Each(0, func(int) { t.Error("fn called for n=0") })
+	(*Pool)(nil).Each(-3, func(int) { t.Error("fn called for n<0") })
+}
+
+// TestEachOrderedCombineIsThreadCountInvariant mirrors the Run combine
+// test at item granularity: per-item partials deposited into per-item
+// slots and folded in item order must be bit-identical at any T.
+func TestEachOrderedCombineIsThreadCountInvariant(t *testing.T) {
+	const n = 61
+	sum := func(threads int) float64 {
+		p := New(threads)
+		defer p.Close()
+		parts := make([]float64, n)
+		p.Each(n, func(i int) {
+			parts[i] = float64(i%13) * 1e-3 * float64(int64(1)<<uint(i%50))
+		})
+		total := 0.0
+		for _, s := range parts {
+			total += s
+		}
+		return total
+	}
+	ref := sum(1)
+	for _, threads := range []int{2, 3, 8} {
+		if got := sum(threads); got != ref {
+			t.Errorf("threads=%d: sum %x differs from serial %x", threads, got, ref)
+		}
+	}
+}
+
 func TestThreads(t *testing.T) {
 	if (*Pool)(nil).Threads() != 1 {
 		t.Error("nil pool Threads != 1")

@@ -129,6 +129,8 @@ func InferNet(d *Dataset, cfg Config, nc NetConfig) (*NetResult, error) {
 				Telemetry:          collector,
 				DisableRepeats:     cfg.DisableRepeats,
 				RepeatsMaxMem:      cfg.RepeatsMaxMem,
+				DisableSoA:         cfg.DisableSoA,
+				BatchSites:         cfg.BatchSites,
 			},
 			MaxRecoveries: nc.MaxRecoveries,
 			JoinEpoch:     nc.JoinEpoch,
@@ -163,6 +165,8 @@ func InferNet(d *Dataset, cfg Config, nc NetConfig) (*NetResult, error) {
 			Telemetry:      collector,
 			DisableRepeats: cfg.DisableRepeats,
 			RepeatsMaxMem:  cfg.RepeatsMaxMem,
+			DisableSoA:     cfg.DisableSoA,
+			BatchSites:     cfg.BatchSites,
 		})
 		if err != nil {
 			return nil, err

@@ -102,6 +102,7 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 	lines := 0
 	perfEvents := 0
 	repeatEvents := 0
+	batchEvents := 0
 	metaEvents := 0
 	iterEvents := 0
 	sc := bufio.NewScanner(&trace)
@@ -116,6 +117,7 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 			DurNS   int64  `json:"dur_ns"`
 			FastOps int64  `json:"fast_ops"`
 			Cols    int64  `json:"cols_computed"`
+			Disp    int64  `json:"dispatches"`
 			Ranks   int    `json:"ranks"`
 			StartNS int64  `json:"start_unix_ns"`
 			Iter    int    `json:"iter"`
@@ -164,6 +166,14 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 			if ev.Cols <= 0 {
 				t.Fatalf("line %d: repeats event without computed columns %+v", lines, ev)
 			}
+		case "batch":
+			// Fused small-partition batching summary, emitted once per rank
+			// at engine close; this dataset's partitions sit far below the
+			// default threshold, so batched dispatches must have fired.
+			batchEvents++
+			if ev.Disp <= 0 {
+				t.Fatalf("line %d: batch event without dispatches %+v", lines, ev)
+			}
 		default:
 			t.Fatalf("line %d: unknown event type %q", lines, ev.Ev)
 		}
@@ -179,6 +189,9 @@ func TestTelemetryTraceIsValidJSONL(t *testing.T) {
 	}
 	if repeatEvents != 2 {
 		t.Fatalf("expected one repeats event per rank, got %d", repeatEvents)
+	}
+	if batchEvents != 2 {
+		t.Fatalf("expected one batch event per rank, got %d", batchEvents)
 	}
 	if metaEvents != 1 {
 		t.Fatalf("expected exactly one meta header, got %d", metaEvents)
